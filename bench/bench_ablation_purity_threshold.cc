@@ -1,0 +1,102 @@
+// Ablation for the paper's second contribution: "RD-GBG incorporates
+// noise detection without searching for an optimal [purity] threshold".
+// GGBS's quality depends on its purity threshold — we sweep it over
+// {0.85, 0.90, 0.95, 1.00} on noisy data and compare the *best* GGBS
+// column against threshold-free GBABS (DT accuracy, 20% class noise).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/noise.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "sampling/gbabs_sampler.h"
+#include "sampling/ggbs.h"
+#include "stats/descriptive.h"
+
+namespace gbx {
+namespace {
+
+/// Mean CV accuracy of DT trained on `sampler`'s output over noisy data.
+template <typename SamplerT>
+double CvAccuracy(const Dataset& noisy, const SamplerT& sampler,
+                  int folds, Pcg32* rng) {
+  std::vector<double> accs;
+  for (const auto& test_idx : StratifiedKFold(noisy, folds, rng)) {
+    const Dataset train =
+        noisy.Subset(FoldComplement(test_idx, noisy.size()));
+    const Dataset test = noisy.Subset(test_idx);
+    Dataset sampled = sampler.Sample(train, rng);
+    if (sampled.size() < 2) sampled = train;
+    DecisionTreeClassifier dt;
+    dt.Fit(sampled, rng);
+    accs.push_back(Accuracy(test.y(), dt.PredictBatch(test.x())));
+  }
+  return Mean(accs);
+}
+
+}  // namespace
+}  // namespace gbx
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode(
+      "Ablation: GGBS purity-threshold sensitivity vs threshold-free GBABS "
+      "(DT accuracy, 20% class noise)",
+      config);
+
+  const std::vector<double> thresholds = {0.85, 0.90, 0.95, 1.00};
+  TablePrinter table({8, 9, 9, 9, 9, 10, 10});
+  std::vector<std::string> header = {"dataset"};
+  for (double t : thresholds) {
+    header.push_back("GGBS@" + TablePrinter::Num(t, 2));
+  }
+  header.push_back("GGBS_best");
+  header.push_back("GBABS");
+  table.PrintRow(header);
+  table.PrintSeparator();
+
+  struct Row {
+    std::vector<double> ggbs;
+    double gbabs = 0.0;
+  };
+  std::vector<Row> rows(13);
+  ParallelFor(13, config.num_threads, [&](int d) {
+    Pcg32 rng(config.seed + d, /*stream=*/21);
+    Dataset noisy = MakePaperDataset(d, config.max_samples, config.seed);
+    InjectClassNoise(&noisy, 0.20, &rng);
+    Row row;
+    for (double t : thresholds) {
+      PurityGbgConfig gbg;
+      gbg.purity_threshold = t;
+      row.ggbs.push_back(CvAccuracy(noisy, GgbsSampler(gbg), 3, &rng));
+    }
+    row.gbabs = CvAccuracy(noisy, GbabsSampler(), 3, &rng);
+    rows[d] = std::move(row);
+  });
+
+  int gbabs_beats_best = 0;
+  for (int d = 0; d < 13; ++d) {
+    std::vector<std::string> cells = {PaperDatasetSpecs()[d].id};
+    double best = 0.0;
+    for (double acc : rows[d].ggbs) {
+      cells.push_back(TablePrinter::Num(acc));
+      best = std::max(best, acc);
+    }
+    cells.push_back(TablePrinter::Num(best));
+    cells.push_back(TablePrinter::Num(rows[d].gbabs));
+    if (rows[d].gbabs >= best) ++gbabs_beats_best;
+    table.PrintRow(cells);
+  }
+  table.PrintSeparator();
+  std::printf(
+      "GBABS (no threshold) matches or beats the best GGBS threshold on "
+      "%d/13 datasets — and GGBS's best threshold varies per dataset, so "
+      "picking it requires exactly the search the paper eliminates.\n",
+      gbabs_beats_best);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table I: the 13 evaluation datasets. Prints the paper's published
+// statistics next to the realized statistics of the synthetic stand-ins
+// (size cap applies in scaled mode).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/paper_suite.h"
+#include "exp/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Table I: dataset suite", config);
+
+  TablePrinter table({4, 16, 9, 9, 8, 9, 10, 10, 8});
+  table.PrintRow({"id", "name", "paper_N", "gen_N", "feats", "classes",
+                  "paper_IR", "gen_IR", "source"});
+  table.PrintSeparator();
+  const auto& specs = PaperDatasetSpecs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Dataset ds = MakePaperDataset(static_cast<int>(i),
+                                        config.max_samples, config.seed);
+    table.PrintRow({specs[i].id, specs[i].name,
+                    std::to_string(specs[i].samples),
+                    std::to_string(ds.size()),
+                    std::to_string(specs[i].features),
+                    std::to_string(specs[i].classes),
+                    TablePrinter::Num(specs[i].imbalance_ratio, 2),
+                    TablePrinter::Num(ds.ImbalanceRatio(), 2),
+                    specs[i].source});
+  }
+  return 0;
+}

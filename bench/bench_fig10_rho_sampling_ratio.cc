@@ -1,0 +1,51 @@
+// Fig. 10: sensitivity of the GBABS sampling ratio to the density
+// tolerance rho in {3, 5, ..., 19}, per dataset. Paper shape: curves
+// flatten — the method is insensitive to its only hyperparameter.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/gbabs.h"
+#include "data/paper_suite.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Fig. 10: sampling ratio vs density tolerance rho", config);
+
+  const std::vector<int> rhos = {3, 5, 7, 9, 11, 13, 15, 17, 19};
+  std::vector<std::vector<double>> ratio(13,
+                                         std::vector<double>(rhos.size()));
+  const int jobs = 13 * static_cast<int>(rhos.size());
+  ParallelFor(jobs, config.num_threads, [&](int job) {
+    const int d = job / static_cast<int>(rhos.size());
+    const int ri = job % static_cast<int>(rhos.size());
+    const Dataset ds = MakePaperDataset(d, config.max_samples, config.seed);
+    GbabsConfig gb;
+    gb.gbg.density_tolerance = rhos[ri];
+    gb.gbg.seed = config.seed + d;
+    ratio[d][ri] = RunGbabs(ds, gb).sampling_ratio;
+  });
+
+  TablePrinter table({8, 7, 7, 7, 7, 7, 7, 7, 7, 7, 8});
+  std::vector<std::string> header = {"dataset"};
+  for (int rho : rhos) header.push_back("rho=" + std::to_string(rho));
+  header.push_back("spread");
+  table.PrintRow(header);
+  table.PrintSeparator();
+  for (int d = 0; d < 13; ++d) {
+    std::vector<std::string> row = {PaperDatasetSpecs()[d].id};
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      row.push_back(TablePrinter::Num(ratio[d][ri], 2));
+      lo = std::min(lo, ratio[d][ri]);
+      hi = std::max(hi, ratio[d][ri]);
+    }
+    row.push_back(TablePrinter::Num(hi - lo, 2));
+    table.PrintRow(row);
+  }
+  return 0;
+}

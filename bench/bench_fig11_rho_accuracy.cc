@@ -1,0 +1,68 @@
+// Fig. 11: sensitivity of GBABS-DT testing accuracy to the density
+// tolerance rho in {3, 5, ..., 19}. Paper shape: no significant variation
+// with rho, especially on the larger / higher-dimensional datasets.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "sampling/gbabs_sampler.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Fig. 11: GBABS-DT accuracy vs density tolerance rho",
+               config);
+
+  const std::vector<int> rhos = {3, 5, 7, 9, 11, 13, 15, 17, 19};
+  std::vector<std::vector<double>> acc(13, std::vector<double>(rhos.size()));
+  const int jobs = 13 * static_cast<int>(rhos.size());
+  ParallelFor(jobs, config.num_threads, [&](int job) {
+    const int d = job / static_cast<int>(rhos.size());
+    const int ri = job % static_cast<int>(rhos.size());
+    const Dataset ds = MakePaperDataset(d, config.max_samples, config.seed);
+    Pcg32 rng(config.seed + job, /*stream=*/11);
+    GbabsConfig gb;
+    gb.gbg.density_tolerance = rhos[ri];
+    const GbabsSampler sampler(gb);
+
+    std::vector<double> fold_accs;
+    const auto folds = StratifiedKFold(ds, config.cv_folds, &rng);
+    for (const auto& test_idx : folds) {
+      const Dataset train =
+          ds.Subset(FoldComplement(test_idx, ds.size()));
+      const Dataset test = ds.Subset(test_idx);
+      Dataset sampled = sampler.Sample(train, &rng);
+      if (sampled.size() < 2) sampled = train;
+      DecisionTreeClassifier dt;
+      dt.Fit(sampled, &rng);
+      fold_accs.push_back(Accuracy(test.y(), dt.PredictBatch(test.x())));
+    }
+    acc[d][ri] = Mean(fold_accs);
+  });
+
+  TablePrinter table({8, 7, 7, 7, 7, 7, 7, 7, 7, 7, 8});
+  std::vector<std::string> header = {"dataset"};
+  for (int rho : rhos) header.push_back("rho=" + std::to_string(rho));
+  header.push_back("spread");
+  table.PrintRow(header);
+  table.PrintSeparator();
+  for (int d = 0; d < 13; ++d) {
+    std::vector<std::string> row = {PaperDatasetSpecs()[d].id};
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      row.push_back(TablePrinter::Num(acc[d][ri], 2));
+      lo = std::min(lo, acc[d][ri]);
+      hi = std::max(hi, acc[d][ri]);
+    }
+    row.push_back(TablePrinter::Num(hi - lo, 2));
+    table.PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 5: t-SNE visualization of datasets S5, S1, S3 and S6. Embeds a
+// subsample of each dataset to 2-D, writes the embeddings to CSV
+// (fig5_<id>_embedding.csv next to the binary's CWD) and prints a
+// class-separation summary: the paper's qualitative claims are that S5 has
+// a simple boundary, S1 a complex one, S3 heavily overlapping classes and
+// S6 clear multi-class structure.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/paper_suite.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "viz/tsne.h"
+
+namespace gbx {
+namespace {
+
+/// Mean intra-class over mean inter-class pairwise distance in the
+/// embedding: lower = better visual separation.
+double SeparationScore(const Matrix& y, const std::vector<int>& labels) {
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int j = i + 1; j < y.rows(); ++j) {
+      const double d = EuclideanDistance(y.Row(i), y.Row(j), y.cols());
+      if (labels[i] == labels[j]) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  if (intra_n == 0 || inter_n == 0) return 1.0;
+  return (intra / intra_n) / (inter / inter_n);
+}
+
+}  // namespace
+}  // namespace gbx
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Fig. 5: t-SNE visualization of S5, S1, S3, S6", config);
+
+  const std::vector<std::string> ids = {"S5", "S1", "S3", "S6"};
+  const int subsample = config.full ? 2000 : 600;
+
+  TablePrinter table({8, 8, 10, 12, 24});
+  table.PrintRow({"dataset", "points", "classes", "separation",
+                  "embedding csv"});
+  table.PrintSeparator();
+  for (const std::string& id : ids) {
+    Dataset ds = MakePaperDataset(id, config.max_samples, config.seed);
+    if (ds.size() > subsample) {
+      Pcg32 rng(config.seed, /*stream=*/3);
+      std::vector<int> idx =
+          rng.SampleWithoutReplacement(ds.size(), subsample);
+      std::sort(idx.begin(), idx.end());
+      ds = ds.Subset(idx);
+    }
+    TsneConfig tsne_cfg;
+    tsne_cfg.iterations = config.full ? 500 : 300;
+    tsne_cfg.seed = config.seed;
+    const Matrix embedding = RunTsne(ds.x(), tsne_cfg);
+
+    const std::string path = "fig5_" + id + "_embedding.csv";
+    const Dataset out(embedding, ds.y());
+    const Status status = SaveCsv(out, path);
+    table.PrintRow({id, std::to_string(ds.size()),
+                    std::to_string(ds.num_classes()),
+                    TablePrinter::Num(SeparationScore(embedding, ds.y()), 3),
+                    status.ok() ? path : status.ToString()});
+  }
+  std::printf(
+      "separation < 1 means classes form visible clusters; S3 should score "
+      "closest to 1 (overlapping classes), S6 lowest (clear boundaries).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 6(a)-(f): sampling ratio of GBABS vs GGBS on every dataset at class
+// noise ratios 0/5/10/20/30/40%. Paper shape: GBABS always compresses;
+// GGBS's ratio collapses to ~1.0 as noise rises (its purity-threshold GBG
+// cannot stop splitting).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/gbabs.h"
+#include "data/noise.h"
+#include "data/paper_suite.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "sampling/ggbs.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Fig. 6: sampling ratio, GBABS vs GGBS, per noise ratio",
+               config);
+
+  const auto noise_grid = NoiseGridWithClean();
+  const int num_datasets = 13;
+
+  struct Cell {
+    double gbabs = 0.0;
+    double ggbs = 0.0;
+  };
+  std::vector<std::vector<Cell>> cells(
+      noise_grid.size(), std::vector<Cell>(num_datasets));
+
+  const int jobs = static_cast<int>(noise_grid.size()) * num_datasets;
+  ParallelFor(jobs, config.num_threads, [&](int job) {
+    const int noise_idx = job / num_datasets;
+    const int ds_idx = job % num_datasets;
+    Pcg32 rng(config.seed + job, /*stream=*/77);
+    Dataset ds = MakePaperDataset(ds_idx, config.max_samples, config.seed);
+    if (noise_grid[noise_idx] > 0.0) {
+      InjectClassNoise(&ds, noise_grid[noise_idx], &rng);
+    }
+    GbabsConfig gb;
+    gb.gbg.seed = config.seed + job;
+    cells[noise_idx][ds_idx].gbabs = RunGbabs(ds, gb).sampling_ratio;
+    GgbsSampler ggbs;
+    cells[noise_idx][ds_idx].ggbs =
+        static_cast<double>(ggbs.SampleIndices(ds, &rng).size()) / ds.size();
+  });
+
+  for (std::size_t ni = 0; ni < noise_grid.size(); ++ni) {
+    PrintBanner("Fig. 6(" + std::string(1, static_cast<char>('a' + ni)) +
+                "): noise ratio " +
+                TablePrinter::Num(noise_grid[ni] * 100, 0) + "%");
+    TablePrinter table({8, 8, 8});
+    table.PrintRow({"dataset", "GBABS", "GGBS"});
+    table.PrintSeparator();
+    double gbabs_wins = 0;
+    for (int d = 0; d < num_datasets; ++d) {
+      table.PrintRow({PaperDatasetSpecs()[d].id,
+                      TablePrinter::Num(cells[ni][d].gbabs, 2),
+                      TablePrinter::Num(cells[ni][d].ggbs, 2)});
+      if (cells[ni][d].gbabs < cells[ni][d].ggbs) ++gbabs_wins;
+    }
+    table.PrintSeparator();
+    std::printf("GBABS lower ratio on %.0f/13 datasets\n", gbabs_wins);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 7: distribution (ridge plot) of testing accuracy for XGBoost under
+// GBABS / GGBS / SRS / raw training at noise ratios 10% and 30%. Paper
+// shape: the GBABS curve is shifted right and more concentrated.
+#include "bench_util.h"
+#include "ml/classifier.h"
+
+int main(int argc, char** argv) {
+  return gbx::RunAccuracyDistributionFigure(
+      "Fig. 7: XGBoost accuracy distributions",
+      static_cast<int>(gbx::ClassifierKind::kXgBoost), {0.10, 0.30}, argc,
+      argv);
+}

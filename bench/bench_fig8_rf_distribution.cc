@@ -1,0 +1,13 @@
+// Fig. 8: distribution (ridge plot) of testing accuracy for Random Forest
+// under GBABS / GGBS / SRS / raw training at noise ratios 20% and 40%.
+// Paper shape: at 40% the GBABS-RF density peaks around 0.55-0.6, clearly
+// right of the others.
+#include "bench_util.h"
+#include "ml/classifier.h"
+
+int main(int argc, char** argv) {
+  return gbx::RunAccuracyDistributionFigure(
+      "Fig. 8: Random Forest accuracy distributions",
+      static_cast<int>(gbx::ClassifierKind::kRandomForest), {0.20, 0.40},
+      argc, argv);
+}

@@ -1,0 +1,77 @@
+// Runtime study backing the paper's efficiency claims (§IV-B3 / §IV-C):
+// wall-clock sampling time for every method as N grows, and the
+// downstream classifier speedup from training on the sampled set. GBABS
+// is expected to scale near-linearly, while sample-level borderline
+// methods (Tomek) and oversamplers pay neighbor searches over all N.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "exp/table_printer.h"
+#include "ml/decision_tree.h"
+#include "sampling/sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Runtime scaling: sampler cost and DT speedup vs N", config);
+
+  const std::vector<int> sizes =
+      config.full ? std::vector<int>{2000, 8000, 32000}
+                  : std::vector<int>{1000, 2000, 4000, 8000};
+  const std::vector<SamplerKind> kinds = {
+      SamplerKind::kGbabs,          SamplerKind::kGgbs,
+      SamplerKind::kIgbs,           SamplerKind::kSrs,
+      SamplerKind::kSmote,          SamplerKind::kBorderlineSmote,
+      SamplerKind::kSmotenc,        SamplerKind::kTomek};
+
+  TablePrinter table({8, 8, 12, 10, 12, 12});
+  table.PrintRow({"N", "sampler", "sample_ms", "ratio", "dt_fit_ms",
+                  "dt_full_ms"});
+  table.PrintSeparator();
+  for (int n : sizes) {
+    BlobsConfig data_cfg;
+    data_cfg.num_samples = n;
+    data_cfg.num_classes = 3;
+    data_cfg.num_features = 8;
+    data_cfg.class_weights = {4, 2, 1};
+    data_cfg.center_spread = 5.0 * std::sqrt(n / 1000.0);
+    data_cfg.cluster_std = 0.9;
+    Pcg32 gen(config.seed + n);
+    const Dataset ds = MakeGaussianBlobs(data_cfg, &gen);
+
+    // Baseline: DT on the full data.
+    Stopwatch full_watch;
+    {
+      DecisionTreeClassifier dt;
+      Pcg32 rng(1);
+      dt.Fit(ds, &rng);
+    }
+    const double dt_full_ms = full_watch.ElapsedMillis();
+
+    for (SamplerKind kind : kinds) {
+      const std::unique_ptr<Sampler> sampler = MakeSampler(kind);
+      Pcg32 rng(config.seed);
+      Stopwatch sample_watch;
+      const Dataset sampled = sampler->Sample(ds, &rng);
+      const double sample_ms = sample_watch.ElapsedMillis();
+
+      Stopwatch fit_watch;
+      DecisionTreeClassifier dt;
+      Pcg32 fit_rng(2);
+      dt.Fit(sampled, &fit_rng);
+      const double fit_ms = fit_watch.ElapsedMillis();
+
+      table.PrintRow({std::to_string(n), sampler->name(),
+                      TablePrinter::Num(sample_ms, 1),
+                      TablePrinter::Num(
+                          static_cast<double>(sampled.size()) / ds.size(), 2),
+                      TablePrinter::Num(fit_ms, 1),
+                      TablePrinter::Num(dt_full_ms, 1)});
+    }
+    table.PrintSeparator();
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table III: Wilcoxon signed-rank tests comparing GBABS-DT against
+// GGBS-DT, SRS-DT and plain DT over the 13 per-dataset accuracies of
+// Table II. Paper shape: all three comparisons significant at alpha=0.05.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/paper_suite.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "stats/wilcoxon.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("Table III: Wilcoxon signed-rank on Table II accuracies",
+               config);
+  const ExperimentRunner runner(config);
+
+  const std::vector<SamplerKind> samplers = {
+      SamplerKind::kGbabs, SamplerKind::kGgbs, SamplerKind::kSrs,
+      SamplerKind::kNone};
+  std::vector<EvalRequest> requests;
+  for (int d = 0; d < 13; ++d) {
+    for (SamplerKind s : samplers) {
+      EvalRequest r;
+      r.dataset_index = d;
+      r.sampler = s;
+      r.classifier = ClassifierKind::kDecisionTree;
+      requests.push_back(r);
+    }
+  }
+  const std::vector<EvalResult> results = runner.EvaluateAll(requests);
+
+  std::vector<std::vector<double>> accs(samplers.size(),
+                                        std::vector<double>(13));
+  for (int d = 0; d < 13; ++d) {
+    for (std::size_t s = 0; s < samplers.size(); ++s) {
+      accs[s][d] = results[d * samplers.size() + s].mean_accuracy;
+    }
+  }
+
+  TablePrinter table({26, 12, 14, 8});
+  table.PrintRow({"Comparison", "p-value", "Significant?", "mode"});
+  table.PrintSeparator();
+  const std::vector<std::string> names = {"GGBS-DT", "SRS-DT", "DT"};
+  for (std::size_t s = 1; s < samplers.size(); ++s) {
+    const WilcoxonResult w = WilcoxonSignedRank(accs[0], accs[s]);
+    table.PrintRow({"GBABS-DT vs. " + names[s - 1],
+                    TablePrinter::Num(w.p_value, 6),
+                    w.p_value < 0.05 ? "Significant" : "n.s.",
+                    w.exact ? "exact" : "normal"});
+  }
+  return 0;
+}

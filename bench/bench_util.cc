@@ -1,0 +1,140 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "data/paper_suite.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "stats/kde.h"
+
+namespace gbx {
+
+void PrintRunMode(const std::string& experiment_name,
+                  const ExperimentConfig& config) {
+  std::printf("### %s\n", experiment_name.c_str());
+  if (config.full) {
+    std::printf("mode: FULL (paper scale; %d-fold CV x %d repeats)\n",
+                config.cv_folds, config.cv_repeats);
+  } else {
+    std::printf(
+        "mode: SCALED (datasets capped at %d samples, %d-fold CV x %d "
+        "repeat(s), trimmed ensembles; pass --full or GBX_FULL=1 for paper "
+        "scale)\n",
+        config.max_samples, config.cv_folds, config.cv_repeats);
+  }
+  std::printf("seed: %llu\n",
+              static_cast<unsigned long long>(config.seed));
+}
+
+std::vector<std::string> AllDatasetIds() {
+  std::vector<std::string> ids;
+  for (const auto& spec : PaperDatasetSpecs()) ids.push_back(spec.id);
+  return ids;
+}
+
+std::vector<double> NoiseGridWithClean() {
+  return {0.0, 0.05, 0.10, 0.20, 0.30, 0.40};
+}
+
+std::vector<double> NoiseGridNoisyOnly() {
+  return {0.05, 0.10, 0.20, 0.30, 0.40};
+}
+
+int RunAccuracyDistributionFigure(const std::string& figure_name,
+                                  int classifier_kind_int,
+                                  const std::vector<double>& noise_ratios,
+                                  int argc, char** argv) {
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode(figure_name, config);
+  const ExperimentRunner runner(config);
+  const auto classifier = static_cast<ClassifierKind>(classifier_kind_int);
+
+  const std::vector<SamplerKind> samplers = {
+      SamplerKind::kGbabs, SamplerKind::kGgbs, SamplerKind::kSrs,
+      SamplerKind::kNone};
+
+  std::vector<EvalRequest> requests;
+  for (double noise : noise_ratios) {
+    for (SamplerKind s : samplers) {
+      for (int d = 0; d < 13; ++d) {
+        EvalRequest r;
+        r.dataset_index = d;
+        r.noise_ratio = noise;
+        r.sampler = s;
+        r.classifier = classifier;
+        requests.push_back(r);
+      }
+    }
+  }
+  const std::vector<EvalResult> results = runner.EvaluateAll(requests);
+
+  std::size_t idx = 0;
+  for (double noise : noise_ratios) {
+    PrintBanner("Noise ratio " + TablePrinter::Num(noise * 100, 0) +
+                "%: per-dataset accuracy");
+    TablePrinter table({8, 8, 8, 8, 8});
+    std::vector<std::string> header = {"dataset"};
+    const std::string clf_name = ClassifierKindName(classifier);
+    for (SamplerKind s : samplers) {
+      header.push_back(s == SamplerKind::kNone ? "Ori" : SamplerKindName(s));
+    }
+    table.PrintRow(header);
+    table.PrintSeparator();
+
+    // accs[s] = 13 per-dataset accuracies for sampler s at this noise.
+    std::vector<std::vector<double>> accs(samplers.size(),
+                                          std::vector<double>(13));
+    for (std::size_t s = 0; s < samplers.size(); ++s) {
+      for (int d = 0; d < 13; ++d) {
+        accs[s][d] = results[idx++].mean_accuracy;
+      }
+    }
+    for (int d = 0; d < 13; ++d) {
+      std::vector<std::string> row = {PaperDatasetSpecs()[d].id};
+      for (std::size_t s = 0; s < samplers.size(); ++s) {
+        row.push_back(TablePrinter::Num(accs[s][d]));
+      }
+      table.PrintRow(row);
+    }
+
+    // KDE ridge series over accuracy in [0.3, 1.0] (matches the figure's
+    // x-axis span) — 15 sample points per method.
+    PrintBanner("Noise ratio " + TablePrinter::Num(noise * 100, 0) +
+                "%: KDE density series (ridge plot curves)");
+    const int kde_points = 15;
+    TablePrinter kde_table({12, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7});
+    std::vector<std::string> kde_header = {"method"};
+    for (int i = 0; i < kde_points; ++i) {
+      const double x = 0.3 + 0.7 * i / (kde_points - 1);
+      kde_header.push_back(TablePrinter::Num(x, 2));
+    }
+    kde_table.PrintRow(kde_header);
+    kde_table.PrintSeparator();
+    for (std::size_t s = 0; s < samplers.size(); ++s) {
+      const std::vector<double> curve =
+          KdeCurve(accs[s], 0.3, 1.0, kde_points);
+      std::vector<std::string> row = {
+          (samplers[s] == SamplerKind::kNone
+               ? clf_name
+               : SamplerKindName(samplers[s]) + "-" + clf_name)};
+      for (double v : curve) row.push_back(TablePrinter::Num(v, 2));
+      kde_table.PrintRow(row);
+    }
+    // Headline statistic of the figure: mean accuracy per method.
+    std::printf("means:");
+    for (std::size_t s = 0; s < samplers.size(); ++s) {
+      double sum = 0.0;
+      for (double a : accs[s]) sum += a;
+      std::printf(" %s=%.4f",
+                  (samplers[s] == SamplerKind::kNone
+                       ? clf_name
+                       : SamplerKindName(samplers[s]) + "-" + clf_name)
+                      .c_str(),
+                  sum / accs[s].size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace gbx

@@ -1,0 +1,35 @@
+// Shared helpers for the table/figure harness binaries.
+#ifndef GBX_BENCH_BENCH_UTIL_H_
+#define GBX_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment_config.h"
+
+namespace gbx {
+
+/// Prints the standard harness preamble: mode (scaled/full), dataset cap,
+/// CV protocol.
+void PrintRunMode(const std::string& experiment_name,
+                  const ExperimentConfig& config);
+
+/// "S1".."S13".
+std::vector<std::string> AllDatasetIds();
+
+/// Per-figure noise grids: Fig. 6/9 include the clean case.
+std::vector<double> NoiseGridWithClean();
+std::vector<double> NoiseGridNoisyOnly();
+
+/// Shared implementation of the ridge-plot figures (Figs. 7 and 8):
+/// evaluates one classifier under GBABS/GGBS/SRS/none sampling at two
+/// noise ratios, prints the per-dataset accuracies and a Gaussian-KDE
+/// density series per method.
+int RunAccuracyDistributionFigure(const std::string& figure_name,
+                                  int classifier_kind_int,
+                                  const std::vector<double>& noise_ratios,
+                                  int argc, char** argv);
+
+}  // namespace gbx
+
+#endif  // GBX_BENCH_BENCH_UTIL_H_

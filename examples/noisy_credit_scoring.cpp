@@ -1,0 +1,81 @@
+// Scenario: credit-risk screening with mislabeled records. The dataset is
+// imbalanced (few defaults) and 20% of the training labels are wrong —
+// exactly the regime §V-E of the paper targets. We compare every sampler
+// in the library by the G-mean of a random-forest screener.
+//
+//   $ ./noisy_credit_scoring
+#include <cstdio>
+
+#include "gbx/gbx.h"
+
+int main() {
+  using namespace gbx;
+
+  // Credit-approval-like data: 15 features, IR ~8, blurred boundary.
+  HighDimConfig data_cfg;
+  data_cfg.num_samples = 3000;
+  data_cfg.num_features = 15;
+  data_cfg.num_informative = 6;
+  data_cfg.num_classes = 2;
+  data_cfg.class_weights = {8.0, 1.0};  // defaults are rare
+  data_cfg.class_sep = 1.2;
+  data_cfg.clusters_per_class = 2;
+  Pcg32 data_rng(2024);
+  const Dataset all = MakeInformativeHighDim(data_cfg, &data_rng);
+
+  Pcg32 split_rng(3);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+
+  // Corrupt 20% of the *training* labels (mislabeled credit outcomes).
+  Dataset train = split.train;
+  Pcg32 noise_rng(4);
+  InjectClassNoise(&train, 0.20, &noise_rng);
+  std::printf(
+      "train: %d samples (IR %.1f), 20%% labels corrupted; test: %d clean "
+      "samples\n",
+      train.size(), train.ImbalanceRatio(), split.test.size());
+
+  std::printf("\n%-8s %10s %10s %10s %10s\n", "sampler", "kept", "ratio",
+              "accuracy", "g-mean");
+  for (SamplerKind kind :
+       {SamplerKind::kNone, SamplerKind::kGbabs, SamplerKind::kGgbs,
+        SamplerKind::kIgbs, SamplerKind::kSmote,
+        SamplerKind::kBorderlineSmote, SamplerKind::kSmotenc,
+        SamplerKind::kTomek}) {
+    const std::unique_ptr<Sampler> sampler = MakeSampler(kind);
+    Pcg32 rng(5);
+    const Dataset sampled = sampler->Sample(train, &rng);
+
+    RandomForestConfig rf_cfg;
+    rf_cfg.num_trees = 60;
+    RandomForestClassifier rf(rf_cfg);
+    Pcg32 fit_rng(6);
+    rf.Fit(sampled, &fit_rng);
+    const std::vector<int> pred = rf.PredictBatch(split.test.x());
+    std::printf("%-8s %10d %10.2f %10.4f %10.4f\n", sampler->name().c_str(),
+                sampled.size(),
+                static_cast<double>(sampled.size()) / train.size(),
+                Accuracy(split.test.y(), pred),
+                GMean(split.test.y(), pred, all.num_classes()));
+  }
+  std::printf(
+      "\nGBABS shrinks the noisy training set while keeping the screening "
+      "G-mean competitive — the paper's §V-D/§V-E behaviour.\n");
+
+  // Detailed per-class report for the GBABS-trained screener.
+  {
+    Pcg32 rng(5);
+    const Dataset sampled =
+        MakeSampler(SamplerKind::kGbabs)->Sample(train, &rng);
+    RandomForestConfig rf_cfg;
+    rf_cfg.num_trees = 60;
+    RandomForestClassifier rf(rf_cfg);
+    Pcg32 fit_rng(6);
+    rf.Fit(sampled, &fit_rng);
+    const ClassificationReport report = BuildClassificationReport(
+        split.test.y(), rf.PredictBatch(split.test.x()), all.num_classes());
+    std::printf("\nGBABS-RF classification report (class 1 = default):\n%s",
+                report.ToString().c_str());
+  }
+  return 0;
+}

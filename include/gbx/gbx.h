@@ -1,0 +1,83 @@
+// Umbrella header for the gbx library: a from-scratch C++20 reproduction
+// of "Approximate Borderline Sampling using Granular-Ball for
+// Classification Tasks" (Xie, Zhang, Xia — ICDE 2025).
+//
+// Quickstart:
+//
+//   #include "gbx/gbx.h"
+//
+//   gbx::Dataset data = ...;                 // features + labels
+//   gbx::GbabsConfig cfg;                    // rho = 5 by default
+//   gbx::GbabsResult res = gbx::RunGbabs(data, cfg);
+//   // res.sampled is the borderline training set; res.gbg.balls the
+//   // non-overlapping pure granular balls RD-GBG generated.
+//
+// Subsystem headers can also be included individually (src/<lib>/*.h).
+#ifndef GBX_GBX_H_
+#define GBX_GBX_H_
+
+#include "common/check.h"       // IWYU pragma: export
+#include "common/matrix.h"      // IWYU pragma: export
+#include "common/rng.h"         // IWYU pragma: export
+#include "common/status.h"      // IWYU pragma: export
+#include "common/stopwatch.h"   // IWYU pragma: export
+
+#include "data/arff.h"          // IWYU pragma: export
+#include "data/csv.h"           // IWYU pragma: export
+#include "data/dataset.h"       // IWYU pragma: export
+#include "data/noise.h"         // IWYU pragma: export
+#include "data/paper_suite.h"   // IWYU pragma: export
+#include "data/scaler.h"        // IWYU pragma: export
+#include "data/split.h"         // IWYU pragma: export
+#include "data/synthetic.h"     // IWYU pragma: export
+#include "data/validate.h"      // IWYU pragma: export
+
+#include "index/brute_force.h"  // IWYU pragma: export
+#include "index/kd_tree.h"      // IWYU pragma: export
+
+#include "core/gb_io.h"         // IWYU pragma: export
+#include "core/gbabs.h"         // IWYU pragma: export
+#include "core/granular_ball.h" // IWYU pragma: export
+#include "core/rd_gbg.h"        // IWYU pragma: export
+
+#include "sampling/borderline_smote.h"  // IWYU pragma: export
+#include "sampling/gbabs_sampler.h"     // IWYU pragma: export
+#include "sampling/ggbs.h"              // IWYU pragma: export
+#include "sampling/igbs.h"              // IWYU pragma: export
+#include "sampling/kmeans.h"            // IWYU pragma: export
+#include "sampling/purity_gbg.h"        // IWYU pragma: export
+#include "sampling/sampler.h"           // IWYU pragma: export
+#include "sampling/smote.h"             // IWYU pragma: export
+#include "sampling/smotenc.h"           // IWYU pragma: export
+#include "sampling/srs.h"               // IWYU pragma: export
+#include "sampling/tomek.h"             // IWYU pragma: export
+
+#include "ml/classifier.h"      // IWYU pragma: export
+#include "ml/decision_tree.h"   // IWYU pragma: export
+#include "ml/gb_knn.h"          // IWYU pragma: export
+#include "ml/linear_svm.h"      // IWYU pragma: export
+#include "ml/knn.h"             // IWYU pragma: export
+#include "ml/lgbm.h"            // IWYU pragma: export
+#include "ml/metrics.h"         // IWYU pragma: export
+#include "ml/naive_bayes.h"     // IWYU pragma: export
+#include "ml/report.h"          // IWYU pragma: export
+#include "ml/random_forest.h"   // IWYU pragma: export
+#include "ml/xgb.h"             // IWYU pragma: export
+
+#include "stats/descriptive.h"  // IWYU pragma: export
+#include "stats/kde.h"          // IWYU pragma: export
+#include "stats/ranking.h"      // IWYU pragma: export
+#include "stats/wilcoxon.h"     // IWYU pragma: export
+
+#include "viz/pca.h"            // IWYU pragma: export
+#include "viz/tsne.h"           // IWYU pragma: export
+
+#include "cluster/dpc.h"              // IWYU pragma: export
+#include "cluster/unsupervised_gbg.h" // IWYU pragma: export
+
+#include "exp/experiment_config.h"  // IWYU pragma: export
+#include "exp/result_io.h"          // IWYU pragma: export
+#include "exp/runner.h"             // IWYU pragma: export
+#include "exp/table_printer.h"      // IWYU pragma: export
+
+#endif  // GBX_GBX_H_

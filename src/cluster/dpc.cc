@@ -1,0 +1,139 @@
+#include "cluster/dpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace gbx {
+
+namespace {
+
+/// Shared DPC core over a point set with per-point mass weights.
+DpcResult DpcCore(const Matrix& points, const std::vector<double>& weights,
+                  const DpcConfig& config) {
+  const int n = points.rows();
+  const int d = points.cols();
+  const int k = std::min(config.num_clusters, n);
+  GBX_CHECK_GE(k, 1);
+
+  DpcResult result;
+  result.density.assign(n, 0.0);
+  result.delta.assign(n, 0.0);
+  result.assignments.assign(n, -1);
+
+  // Pairwise distances.
+  std::vector<double> dist(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = EuclideanDistance(points.Row(i), points.Row(j), d);
+      dist[static_cast<std::size_t>(i) * n + j] = v;
+      dist[static_cast<std::size_t>(j) * n + i] = v;
+      all.push_back(v);
+    }
+  }
+
+  // Cutoff distance: dc_quantile of pairwise distances (>= tiny epsilon).
+  double dc = 1e-9;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    const std::size_t pos = static_cast<std::size_t>(
+        std::min<double>(all.size() - 1, config.dc_quantile * all.size()));
+    dc = std::max(all[pos], 1e-9);
+  }
+
+  // Gaussian-kernel density, weighted by point mass.
+  for (int i = 0; i < n; ++i) {
+    double rho = weights[i];  // self-mass
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double r = dist[static_cast<std::size_t>(i) * n + j] / dc;
+      rho += weights[j] * std::exp(-r * r);
+    }
+    result.density[i] = rho;
+  }
+
+  // delta: distance to the nearest point of strictly higher density
+  // (ties broken by index so delta is well defined on plateaus).
+  std::vector<int> nearest_denser(n, -1);
+  double max_delta = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_j = -1;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const bool denser = result.density[j] > result.density[i] ||
+                          (result.density[j] == result.density[i] && j < i);
+      if (!denser) continue;
+      const double v = dist[static_cast<std::size_t>(i) * n + j];
+      if (v < best) {
+        best = v;
+        best_j = j;
+      }
+    }
+    nearest_denser[i] = best_j;
+    result.delta[i] = best_j < 0 ? 0.0 : best;
+    max_delta = std::max(max_delta, result.delta[i]);
+  }
+  // The global density maximum gets the largest delta by convention.
+  for (int i = 0; i < n; ++i) {
+    if (nearest_denser[i] < 0) result.delta[i] = std::max(max_delta, 1.0);
+  }
+
+  // Peaks: top-k by gamma = rho * delta.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return result.density[a] * result.delta[a] >
+           result.density[b] * result.delta[b];
+  });
+  result.peaks.assign(order.begin(), order.begin() + k);
+  for (int c = 0; c < k; ++c) result.assignments[result.peaks[c]] = c;
+
+  // Assignment pass in decreasing density order: follow nearest-denser.
+  std::vector<int> by_density(n);
+  std::iota(by_density.begin(), by_density.end(), 0);
+  std::stable_sort(by_density.begin(), by_density.end(), [&](int a, int b) {
+    return result.density[a] > result.density[b];
+  });
+  for (int idx : by_density) {
+    if (result.assignments[idx] >= 0) continue;
+    const int up = nearest_denser[idx];
+    GBX_CHECK_GE(up, 0);
+    result.assignments[idx] = result.assignments[up];
+    GBX_CHECK_GE(result.assignments[idx], 0);
+  }
+  return result;
+}
+
+}  // namespace
+
+DpcResult RunDpc(const Matrix& points, const DpcConfig& config) {
+  GBX_CHECK_GT(points.rows(), 0);
+  return DpcCore(points, std::vector<double>(points.rows(), 1.0), config);
+}
+
+GbDpcResult RunGbDpc(const Matrix& points, const DpcConfig& config,
+                     const UnsupervisedGbgConfig& gbg_config) {
+  GbDpcResult result;
+  result.granulation = GenerateUnsupervisedGbg(points, gbg_config);
+  const auto& balls = result.granulation.balls;
+  Matrix centers(static_cast<int>(balls.size()), points.cols());
+  std::vector<double> weights(balls.size());
+  for (std::size_t b = 0; b < balls.size(); ++b) {
+    double* dst = centers.Row(static_cast<int>(b));
+    for (int j = 0; j < points.cols(); ++j) dst[j] = balls[b].center[j];
+    weights[b] = balls[b].size();
+  }
+  result.ball_dpc = DpcCore(centers, weights, config);
+  result.assignments.resize(points.rows());
+  for (int i = 0; i < points.rows(); ++i) {
+    result.assignments[i] =
+        result.ball_dpc.assignments[result.granulation.ball_of_point[i]];
+  }
+  return result;
+}
+
+}  // namespace gbx

@@ -1,0 +1,55 @@
+// Density-peaks clustering (Rodriguez & Laio, Science 2014) and its
+// granular-ball acceleration (after [29] in the paper's related work).
+//
+// Plain DPC is O(n^2): Gaussian-kernel local density rho_i, then
+// delta_i = distance to the nearest higher-density point; the
+// num_clusters points with the highest gamma = rho * delta become peaks
+// and every point follows its nearest-denser neighbor to a peak.
+//
+// GB-DPC first granulates the data without labels (unsupervised_gbg) and
+// runs DPC over ball centroids with density weighted by ball size: the
+// O(m^2) core makes clustering large datasets cheap, and every sample
+// inherits its ball's cluster.
+#ifndef GBX_CLUSTER_DPC_H_
+#define GBX_CLUSTER_DPC_H_
+
+#include "cluster/unsupervised_gbg.h"
+#include "common/matrix.h"
+
+namespace gbx {
+
+struct DpcConfig {
+  int num_clusters = 2;
+  /// Cutoff distance d_c as a quantile of pairwise distances (the paper's
+  /// 1-2% rule of thumb).
+  double dc_quantile = 0.02;
+};
+
+struct DpcResult {
+  /// Cluster id per input row, in [0, num_clusters).
+  std::vector<int> assignments;
+  /// Row ids of the chosen density peaks, one per cluster.
+  std::vector<int> peaks;
+  std::vector<double> density;  // rho per row
+  std::vector<double> delta;    // delta per row
+};
+
+/// Plain O(n^2) density-peaks clustering over the rows of `points`.
+DpcResult RunDpc(const Matrix& points, const DpcConfig& config);
+
+struct GbDpcResult {
+  /// Cluster id per input row.
+  std::vector<int> assignments;
+  /// The granulation used.
+  UnsupervisedGbgResult granulation;
+  /// DPC result over ball centroids (peaks index balls, not rows).
+  DpcResult ball_dpc;
+};
+
+/// Granular-ball accelerated DPC.
+GbDpcResult RunGbDpc(const Matrix& points, const DpcConfig& config,
+                     const UnsupervisedGbgConfig& gbg_config = {});
+
+}  // namespace gbx
+
+#endif  // GBX_CLUSTER_DPC_H_

@@ -1,0 +1,94 @@
+#include "cluster/unsupervised_gbg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/rng.h"
+#include "sampling/kmeans.h"
+
+namespace gbx {
+
+namespace {
+
+UnsupervisedBall Finalize(const std::vector<int>& members,
+                          const Matrix& points) {
+  const int d = points.cols();
+  UnsupervisedBall ball;
+  ball.members = members;
+  std::sort(ball.members.begin(), ball.members.end());
+  ball.center.assign(d, 0.0);
+  for (int idx : ball.members) {
+    const double* row = points.Row(idx);
+    for (int j = 0; j < d; ++j) ball.center[j] += row[j];
+  }
+  for (int j = 0; j < d; ++j) ball.center[j] /= ball.members.size();
+  double sum = 0.0;
+  for (int idx : ball.members) {
+    sum += EuclideanDistance(points.Row(idx), ball.center.data(), d);
+  }
+  ball.radius = sum / ball.members.size();
+  return ball;
+}
+
+}  // namespace
+
+UnsupervisedGbgResult GenerateUnsupervisedGbg(
+    const Matrix& points, const UnsupervisedGbgConfig& config) {
+  GBX_CHECK_GT(points.rows(), 0);
+  const int n = points.rows();
+  int max_size = config.max_ball_size;
+  if (max_size <= 0) {
+    max_size = std::max(2, static_cast<int>(std::sqrt(
+                               static_cast<double>(n))));
+  }
+  Pcg32 rng(config.seed);
+
+  std::deque<std::vector<int>> queue;
+  {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    queue.push_back(std::move(all));
+  }
+
+  UnsupervisedGbgResult result;
+  result.ball_of_point.assign(n, -1);
+  while (!queue.empty()) {
+    std::vector<int> members = std::move(queue.front());
+    queue.pop_front();
+    if (static_cast<int>(members.size()) <= max_size) {
+      const int ball_id = static_cast<int>(result.balls.size());
+      for (int idx : members) result.ball_of_point[idx] = ball_id;
+      result.balls.push_back(Finalize(members, points));
+      continue;
+    }
+    // 2-means split.
+    Matrix sub(static_cast<int>(members.size()), points.cols());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const double* src = points.Row(members[i]);
+      double* dst = sub.Row(static_cast<int>(i));
+      for (int j = 0; j < points.cols(); ++j) dst[j] = src[j];
+    }
+    KMeansConfig km;
+    km.num_clusters = 2;
+    km.max_iterations = 8;
+    const KMeansResult split = RunKMeans(sub, km, &rng);
+    std::vector<int> left;
+    std::vector<int> right;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (split.assignments[i] == 0 ? left : right).push_back(members[i]);
+    }
+    if (left.empty() || right.empty()) {
+      // Duplicate-point degenerate split: finalize as-is.
+      const int ball_id = static_cast<int>(result.balls.size());
+      for (int idx : members) result.ball_of_point[idx] = ball_id;
+      result.balls.push_back(Finalize(members, points));
+      continue;
+    }
+    queue.push_back(std::move(left));
+    queue.push_back(std::move(right));
+  }
+  return result;
+}
+
+}  // namespace gbx

@@ -1,0 +1,44 @@
+// Unsupervised granular-ball generation: recursive 2-means splitting until
+// every ball is small enough. This is the label-free granulation used by
+// the granular-ball clustering line of work the paper's related-work cites
+// ([29] GB density-peaks, [30] GB spectral clustering): the ball set is a
+// compressed sketch of the data on which O(n^2) clustering algorithms
+// become O(m^2), m << n.
+#ifndef GBX_CLUSTER_UNSUPERVISED_GBG_H_
+#define GBX_CLUSTER_UNSUPERVISED_GBG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+struct UnsupervisedBall {
+  std::vector<int> members;     // row ids, sorted
+  std::vector<double> center;   // centroid
+  double radius = 0.0;          // average distance to centroid
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+struct UnsupervisedGbgConfig {
+  /// Split a ball while it holds more than this many points; <= 0 selects
+  /// the common sqrt(n) heuristic.
+  int max_ball_size = -1;
+  std::uint64_t seed = 42;
+};
+
+struct UnsupervisedGbgResult {
+  std::vector<UnsupervisedBall> balls;
+  /// ball id of each input row.
+  std::vector<int> ball_of_point;
+};
+
+/// Granulates `points` without labels. Every row belongs to exactly one
+/// ball.
+UnsupervisedGbgResult GenerateUnsupervisedGbg(
+    const Matrix& points, const UnsupervisedGbgConfig& config = {});
+
+}  // namespace gbx
+
+#endif  // GBX_CLUSTER_UNSUPERVISED_GBG_H_

@@ -1,0 +1,45 @@
+// Lightweight CHECK macros in the spirit of glog/absl, used for internal
+// invariants. A failed check prints the condition and location and aborts.
+//
+// GBX_CHECK(cond)    — always evaluated.
+// GBX_DCHECK(cond)   — evaluated only in debug builds (NDEBUG off).
+#ifndef GBX_COMMON_CHECK_H_
+#define GBX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gbx::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "GBX_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace gbx::internal
+
+#define GBX_CHECK(cond)                                       \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::gbx::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                         \
+  } while (0)
+
+#define GBX_CHECK_OP(a, op, b) GBX_CHECK((a)op(b))
+#define GBX_CHECK_EQ(a, b) GBX_CHECK_OP(a, ==, b)
+#define GBX_CHECK_NE(a, b) GBX_CHECK_OP(a, !=, b)
+#define GBX_CHECK_LT(a, b) GBX_CHECK_OP(a, <, b)
+#define GBX_CHECK_LE(a, b) GBX_CHECK_OP(a, <=, b)
+#define GBX_CHECK_GT(a, b) GBX_CHECK_OP(a, >, b)
+#define GBX_CHECK_GE(a, b) GBX_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define GBX_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GBX_DCHECK(cond) GBX_CHECK(cond)
+#endif
+
+#endif  // GBX_COMMON_CHECK_H_

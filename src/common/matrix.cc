@@ -1,0 +1,59 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace gbx {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  Matrix m;
+  for (const auto& row : rows) {
+    std::vector<double> tmp(row);
+    m.AppendRow(tmp.data(), static_cast<int>(tmp.size()));
+  }
+  return m;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (int i = 0; i < out.rows(); ++i) {
+    const int src = indices[i];
+    GBX_CHECK(src >= 0 && src < rows_);
+    const double* s = Row(src);
+    double* d = out.Row(i);
+    for (int c = 0; c < cols_; ++c) d[c] = s[c];
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.rows() == 0) return;
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = other.cols();
+  }
+  GBX_CHECK_EQ(cols_, other.cols());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows();
+}
+
+void Matrix::AppendRow(const double* row, int n) {
+  if (rows_ == 0 && cols_ == 0) cols_ = n;
+  GBX_CHECK_EQ(cols_, n);
+  data_.insert(data_.end(), row, row + n);
+  ++rows_;
+}
+
+double SquaredDistance(const double* a, const double* b, int d) {
+  double s = 0.0;
+  for (int i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double EuclideanDistance(const double* a, const double* b, int d) {
+  return std::sqrt(SquaredDistance(a, b, d));
+}
+
+}  // namespace gbx

@@ -1,0 +1,79 @@
+// Dense row-major matrix of doubles. The numeric workhorse for datasets,
+// distance computation, and the linear algebra used by PCA/t-SNE. Kept
+// deliberately small: rows are contiguous so distance kernels can work on
+// raw pointers.
+#ifndef GBX_COMMON_MATRIX_H_
+#define GBX_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gbx {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    GBX_CHECK_GE(rows, 0);
+    GBX_CHECK_GE(cols, 0);
+  }
+
+  /// Builds a matrix from nested braces: Matrix::FromRows({{1,2},{3,4}}).
+  static Matrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(int r, int c) {
+    GBX_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+    GBX_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Pointer to the contiguous row r (cols() doubles).
+  double* Row(int r) {
+    GBX_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  const double* Row(int r) const {
+    GBX_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  /// New matrix containing the given rows, in order.
+  Matrix SelectRows(const std::vector<int>& indices) const;
+
+  /// Appends all rows of `other` (must have matching cols, or this empty).
+  void AppendRows(const Matrix& other);
+
+  /// Appends one row given as a span of cols() doubles.
+  void AppendRow(const double* row, int n);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance between two length-d vectors.
+double SquaredDistance(const double* a, const double* b, int d);
+
+/// Euclidean distance between two length-d vectors.
+double EuclideanDistance(const double* a, const double* b, int d);
+
+}  // namespace gbx
+
+#endif  // GBX_COMMON_MATRIX_H_

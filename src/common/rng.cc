@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gbx {
+
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Pcg32::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  GBX_CHECK_GT(bound, 0u);
+  // Lemire-style rejection: threshold = 2^32 mod bound.
+  std::uint32_t threshold = (~bound + 1u) % bound;
+  for (;;) {
+    std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  return NextU32() * (1.0 / 4294967296.0);
+}
+
+int Pcg32::NextInt(int lo, int hi) {
+  GBX_CHECK_LE(lo, hi);
+  auto span = static_cast<std::uint32_t>(static_cast<std::int64_t>(hi) -
+                                         static_cast<std::int64_t>(lo) + 1);
+  return lo + static_cast<int>(NextBounded(span));
+}
+
+double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return z0;
+}
+
+std::vector<int> Pcg32::SampleWithoutReplacement(int n, int k) {
+  GBX_CHECK_GE(n, 0);
+  GBX_CHECK_GE(k, 0);
+  GBX_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(NextBounded(static_cast<std::uint32_t>(n - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace gbx

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Pcg32 implements the PCG-XSH-RR 64/32 generator (O'Neill, 2014): small
+// state, excellent statistical quality, and — critical for reproducing the
+// paper's experiments — identical streams across platforms and compilers,
+// unlike std::mt19937 paired with unspecified std distributions.
+#ifndef GBX_COMMON_RNG_H_
+#define GBX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gbx {
+
+class Pcg32 {
+ public:
+  /// `seed` selects the stream position, `stream` selects one of 2^63
+  /// independent sequences.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t NextU32();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t NextBounded(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = NextBounded(static_cast<std::uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Sample `k` distinct indices from [0, n) (order unspecified but
+  /// deterministic). Requires k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // UniformRandomBitGenerator interface so Pcg32 can drive std algorithms.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return NextU32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_COMMON_RNG_H_

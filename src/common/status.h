@@ -1,0 +1,109 @@
+// Minimal Status / StatusOr error-handling vocabulary (exception-free, in
+// the spirit of absl::Status). Fallible APIs (I/O, parsing, user-facing
+// configuration) return Status or StatusOr<T>; internal invariants use
+// GBX_CHECK instead.
+#ifndef GBX_COMMON_STATUS_H_
+#define GBX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gbx {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a message. The default
+/// constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing the value of a non-OK
+/// StatusOr is a checked failure.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GBX_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GBX_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    GBX_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    GBX_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GBX_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::gbx::Status _gbx_status = (expr);    \
+    if (!_gbx_status.ok()) return _gbx_status; \
+  } while (0)
+
+}  // namespace gbx
+
+#endif  // GBX_COMMON_STATUS_H_

@@ -1,0 +1,125 @@
+#include "core/gb_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gbx {
+
+std::string GranularBallsToString(const GranularBallSet& balls) {
+  std::ostringstream out;
+  out.precision(17);
+  const Matrix& x = balls.scaled_features();
+  out << "gbx-granular-balls v1\n";
+  out << "dims " << x.cols() << " classes " << balls.num_classes()
+      << " balls " << balls.size() << " samples " << x.rows() << "\n";
+  for (const GranularBall& ball : balls.balls()) {
+    out << "ball " << ball.label << " " << ball.radius << " "
+        << ball.center_index;
+    for (double c : ball.center) out << " " << c;
+    out << " members " << ball.members.size();
+    for (int m : ball.members) out << " " << m;
+    out << "\n";
+  }
+  out << "features\n";
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (int j = 0; j < x.cols(); ++j) {
+      if (j > 0) out << " ";
+      out << row[j];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<GranularBallSet> GranularBallsFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "gbx-granular-balls v1") {
+    return Status::InvalidArgument("bad magic line");
+  }
+  std::string tok;
+  int dims = 0;
+  int classes = 0;
+  int num_balls = 0;
+  int samples = 0;
+  {
+    std::string k1, k2, k3, k4;
+    if (!(in >> k1 >> dims >> k2 >> classes >> k3 >> num_balls >> k4 >>
+          samples) ||
+        k1 != "dims" || k2 != "classes" || k3 != "balls" || k4 != "samples") {
+      return Status::InvalidArgument("bad header line");
+    }
+  }
+  if (dims <= 0 || classes <= 0 || num_balls < 0 || samples < 0) {
+    return Status::InvalidArgument("non-positive header values");
+  }
+
+  std::vector<GranularBall> balls;
+  balls.reserve(num_balls);
+  for (int b = 0; b < num_balls; ++b) {
+    if (!(in >> tok) || tok != "ball") {
+      return Status::InvalidArgument("expected 'ball' record " +
+                                     std::to_string(b));
+    }
+    GranularBall ball;
+    if (!(in >> ball.label >> ball.radius >> ball.center_index)) {
+      return Status::InvalidArgument("truncated ball header");
+    }
+    ball.center.resize(dims);
+    for (int j = 0; j < dims; ++j) {
+      if (!(in >> ball.center[j])) {
+        return Status::InvalidArgument("truncated ball center");
+      }
+    }
+    std::size_t member_count = 0;
+    if (!(in >> tok >> member_count) || tok != "members") {
+      return Status::InvalidArgument("expected member list");
+    }
+    ball.members.resize(member_count);
+    for (std::size_t m = 0; m < member_count; ++m) {
+      if (!(in >> ball.members[m])) {
+        return Status::InvalidArgument("truncated member list");
+      }
+      if (ball.members[m] < 0 || ball.members[m] >= samples) {
+        return Status::OutOfRange("member id out of range");
+      }
+    }
+    if (ball.label < 0 || ball.label >= classes) {
+      return Status::OutOfRange("ball label out of range");
+    }
+    balls.push_back(std::move(ball));
+  }
+
+  if (!(in >> tok) || tok != "features") {
+    return Status::InvalidArgument("expected 'features' section");
+  }
+  Matrix x(samples, dims);
+  for (int i = 0; i < samples; ++i) {
+    for (int j = 0; j < dims; ++j) {
+      if (!(in >> x.At(i, j))) {
+        return Status::InvalidArgument("truncated feature matrix");
+      }
+    }
+  }
+  return GranularBallSet(std::move(balls), std::move(x), classes);
+}
+
+Status SaveGranularBalls(const GranularBallSet& balls,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << GranularBallsToString(balls);
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<GranularBallSet> LoadGranularBalls(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return GranularBallsFromString(buffer.str());
+}
+
+}  // namespace gbx

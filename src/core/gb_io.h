@@ -1,0 +1,35 @@
+// Persistence for granular-ball sets. A fitted granulation is a model
+// artifact (GB-kNN inference, offline analysis, plotting); this module
+// round-trips it through a self-describing text format:
+//
+//   gbx-granular-balls v1
+//   dims <p> classes <q> balls <m> samples <n>
+//   ball <label> <radius> <center_index> <center j=0..p-1> members <k> <ids...>
+//   ...
+//   features            # n rows of the scaled feature matrix
+//   <p doubles per row>
+#ifndef GBX_CORE_GB_IO_H_
+#define GBX_CORE_GB_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/granular_ball.h"
+
+namespace gbx {
+
+/// Writes the ball set (including its scaled feature matrix) to `path`.
+Status SaveGranularBalls(const GranularBallSet& balls,
+                         const std::string& path);
+
+/// Reads a ball set written by SaveGranularBalls.
+StatusOr<GranularBallSet> LoadGranularBalls(const std::string& path);
+
+/// Serializes to / parses from a string (used by the file functions and
+/// handy in tests).
+std::string GranularBallsToString(const GranularBallSet& balls);
+StatusOr<GranularBallSet> GranularBallsFromString(const std::string& text);
+
+}  // namespace gbx
+
+#endif  // GBX_CORE_GB_IO_H_

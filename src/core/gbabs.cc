@@ -1,0 +1,135 @@
+#include "core/gbabs.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gbx {
+
+namespace {
+
+/// Member of `ball` with the extreme coordinate along dimension `dim`.
+/// `want_max` selects the largest coordinate, otherwise the smallest.
+int ExtremeMember(const GranularBall& ball, const Matrix& x, int dim,
+                  bool want_max) {
+  GBX_CHECK_GT(ball.size(), 0);
+  int best = ball.members[0];
+  double best_v = x.At(best, dim);
+  for (int idx : ball.members) {
+    const double v = x.At(idx, dim);
+    if (want_max ? (v > best_v) : (v < best_v)) {
+      best = idx;
+      best_v = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<int> BorderlineScanDimensions(const GranularBallSet& balls,
+                                          int max_scan_dimensions) {
+  const int p = balls.scaled_features().cols();
+  std::vector<int> dims(p);
+  for (int j = 0; j < p; ++j) dims[j] = j;
+  if (max_scan_dimensions <= 0 || max_scan_dimensions >= p ||
+      balls.empty()) {
+    return dims;
+  }
+  // Variance of ball centers per dimension: high-variance dimensions are
+  // where class structure (and therefore boundaries) spreads out.
+  const int m = balls.size();
+  std::vector<double> variance(p, 0.0);
+  std::vector<double> mean(p, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const auto& center = balls.ball(i).center;
+    for (int j = 0; j < p; ++j) mean[j] += center[j];
+  }
+  for (int j = 0; j < p; ++j) mean[j] /= m;
+  for (int i = 0; i < m; ++i) {
+    const auto& center = balls.ball(i).center;
+    for (int j = 0; j < p; ++j) {
+      const double d = center[j] - mean[j];
+      variance[j] += d * d;
+    }
+  }
+  std::stable_sort(dims.begin(), dims.end(), [&](int a, int b) {
+    return variance[a] > variance[b];
+  });
+  dims.resize(max_scan_dimensions);
+  std::sort(dims.begin(), dims.end());
+  return dims;
+}
+
+std::vector<int> SampleBorderlineIndices(
+    const GranularBallSet& balls, std::vector<int>* borderline_ball_ids,
+    int max_scan_dimensions) {
+  const int m = balls.size();
+  const Matrix& x = balls.scaled_features();
+  std::set<int> sampled;
+  std::set<int> borderline;
+
+  std::vector<int> order(m);
+  for (int i = 0; i < m; ++i) order[i] = i;
+
+  const std::vector<int> dims =
+      BorderlineScanDimensions(balls, max_scan_dimensions);
+  for (int dim : dims) {
+    // Step 1: sort centers along this dimension (ties by ball id so the
+    // scan is deterministic).
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double va = balls.ball(a).center[dim];
+      const double vb = balls.ball(b).center[dim];
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    // Step 2: adjacent heterogeneous centers flag both balls as borderline
+    // and contribute the two members facing the boundary.
+    for (int i = 0; i + 1 < m; ++i) {
+      const int left = order[i];
+      const int right = order[i + 1];
+      if (balls.ball(left).label == balls.ball(right).label) continue;
+      borderline.insert(left);
+      borderline.insert(right);
+      sampled.insert(ExtremeMember(balls.ball(left), x, dim,
+                                   /*want_max=*/true));
+      sampled.insert(ExtremeMember(balls.ball(right), x, dim,
+                                   /*want_max=*/false));
+    }
+  }
+
+  if (borderline_ball_ids != nullptr) {
+    borderline_ball_ids->assign(borderline.begin(), borderline.end());
+  }
+  return std::vector<int>(sampled.begin(), sampled.end());
+}
+
+GbabsResult RunGbabs(const Dataset& dataset, const GbabsConfig& config) {
+  GbabsResult result;
+  result.gbg = GenerateRdGbg(dataset, config.gbg);
+  result.sampled_indices =
+      SampleBorderlineIndices(result.gbg.balls, &result.borderline_ball_ids,
+                              config.max_scan_dimensions);
+  // Degenerate single-class datasets have no boundary: keep the centers so
+  // the sampled set is non-empty and representative.
+  if (result.sampled_indices.empty()) {
+    for (const GranularBall& ball : result.gbg.balls.balls()) {
+      if (ball.center_index >= 0) {
+        result.sampled_indices.push_back(ball.center_index);
+      }
+    }
+    std::sort(result.sampled_indices.begin(), result.sampled_indices.end());
+  }
+  result.sampled = dataset.Subset(result.sampled_indices);
+  result.sampling_ratio =
+      dataset.size() > 0
+          ? static_cast<double>(result.sampled_indices.size()) / dataset.size()
+          : 0.0;
+  return result;
+}
+
+Dataset GbabsSample(const Dataset& dataset, const GbabsConfig& config) {
+  return RunGbabs(dataset, config).sampled;
+}
+
+}  // namespace gbx

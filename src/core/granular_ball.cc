@@ -1,0 +1,104 @@
+#include "core/granular_ball.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+bool GranularBall::Contains(const double* point, int dims, double eps) const {
+  GBX_CHECK_EQ(dims, static_cast<int>(center.size()));
+  const double dist = EuclideanDistance(point, center.data(), dims);
+  return dist <= radius + eps;
+}
+
+GranularBallSet::GranularBallSet(std::vector<GranularBall> balls,
+                                 Matrix scaled_features, int num_classes)
+    : balls_(std::move(balls)),
+      scaled_features_(std::move(scaled_features)),
+      num_classes_(num_classes) {
+  for (auto& ball : balls_) {
+    std::sort(ball.members.begin(), ball.members.end());
+    GBX_CHECK_GE(ball.label, 0);
+    GBX_CHECK_LT(ball.label, num_classes_);
+    GBX_CHECK_EQ(static_cast<int>(ball.center.size()),
+                 scaled_features_.cols());
+  }
+}
+
+int GranularBallSet::TotalCoveredSamples() const {
+  int total = 0;
+  for (const auto& ball : balls_) total += ball.size();
+  return total;
+}
+
+int GranularBallSet::NonSingletonCount() const {
+  int count = 0;
+  for (const auto& ball : balls_) {
+    if (ball.size() > 1) ++count;
+  }
+  return count;
+}
+
+bool GranularBallSet::CheckContainment(double eps) const {
+  const int d = scaled_features_.cols();
+  for (const auto& ball : balls_) {
+    for (int idx : ball.members) {
+      if (idx < 0 || idx >= scaled_features_.rows()) return false;
+      if (!ball.Contains(scaled_features_.Row(idx), d, eps)) return false;
+    }
+  }
+  return true;
+}
+
+bool GranularBallSet::CheckPurity(const std::vector<int>& labels) const {
+  for (const auto& ball : balls_) {
+    for (int idx : ball.members) {
+      if (idx < 0 || idx >= static_cast<int>(labels.size())) return false;
+      if (labels[idx] != ball.label) return false;
+    }
+  }
+  return true;
+}
+
+bool GranularBallSet::CheckNonOverlap(double eps) const {
+  const int d = scaled_features_.cols();
+  for (int i = 0; i < size(); ++i) {
+    if (balls_[i].radius <= 0.0) continue;
+    for (int j = i + 1; j < size(); ++j) {
+      if (balls_[j].radius <= 0.0) continue;
+      const double dist = EuclideanDistance(balls_[i].center.data(),
+                                            balls_[j].center.data(), d);
+      if (dist + eps < balls_[i].radius + balls_[j].radius) return false;
+    }
+  }
+  return true;
+}
+
+bool GranularBallSet::CheckDisjointMembership(int num_samples) const {
+  std::vector<char> seen(num_samples, 0);
+  for (const auto& ball : balls_) {
+    for (int idx : ball.members) {
+      if (idx < 0 || idx >= num_samples) return false;
+      if (seen[idx]) return false;
+      seen[idx] = 1;
+    }
+  }
+  return true;
+}
+
+double GranularBallSet::HeterogeneousOverlapDepth() const {
+  const int d = scaled_features_.cols();
+  double total = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (balls_[i].label == balls_[j].label) continue;
+      ++pairs;
+      const double dist = EuclideanDistance(balls_[i].center.data(),
+                                            balls_[j].center.data(), d);
+      total += std::max(0.0, balls_[i].radius + balls_[j].radius - dist);
+    }
+  }
+  return pairs == 0 ? 0.0 : total / pairs;
+}
+
+}  // namespace gbx

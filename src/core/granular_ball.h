@@ -1,0 +1,88 @@
+// Granular balls (GBs): the information granules of granular-ball
+// computing. A ball is (O, (c, r, l)) — member samples O, center c,
+// radius r, label l. Under RD-GBG's redefinition (§IV-B2 of the paper) the
+// center is an actual sample, every member lies within r of the center
+// (geometric containment), all members share the ball's label (purity 1.0),
+// and distinct balls never overlap.
+#ifndef GBX_CORE_GRANULAR_BALL_H_
+#define GBX_CORE_GRANULAR_BALL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct GranularBall {
+  /// Sample indices (into the source dataset) covered by this ball,
+  /// including the center sample. Sorted ascending.
+  std::vector<int> members;
+  /// Center coordinates in the (scaled) feature space used for generation.
+  std::vector<double> center;
+  /// Index of the center sample; -1 when the center is a computed centroid
+  /// (classic k-division GBG baseline) rather than a sample.
+  int center_index = -1;
+  double radius = 0.0;
+  int label = -1;
+
+  int size() const { return static_cast<int>(members.size()); }
+
+  /// True if `point` lies within the ball (distance <= radius + eps).
+  bool Contains(const double* point, int dims, double eps = 1e-12) const;
+};
+
+/// A set of granular balls generated over one dataset. Holds the scaled
+/// feature matrix the balls were generated in, so geometric invariants can
+/// be checked and downstream consumers (GBABS) can query member
+/// coordinates consistently.
+class GranularBallSet {
+ public:
+  GranularBallSet() = default;
+  GranularBallSet(std::vector<GranularBall> balls, Matrix scaled_features,
+                  int num_classes);
+
+  int size() const { return static_cast<int>(balls_.size()); }
+  bool empty() const { return balls_.empty(); }
+  const GranularBall& ball(int i) const {
+    GBX_DCHECK(i >= 0 && i < size());
+    return balls_[i];
+  }
+  const std::vector<GranularBall>& balls() const { return balls_; }
+  const Matrix& scaled_features() const { return scaled_features_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Total number of samples covered by all balls.
+  int TotalCoveredSamples() const;
+
+  /// Count of balls with more than one member.
+  int NonSingletonCount() const;
+
+  /// --- Invariant checks (used by tests and debug validation) ---
+
+  /// Every member of every ball is within its radius of the center.
+  bool CheckContainment(double eps = 1e-9) const;
+
+  /// All members of a ball share its label.
+  bool CheckPurity(const std::vector<int>& labels) const;
+
+  /// No two distinct non-degenerate balls overlap:
+  /// dist(c_i, c_j) + eps >= r_i + r_j for all i != j.
+  bool CheckNonOverlap(double eps = 1e-9) const;
+
+  /// Each sample index covered by at most one ball.
+  bool CheckDisjointMembership(int num_samples) const;
+
+  /// Mean pairwise overlap depth max(0, r_i + r_j - dist(c_i,c_j)) over
+  /// heterogeneous ball pairs — the "boundary blur" metric used by the
+  /// overlap ablation bench (0 for RD-GBG by construction).
+  double HeterogeneousOverlapDepth() const;
+
+ private:
+  std::vector<GranularBall> balls_;
+  Matrix scaled_features_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_CORE_GRANULAR_BALL_H_

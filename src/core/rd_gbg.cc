@@ -1,0 +1,207 @@
+#include "core/rd_gbg.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "data/scaler.h"
+
+namespace gbx {
+
+namespace {
+
+// Lifecycle of a sample during granulation.
+enum class SampleState : std::uint8_t {
+  kUndivided,   // in U, potential center (in T)
+  kLowDensity,  // in U and in L: not a center, may still be absorbed
+  kNoise,       // eliminated as class noise
+  kCovered,     // member of a generated ball
+};
+
+bool InU(SampleState s) {
+  return s == SampleState::kUndivided || s == SampleState::kLowDensity;
+}
+
+struct DistEntry {
+  double dist;
+  int index;
+  friend bool operator<(const DistEntry& a, const DistEntry& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.index < b.index;
+  }
+};
+
+}  // namespace
+
+RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
+  GBX_CHECK_GT(dataset.size(), 0);
+  GBX_CHECK_GE(config.density_tolerance, 2);
+  const int n = dataset.size();
+  const int p = dataset.num_features();
+  const int q = dataset.num_classes();
+  const int rho = config.density_tolerance;
+
+  Matrix x = config.scale_features ? MinMaxScaler().FitTransform(dataset.x())
+                                   : dataset.x();
+  const std::vector<int>& labels = dataset.y();
+
+  std::vector<SampleState> state(n, SampleState::kUndivided);
+  std::vector<GranularBall> balls;
+  RdGbgResult result;
+  Pcg32 rng(config.seed);
+
+  std::vector<DistEntry> neighbors;
+  neighbors.reserve(n);
+
+  for (;;) {
+    // --- Step 1 per round: build T = U - L grouped by class. ---
+    std::vector<std::vector<int>> groups(q);
+    for (int i = 0; i < n; ++i) {
+      if (state[i] == SampleState::kUndivided) groups[labels[i]].push_back(i);
+    }
+    std::vector<int> group_order;
+    for (int c = 0; c < q; ++c) {
+      if (!groups[c].empty()) group_order.push_back(c);
+    }
+    if (group_order.empty()) break;  // U ⊆ L: terminate global iteration
+    // Larger groups first (|T1| >= |T2| >= ...), class id as tie-break.
+    std::stable_sort(group_order.begin(), group_order.end(),
+                     [&](int a, int b) {
+                       return groups[a].size() > groups[b].size();
+                     });
+    ++result.iterations;
+
+    // One random candidate per class.
+    std::vector<int> candidates;
+    candidates.reserve(group_order.size());
+    for (int cls : group_order) {
+      const auto& members = groups[cls];
+      candidates.push_back(
+          members[rng.NextBounded(static_cast<std::uint32_t>(members.size()))]);
+    }
+
+    for (int c : candidates) {
+      // A previous candidate in this round may have absorbed or removed c.
+      if (state[c] != SampleState::kUndivided) continue;
+      const int label = labels[c];
+      const double* cx = x.Row(c);
+
+      // Distances from c to every other sample still in U.
+      neighbors.clear();
+      for (int i = 0; i < n; ++i) {
+        if (i == c || !InU(state[i])) continue;
+        neighbors.push_back(
+            DistEntry{EuclideanDistance(cx, x.Row(i), p), i});
+      }
+      if (neighbors.empty()) {
+        state[c] = SampleState::kLowDensity;  // last sample standing
+        continue;
+      }
+      std::sort(neighbors.begin(), neighbors.end());
+
+      // --- Local-density center detection (§IV-B1). ---
+      std::size_t scan_begin = 0;  // skip a removed noisy nearest neighbor
+      if (labels[neighbors[0].index] != label) {
+        const int rho_eff =
+            std::min<int>(rho, static_cast<int>(neighbors.size()));
+        int h = 0;
+        for (int i = 0; i < rho_eff; ++i) {
+          if (labels[neighbors[i].index] != label) ++h;
+        }
+        if (h == rho_eff) {
+          // Surrounded by heterogeneous samples: c is class noise.
+          state[c] = SampleState::kNoise;
+          result.noise_indices.push_back(c);
+          continue;
+        }
+        if (h == 1) {
+          // The lone heterogeneous nearest neighbor is the noise.
+          const int nn = neighbors[0].index;
+          state[nn] = SampleState::kNoise;
+          result.noise_indices.push_back(nn);
+          scan_begin = 1;
+        } else {
+          // 1 < h < rho: c cannot be cleanly separated — low density.
+          state[c] = SampleState::kLowDensity;
+          continue;
+        }
+      }
+
+      // --- Radius determination (§IV-B2). ---
+      // Locally consistent radius CR(c): farthest of the leading
+      // homogeneous neighbors (Eq.3). If no heterogeneous sample remains
+      // in U, the whole neighbor list is consistent.
+      double cr = 0.0;
+      for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+        if (labels[neighbors[i].index] != label) break;
+        cr = neighbors[i].dist;
+      }
+
+      // Conflict radius r_conf(c): gap to the nearest existing ball (Eq.4).
+      double r_conf = std::numeric_limits<double>::infinity();
+      for (const GranularBall& ball : balls) {
+        const double gap =
+            EuclideanDistance(cx, ball.center.data(), p) - ball.radius;
+        r_conf = std::min(r_conf, gap);
+      }
+      r_conf = std::max(r_conf, 0.0);
+
+      double r = cr;
+      if (cr > r_conf) {
+        // Restricted maximum consistent radius r_max(c) (Eq.6): the
+        // farthest neighbor not crossing into a previous ball. Neighbors
+        // within r_conf < CR are automatically homogeneous.
+        r = 0.0;
+        for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+          if (neighbors[i].dist > r_conf) break;
+          r = neighbors[i].dist;
+        }
+      }
+
+      if (r <= 0.0) {
+        // Center sits on the edge of U; leave it for later absorption.
+        state[c] = SampleState::kLowDensity;
+        continue;
+      }
+
+      // --- Assemble the ball (Eq.7): O = every U-sample within r. ---
+      GranularBall ball;
+      ball.center.assign(cx, cx + p);
+      ball.center_index = c;
+      ball.radius = r;
+      ball.label = label;
+      ball.members.push_back(c);
+      state[c] = SampleState::kCovered;
+      for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+        if (neighbors[i].dist > r) break;
+        const int idx = neighbors[i].index;
+        GBX_DCHECK(labels[idx] == label);
+        ball.members.push_back(idx);
+        state[idx] = SampleState::kCovered;
+      }
+      GBX_CHECK_GE(ball.size(), 2);
+      balls.push_back(std::move(ball));
+    }
+  }
+
+  // --- Orphan GBs: every remaining U-sample becomes a radius-0 ball. ---
+  for (int i = 0; i < n; ++i) {
+    if (!InU(state[i])) continue;
+    GranularBall ball;
+    const double* xi = x.Row(i);
+    ball.center.assign(xi, xi + p);
+    ball.center_index = i;
+    ball.radius = 0.0;
+    ball.label = labels[i];
+    ball.members.push_back(i);
+    balls.push_back(std::move(ball));
+    result.orphan_indices.push_back(i);
+  }
+
+  std::sort(result.noise_indices.begin(), result.noise_indices.end());
+  std::sort(result.orphan_indices.begin(), result.orphan_indices.end());
+  result.balls = GranularBallSet(std::move(balls), std::move(x), q);
+  return result;
+}
+
+}  // namespace gbx

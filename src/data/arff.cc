@@ -1,0 +1,245 @@
+#include "data/arff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace gbx {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Strips optional single quotes around an identifier.
+std::string Unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+/// Splits "{a, b, c}" into category names.
+StatusOr<std::vector<std::string>> ParseNominalSpec(const std::string& spec) {
+  const std::string trimmed = Trim(spec);
+  if (trimmed.size() < 2 || trimmed.front() != '{' ||
+      trimmed.back() != '}') {
+    return Status::InvalidArgument("bad nominal spec: " + spec);
+  }
+  std::vector<std::string> categories;
+  std::stringstream ss(trimmed.substr(1, trimmed.size() - 2));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::string name = Unquote(Trim(item));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty nominal category in " + spec);
+    }
+    categories.push_back(name);
+  }
+  if (categories.empty()) {
+    return Status::InvalidArgument("nominal attribute with no categories");
+  }
+  return categories;
+}
+
+int CategoryIndex(const ArffAttribute& attr, const std::string& value) {
+  for (std::size_t i = 0; i < attr.categories.size(); ++i) {
+    if (attr.categories[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<ArffRelation> ParseArff(const std::string& text,
+                                 const ArffOptions& options) {
+  std::stringstream ss(text);
+  std::string line;
+  ArffRelation relation;
+  std::vector<ArffAttribute> all_attrs;
+  bool in_data = false;
+  int line_no = 0;
+
+  Matrix x;
+  std::vector<int> labels;
+  int class_index = -1;
+  std::vector<double> row_features;
+
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '%') continue;
+
+    if (!in_data) {
+      const std::string lower = ToLower(trimmed);
+      if (lower.rfind("@relation", 0) == 0) {
+        relation.name = Unquote(Trim(trimmed.substr(9)));
+      } else if (lower.rfind("@attribute", 0) == 0) {
+        // "@attribute <name> <type>"
+        const std::string rest = Trim(trimmed.substr(10));
+        std::size_t name_end = 0;
+        if (!rest.empty() && rest[0] == '\'') {
+          name_end = rest.find('\'', 1);
+          if (name_end == std::string::npos) {
+            return Status::InvalidArgument("unterminated attribute name at "
+                                           "line " +
+                                           std::to_string(line_no));
+          }
+          ++name_end;
+        } else {
+          name_end = rest.find_first_of(" \t{");
+          if (name_end == std::string::npos) {
+            return Status::InvalidArgument("attribute without type at line " +
+                                           std::to_string(line_no));
+          }
+        }
+        ArffAttribute attr;
+        attr.name = Unquote(Trim(rest.substr(0, name_end)));
+        const std::string type = Trim(rest.substr(name_end));
+        const std::string type_lower = ToLower(type);
+        if (type_lower.rfind("numeric", 0) == 0 ||
+            type_lower.rfind("real", 0) == 0 ||
+            type_lower.rfind("integer", 0) == 0) {
+          attr.nominal = false;
+        } else if (!type.empty() && type[0] == '{') {
+          attr.nominal = true;
+          StatusOr<std::vector<std::string>> cats = ParseNominalSpec(type);
+          if (!cats.ok()) return cats.status();
+          attr.categories = std::move(*cats);
+        } else {
+          return Status::InvalidArgument("unsupported attribute type '" +
+                                         type + "' at line " +
+                                         std::to_string(line_no));
+        }
+        all_attrs.push_back(std::move(attr));
+      } else if (lower.rfind("@inputs", 0) == 0 ||
+                 lower.rfind("@outputs", 0) == 0) {
+        // KEEL extension headers; the class is still resolved below.
+        continue;
+      } else if (lower.rfind("@data", 0) == 0) {
+        if (all_attrs.size() < 2) {
+          return Status::InvalidArgument(
+              "need at least one feature and a class attribute");
+        }
+        // Resolve the class attribute.
+        if (options.class_attribute.empty()) {
+          class_index = static_cast<int>(all_attrs.size()) - 1;
+        } else {
+          for (std::size_t i = 0; i < all_attrs.size(); ++i) {
+            if (all_attrs[i].name == options.class_attribute) {
+              class_index = static_cast<int>(i);
+              break;
+            }
+          }
+          if (class_index < 0) {
+            return Status::NotFound("class attribute '" +
+                                    options.class_attribute + "' not found");
+          }
+        }
+        if (!all_attrs[class_index].nominal) {
+          return Status::InvalidArgument(
+              "class attribute must be nominal");
+        }
+        in_data = true;
+      } else {
+        return Status::InvalidArgument("unrecognized header line " +
+                                       std::to_string(line_no) + ": " +
+                                       trimmed);
+      }
+      continue;
+    }
+
+    // Data row.
+    std::vector<std::string> fields;
+    {
+      std::stringstream row_ss(trimmed);
+      std::string field;
+      while (std::getline(row_ss, field, ',')) {
+        fields.push_back(Trim(field));
+      }
+    }
+    if (fields.size() != all_attrs.size()) {
+      return Status::InvalidArgument("row arity mismatch at line " +
+                                     std::to_string(line_no));
+    }
+    row_features.clear();
+    int label = -1;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const ArffAttribute& attr = all_attrs[i];
+      const std::string value = Unquote(fields[i]);
+      if (static_cast<int>(i) == class_index) {
+        label = CategoryIndex(attr, value);
+        if (label < 0) {
+          return Status::InvalidArgument("unknown class '" + value +
+                                         "' at line " +
+                                         std::to_string(line_no));
+        }
+        continue;
+      }
+      if (attr.nominal) {
+        const int idx = CategoryIndex(attr, value);
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown category '" + value +
+                                         "' for attribute " + attr.name);
+        }
+        row_features.push_back(idx);
+      } else {
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str()) {
+          return Status::InvalidArgument("non-numeric value '" + value +
+                                         "' at line " +
+                                         std::to_string(line_no));
+        }
+        row_features.push_back(v);
+      }
+    }
+    x.AppendRow(row_features.data(), static_cast<int>(row_features.size()));
+    labels.push_back(label);
+  }
+
+  if (!in_data) return Status::InvalidArgument("missing @data section");
+  if (x.rows() == 0) return Status::InvalidArgument("no data rows");
+
+  for (std::size_t i = 0; i < all_attrs.size(); ++i) {
+    if (static_cast<int>(i) == class_index) {
+      relation.class_attribute = all_attrs[i];
+    } else {
+      relation.attributes.push_back(all_attrs[i]);
+    }
+  }
+  relation.data = Dataset(
+      std::move(x), std::move(labels),
+      static_cast<int>(relation.class_attribute.categories.size()));
+  return relation;
+}
+
+StatusOr<ArffRelation> LoadArff(const std::string& path,
+                                const ArffOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseArff(buffer.str(), options);
+}
+
+}  // namespace gbx

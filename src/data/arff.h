@@ -1,0 +1,47 @@
+// ARFF (Attribute-Relation File Format) loader — the native format of the
+// KEEL repository the paper draws datasets from (banana, coil2000, magic,
+// shuttle). Supports numeric/real/integer attributes and nominal
+// attributes (mapped to their category index); the class attribute is the
+// last one by default or any nominal attribute selected by name.
+#ifndef GBX_DATA_ARFF_H_
+#define GBX_DATA_ARFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct ArffAttribute {
+  std::string name;
+  bool nominal = false;
+  /// Category names for nominal attributes, in declaration order.
+  std::vector<std::string> categories;
+};
+
+struct ArffRelation {
+  std::string name;
+  std::vector<ArffAttribute> attributes;  // excluding the class attribute
+  ArffAttribute class_attribute;
+  Dataset data;
+};
+
+struct ArffOptions {
+  /// Name of the class attribute; empty selects the last attribute.
+  std::string class_attribute;
+};
+
+/// Parses ARFF text. Case-insensitive keywords, '%' comments, optional
+/// sparse rows are NOT supported (KEEL files are dense).
+StatusOr<ArffRelation> ParseArff(const std::string& text,
+                                 const ArffOptions& options = {});
+
+/// Loads an ARFF file from disk.
+StatusOr<ArffRelation> LoadArff(const std::string& path,
+                                const ArffOptions& options = {});
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_ARFF_H_

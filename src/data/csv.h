@@ -1,0 +1,37 @@
+// CSV persistence for datasets: numeric feature columns plus an integer
+// label column (by default the last column). Supports an optional header
+// row and round-trips datasets written by SaveCsv.
+#ifndef GBX_DATA_CSV_H_
+#define GBX_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct CsvOptions {
+  /// Column index holding the class label; -1 means the last column.
+  int label_column = -1;
+  /// Whether the first row is a header to be skipped (load) / written (save).
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+/// Loads a dataset from a CSV file.
+StatusOr<Dataset> LoadCsv(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Parses a dataset from CSV text (used by LoadCsv; handy in tests).
+StatusOr<Dataset> ParseCsv(const std::string& text,
+                           const CsvOptions& options = {});
+
+/// Writes the dataset as CSV with features f0..f{p-1} and final column
+/// `label`.
+Status SaveCsv(const Dataset& dataset, const std::string& path,
+               const CsvOptions& options = {});
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_CSV_H_

@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+Dataset::Dataset(Matrix x, std::vector<int> y, int num_classes)
+    : x_(std::move(x)), y_(std::move(y)) {
+  GBX_CHECK_EQ(x_.rows(), static_cast<int>(y_.size()));
+  int max_label = -1;
+  for (int label : y_) {
+    GBX_CHECK_GE(label, 0);
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = num_classes >= 0 ? num_classes : max_label + 1;
+  GBX_CHECK_GE(num_classes_, max_label + 1);
+}
+
+void Dataset::set_label(int i, int label) {
+  GBX_CHECK(i >= 0 && i < size());
+  GBX_CHECK(label >= 0 && label < num_classes_);
+  y_[i] = label;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& indices) const {
+  std::vector<int> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    GBX_CHECK(indices[i] >= 0 && indices[i] < size());
+    labels[i] = y_[indices[i]];
+  }
+  return Dataset(x_.SelectRows(indices), std::move(labels), num_classes_);
+}
+
+void Dataset::AppendSample(const double* features, int n, int label) {
+  GBX_CHECK_GE(label, 0);
+  x_.AppendRow(features, n);
+  y_.push_back(label);
+  num_classes_ = std::max(num_classes_, label + 1);
+}
+
+void Dataset::Append(const Dataset& other) {
+  if (other.empty()) return;
+  x_.AppendRows(other.x());
+  y_.insert(y_.end(), other.y().begin(), other.y().end());
+  num_classes_ = std::max(num_classes_, other.num_classes());
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(num_classes_, 0);
+  for (int label : y_) ++counts[label];
+  return counts;
+}
+
+double Dataset::ImbalanceRatio() const {
+  const std::vector<int> counts = ClassCounts();
+  int majority = 0;
+  int minority = 0;
+  for (int c : counts) {
+    if (c == 0) continue;
+    majority = std::max(majority, c);
+    minority = (minority == 0) ? c : std::min(minority, c);
+  }
+  if (minority == 0) return 1.0;
+  return static_cast<double>(majority) / minority;
+}
+
+int Dataset::MajorityClass() const {
+  const std::vector<int> counts = ClassCounts();
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+int Dataset::MinorityClass() const {
+  const std::vector<int> counts = ClassCounts();
+  int best = -1;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0) continue;
+    if (best < 0 || counts[c] < counts[best]) best = c;
+  }
+  return best < 0 ? 0 : best;
+}
+
+std::vector<int> Dataset::IndicesOfClass(int cls) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (y_[i] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace gbx

@@ -1,0 +1,68 @@
+// Tabular labeled dataset: a row-major feature matrix plus integer class
+// labels in [0, num_classes). This is the single data currency of the
+// library — samplers map Dataset -> Dataset, classifiers fit on Dataset.
+#ifndef GBX_DATA_DATASET_H_
+#define GBX_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of features and labels. Labels must be non-negative;
+  /// num_classes is max(label) + 1 unless overridden (override is needed
+  /// when a subset might not contain every class).
+  Dataset(Matrix x, std::vector<int> y, int num_classes = -1);
+
+  int size() const { return x_.rows(); }
+  int num_features() const { return x_.cols(); }
+  int num_classes() const { return num_classes_; }
+  bool empty() const { return size() == 0; }
+
+  const Matrix& x() const { return x_; }
+  Matrix& mutable_x() { return x_; }
+  const std::vector<int>& y() const { return y_; }
+
+  const double* row(int i) const { return x_.Row(i); }
+  double feature(int i, int j) const { return x_.At(i, j); }
+  int label(int i) const { return y_[i]; }
+  void set_label(int i, int label);
+
+  /// Subset preserving num_classes (so per-fold subsets keep class arity).
+  Dataset Subset(const std::vector<int>& indices) const;
+
+  /// Appends a single labeled sample.
+  void AppendSample(const double* features, int n, int label);
+
+  /// Appends all samples of `other`; feature arity must match.
+  void Append(const Dataset& other);
+
+  /// Number of samples per class (length num_classes()).
+  std::vector<int> ClassCounts() const;
+
+  /// Majority-class count divided by (nonzero) minority-class count.
+  /// Returns 1.0 for datasets with fewer than two populated classes.
+  double ImbalanceRatio() const;
+
+  /// Index of the class with the most (fewest, nonzero) samples.
+  int MajorityClass() const;
+  int MinorityClass() const;
+
+  /// Indices of samples belonging to `cls`.
+  std::vector<int> IndicesOfClass(int cls) const;
+
+ private:
+  Matrix x_;
+  std::vector<int> y_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_DATASET_H_

@@ -1,0 +1,32 @@
+#include "data/noise.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+std::vector<int> InjectClassNoise(Dataset* ds, double ratio, Pcg32* rng) {
+  GBX_CHECK(ds != nullptr);
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  const int n_flip = static_cast<int>(ds->size() * ratio);
+  if (n_flip == 0) return {};
+  GBX_CHECK_GE(ds->num_classes(), 2);
+  std::vector<int> flipped = rng->SampleWithoutReplacement(ds->size(), n_flip);
+  for (int idx : flipped) {
+    const int old_label = ds->label(idx);
+    // Draw from the other q-1 classes uniformly.
+    int new_label = rng->NextInt(0, ds->num_classes() - 2);
+    if (new_label >= old_label) ++new_label;
+    ds->set_label(idx, new_label);
+  }
+  std::sort(flipped.begin(), flipped.end());
+  return flipped;
+}
+
+Dataset WithClassNoise(const Dataset& ds, double ratio, Pcg32* rng) {
+  Dataset copy = ds;
+  InjectClassNoise(&copy, ratio, rng);
+  return copy;
+}
+
+}  // namespace gbx

@@ -1,0 +1,25 @@
+// Class-noise injection: the paper constructs noisy variants of every
+// dataset by "randomly selecting samples and altering their labels" at
+// ratios 5/10/20/30/40% (§V-A2). Flipping always picks a *different*
+// uniformly random class.
+#ifndef GBX_DATA_NOISE_H_
+#define GBX_DATA_NOISE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+/// Flips the labels of floor(ratio * n) distinct samples in place.
+/// Requires num_classes >= 2 when any flips are requested. Returns the
+/// indices of flipped samples (sorted).
+std::vector<int> InjectClassNoise(Dataset* ds, double ratio, Pcg32* rng);
+
+/// Returns a noisy copy, leaving `ds` untouched.
+Dataset WithClassNoise(const Dataset& ds, double ratio, Pcg32* rng);
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_NOISE_H_

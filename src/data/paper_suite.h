@@ -1,0 +1,44 @@
+// Registry of the 13 evaluation datasets of Table I (S1..S13). Each entry
+// records the paper's published statistics (samples / features / classes /
+// imbalance ratio) and a synthetic generator whose geometry matches the
+// qualitative description in §V (see DESIGN.md §3 for the substitution
+// rationale).
+#ifndef GBX_DATA_PAPER_SUITE_H_
+#define GBX_DATA_PAPER_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct PaperDatasetSpec {
+  std::string id;        // "S1".."S13"
+  std::string name;      // original dataset name
+  int samples;           // paper-scale sample count
+  int features;
+  int classes;
+  double imbalance_ratio;
+  std::string source;    // UCI / KEEL / Kaggle / paper ref
+};
+
+/// The 13 dataset specs exactly as printed in Table I.
+const std::vector<PaperDatasetSpec>& PaperDatasetSpecs();
+
+/// Spec lookup by id ("S5"); checks the id exists.
+const PaperDatasetSpec& PaperSpecById(const std::string& id);
+
+/// Generates the synthetic stand-in for dataset `index` (0-based, S1 is
+/// 0). `max_samples` caps the generated size (<=0 means paper scale);
+/// features/classes/IR always match the spec. Features are NOT scaled —
+/// callers (samplers) min-max scale as part of their pipeline.
+Dataset MakePaperDataset(int index, int max_samples, std::uint64_t seed);
+
+/// Convenience overload taking "S1".."S13".
+Dataset MakePaperDataset(const std::string& id, int max_samples,
+                         std::uint64_t seed);
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_PAPER_SUITE_H_

@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+TrainTestSplitResult TrainTestSplit(const Dataset& ds, double test_fraction,
+                                    Pcg32* rng, bool stratified) {
+  GBX_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  GBX_CHECK(rng != nullptr);
+  std::vector<int> test_idx;
+  std::vector<int> train_idx;
+  if (stratified) {
+    for (int cls = 0; cls < ds.num_classes(); ++cls) {
+      std::vector<int> members = ds.IndicesOfClass(cls);
+      rng->Shuffle(&members);
+      const int n_test = static_cast<int>(members.size() * test_fraction);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (static_cast<int>(i) < n_test) {
+          test_idx.push_back(members[i]);
+        } else {
+          train_idx.push_back(members[i]);
+        }
+      }
+    }
+  } else {
+    std::vector<int> all(ds.size());
+    for (int i = 0; i < ds.size(); ++i) all[i] = i;
+    rng->Shuffle(&all);
+    const int n_test = static_cast<int>(ds.size() * test_fraction);
+    test_idx.assign(all.begin(), all.begin() + n_test);
+    train_idx.assign(all.begin() + n_test, all.end());
+  }
+  std::sort(test_idx.begin(), test_idx.end());
+  std::sort(train_idx.begin(), train_idx.end());
+  TrainTestSplitResult result;
+  result.train = ds.Subset(train_idx);
+  result.test = ds.Subset(test_idx);
+  result.train_indices = std::move(train_idx);
+  result.test_indices = std::move(test_idx);
+  return result;
+}
+
+std::vector<std::vector<int>> StratifiedKFold(const Dataset& ds, int k,
+                                              Pcg32* rng) {
+  GBX_CHECK_GE(k, 2);
+  GBX_CHECK(rng != nullptr);
+  std::vector<std::vector<int>> folds(k);
+  for (int cls = 0; cls < ds.num_classes(); ++cls) {
+    std::vector<int> members = ds.IndicesOfClass(cls);
+    rng->Shuffle(&members);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      folds[i % k].push_back(members[i]);
+    }
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+std::vector<int> FoldComplement(const std::vector<int>& fold, int n) {
+  std::vector<bool> in_fold(n, false);
+  for (int i : fold) {
+    GBX_CHECK(i >= 0 && i < n);
+    in_fold[i] = true;
+  }
+  std::vector<int> out;
+  out.reserve(n - static_cast<int>(fold.size()));
+  for (int i = 0; i < n; ++i) {
+    if (!in_fold[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace gbx

@@ -1,0 +1,36 @@
+// Train/test and cross-validation splitting. Experiments use repeated
+// stratified 5-fold CV exactly as §V-A3 of the paper.
+#ifndef GBX_DATA_SPLIT_H_
+#define GBX_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct TrainTestSplitResult {
+  Dataset train;
+  Dataset test;
+  std::vector<int> train_indices;
+  std::vector<int> test_indices;
+};
+
+/// Splits `ds` into train/test with the given test fraction. When
+/// `stratified` is true each class contributes proportionally.
+TrainTestSplitResult TrainTestSplit(const Dataset& ds, double test_fraction,
+                                    Pcg32* rng, bool stratified = true);
+
+/// Stratified k-fold partition: returns, for each fold, the indices of the
+/// samples assigned to that fold's *test* set. Folds are disjoint and cover
+/// [0, ds.size()); each class is spread as evenly as possible.
+std::vector<std::vector<int>> StratifiedKFold(const Dataset& ds, int k,
+                                              Pcg32* rng);
+
+/// Complement of `fold` within [0, n): training indices for that fold.
+std::vector<int> FoldComplement(const std::vector<int>& fold, int n);
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_SPLIT_H_

@@ -1,0 +1,189 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbx {
+
+std::vector<int> ClassCountsFromWeights(int num_samples, int num_classes,
+                                        const std::vector<double>& weights) {
+  GBX_CHECK_GE(num_classes, 1);
+  GBX_CHECK_GE(num_samples, num_classes);
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(num_classes, 1.0);
+  GBX_CHECK_EQ(static_cast<int>(w.size()), num_classes);
+  double total = 0.0;
+  for (double v : w) {
+    GBX_CHECK_GT(v, 0.0);
+    total += v;
+  }
+  std::vector<int> counts(num_classes);
+  int assigned = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    counts[c] = std::max(1, static_cast<int>(num_samples * w[c] / total));
+    assigned += counts[c];
+  }
+  // Fix rounding drift on the majority class.
+  int majority =
+      static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                       counts.begin());
+  counts[majority] += num_samples - assigned;
+  GBX_CHECK_GE(counts[majority], 1);
+  return counts;
+}
+
+std::vector<double> GeometricWeights(int num_classes, double imbalance_ratio) {
+  GBX_CHECK_GE(num_classes, 2);
+  GBX_CHECK_GE(imbalance_ratio, 1.0);
+  // w_c = r^(q-1-c) with r chosen so w_0 / w_{q-1} = IR.
+  const double r = std::pow(imbalance_ratio, 1.0 / (num_classes - 1));
+  std::vector<double> w(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    w[c] = std::pow(r, num_classes - 1 - c);
+  }
+  return w;
+}
+
+Dataset MakeGaussianBlobs(const BlobsConfig& config, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GE(config.num_features, 1);
+  GBX_CHECK_GE(config.clusters_per_class, 1);
+  const int q = config.num_classes;
+  const int p = config.num_features;
+  const std::vector<int> counts =
+      ClassCountsFromWeights(config.num_samples, q, config.class_weights);
+
+  // One set of centers per class.
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<std::size_t>(q) * config.clusters_per_class);
+  for (int c = 0; c < q * config.clusters_per_class; ++c) {
+    std::vector<double> center(p);
+    for (int j = 0; j < p; ++j) {
+      center[j] = (rng->NextDouble() * 2.0 - 1.0) * config.center_spread;
+    }
+    centers.push_back(std::move(center));
+  }
+
+  Matrix x(config.num_samples, p);
+  std::vector<int> y(config.num_samples);
+  int row = 0;
+  std::vector<double> sample(p);
+  for (int c = 0; c < q; ++c) {
+    for (int i = 0; i < counts[c]; ++i) {
+      const int cluster =
+          c * config.clusters_per_class +
+          rng->NextInt(0, config.clusters_per_class - 1);
+      const std::vector<double>& center = centers[cluster];
+      double* dst = x.Row(row);
+      for (int j = 0; j < p; ++j) {
+        dst[j] = center[j] + rng->NextGaussian() * config.cluster_std;
+      }
+      y[row] = c;
+      ++row;
+    }
+  }
+  GBX_CHECK_EQ(row, config.num_samples);
+  return Dataset(std::move(x), std::move(y), q);
+}
+
+Dataset MakeBanana(const BananaConfig& config, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  const std::vector<int> counts =
+      ClassCountsFromWeights(config.num_samples, 2, config.class_weights);
+  Matrix x(config.num_samples, 2);
+  std::vector<int> y(config.num_samples);
+  int row = 0;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < counts[c]; ++i) {
+      // Crescents: class 0 is the upper arc, class 1 the lower arc shifted
+      // right/down so the tips interleave (two-moons construction).
+      const double t = M_PI * rng->NextDouble();
+      double px = 0.0;
+      double py = 0.0;
+      if (c == 0) {
+        px = std::cos(t);
+        py = std::sin(t);
+      } else {
+        px = 1.0 - std::cos(t);
+        py = 0.5 - std::sin(t);
+      }
+      double* dst = x.Row(row);
+      dst[0] = px + rng->NextGaussian() * config.noise_std;
+      dst[1] = py + rng->NextGaussian() * config.noise_std;
+      y[row] = c;
+      ++row;
+    }
+  }
+  GBX_CHECK_EQ(row, config.num_samples);
+  return Dataset(std::move(x), std::move(y), 2);
+}
+
+Dataset MakeConcentricRings(const RingsConfig& config, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GE(config.num_classes, 2);
+  const std::vector<int> counts =
+      ClassCountsFromWeights(config.num_samples, config.num_classes, {});
+  Matrix x(config.num_samples, 2);
+  std::vector<int> y(config.num_samples);
+  int row = 0;
+  for (int c = 0; c < config.num_classes; ++c) {
+    const double radius = (c + 1) * config.ring_gap;
+    for (int i = 0; i < counts[c]; ++i) {
+      const double theta = 2.0 * M_PI * rng->NextDouble();
+      double* dst = x.Row(row);
+      dst[0] = radius * std::cos(theta) + rng->NextGaussian() * config.noise_std;
+      dst[1] = radius * std::sin(theta) + rng->NextGaussian() * config.noise_std;
+      y[row] = c;
+      ++row;
+    }
+  }
+  GBX_CHECK_EQ(row, config.num_samples);
+  return Dataset(std::move(x), std::move(y), config.num_classes);
+}
+
+Dataset MakeInformativeHighDim(const HighDimConfig& config, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GE(config.num_informative, 1);
+  GBX_CHECK_GE(config.num_features, config.num_informative);
+  const int q = config.num_classes;
+  const int p = config.num_features;
+  const int m = config.num_informative;
+  const std::vector<int> counts =
+      ClassCountsFromWeights(config.num_samples, q, config.class_weights);
+
+  // Centroids at scaled random hypercube-ish vertices of the informative
+  // subspace. class_sep stretches them apart.
+  const int total_clusters = q * config.clusters_per_class;
+  std::vector<std::vector<double>> centroids(total_clusters,
+                                             std::vector<double>(m));
+  for (int c = 0; c < total_clusters; ++c) {
+    for (int j = 0; j < m; ++j) {
+      centroids[c][j] =
+          config.class_sep * (rng->NextDouble() < 0.5 ? -1.0 : 1.0) *
+          (1.0 + 0.5 * rng->NextDouble());
+    }
+  }
+
+  Matrix x(config.num_samples, p);
+  std::vector<int> y(config.num_samples);
+  int row = 0;
+  for (int c = 0; c < q; ++c) {
+    for (int i = 0; i < counts[c]; ++i) {
+      const int cluster = c * config.clusters_per_class +
+                          rng->NextInt(0, config.clusters_per_class - 1);
+      double* dst = x.Row(row);
+      for (int j = 0; j < m; ++j) {
+        dst[j] = centroids[cluster][j] + rng->NextGaussian() * config.noise_std;
+      }
+      for (int j = m; j < p; ++j) {
+        dst[j] = rng->NextGaussian() * config.noise_std;
+      }
+      y[row] = c;
+      ++row;
+    }
+  }
+  GBX_CHECK_EQ(row, config.num_samples);
+  return Dataset(std::move(x), std::move(y), q);
+}
+
+}  // namespace gbx

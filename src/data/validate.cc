@@ -1,0 +1,43 @@
+#include "data/validate.h"
+
+#include <cmath>
+
+namespace gbx {
+
+Status ValidateDataset(const Dataset& ds, const ValidateOptions& options) {
+  if (ds.size() < options.min_samples) {
+    return Status::FailedPrecondition(
+        "dataset has " + std::to_string(ds.size()) + " samples, need >= " +
+        std::to_string(options.min_samples));
+  }
+  if (ds.size() > 0 && ds.num_features() == 0) {
+    return Status::FailedPrecondition("dataset has zero features");
+  }
+  for (int i = 0; i < ds.size(); ++i) {
+    const double* row = ds.row(i);
+    for (int j = 0; j < ds.num_features(); ++j) {
+      if (!std::isfinite(row[j])) {
+        return Status::InvalidArgument(
+            "non-finite feature at sample " + std::to_string(i) +
+            ", feature " + std::to_string(j));
+      }
+    }
+    if (ds.label(i) < 0 || ds.label(i) >= ds.num_classes()) {
+      return Status::OutOfRange("label " + std::to_string(ds.label(i)) +
+                                " out of range at sample " +
+                                std::to_string(i));
+    }
+  }
+  if (options.require_two_classes) {
+    int populated = 0;
+    for (int c : ds.ClassCounts()) populated += c > 0 ? 1 : 0;
+    if (populated < 2) {
+      return Status::FailedPrecondition(
+          "classification requires >= 2 populated classes, found " +
+          std::to_string(populated));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gbx

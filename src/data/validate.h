@@ -1,0 +1,26 @@
+// Dataset validation: catches the malformed inputs (NaN/Inf features,
+// labels out of range, empty/degenerate shapes) that would otherwise trip
+// internal GBX_CHECKs deep inside samplers and classifiers. Entry points
+// that accept user data (CLI tools, CSV/ARFF loads) validate first.
+#ifndef GBX_DATA_VALIDATE_H_
+#define GBX_DATA_VALIDATE_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct ValidateOptions {
+  /// Minimum number of samples a usable dataset must have.
+  int min_samples = 1;
+  /// Require at least two populated classes (classification tasks).
+  bool require_two_classes = false;
+};
+
+/// OK iff the dataset has finite features, labels within
+/// [0, num_classes), and satisfies the options' shape requirements.
+Status ValidateDataset(const Dataset& ds, const ValidateOptions& options = {});
+
+}  // namespace gbx
+
+#endif  // GBX_DATA_VALIDATE_H_

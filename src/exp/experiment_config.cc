@@ -1,0 +1,38 @@
+#include "exp/experiment_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gbx {
+
+ExperimentConfig ExperimentConfig::FromArgs(int argc, char** argv) {
+  ExperimentConfig config;
+  const char* env_full = std::getenv("GBX_FULL");
+  if (env_full != nullptr && std::strcmp(env_full, "0") != 0 &&
+      std::strcmp(env_full, "") != 0) {
+    config.full = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_int = [&](int fallback) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : fallback;
+    };
+    if (std::strcmp(arg, "--full") == 0) {
+      config.full = true;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      config.seed = static_cast<std::uint64_t>(next_int(7));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      config.num_threads = next_int(-1);
+    } else if (std::strcmp(arg, "--max-samples") == 0) {
+      config.max_samples = next_int(config.max_samples);
+    }
+  }
+  if (config.full) {
+    config.max_samples = -1;
+    config.cv_repeats = 5;
+    config.fast_classifiers = false;
+  }
+  return config;
+}
+
+}  // namespace gbx

@@ -1,0 +1,37 @@
+// Experiment scaling. The paper's full protocol (paper-size datasets,
+// 5-fold CV repeated 5 times, full-size ensembles) is expensive; the
+// default "scaled" mode caps dataset sizes and repeats so the whole bench
+// suite runs in minutes while preserving the qualitative shapes. Pass
+// --full (or set GBX_FULL=1) to any bench binary for the paper-scale run.
+#ifndef GBX_EXP_EXPERIMENT_CONFIG_H_
+#define GBX_EXP_EXPERIMENT_CONFIG_H_
+
+#include <cstdint>
+
+namespace gbx {
+
+struct ExperimentConfig {
+  bool full = false;
+  /// Cap on per-dataset sample count (<= 0 = paper scale).
+  int max_samples = 1200;
+  int cv_folds = 5;
+  /// Paper repeats 5-fold CV five times (§V-A3).
+  int cv_repeats = 1;
+  /// Use trimmed ensemble sizes (see MakeClassifier(kind, fast)).
+  bool fast_classifiers = true;
+  std::uint64_t seed = 7;
+  /// Runner worker threads; -1 = hardware concurrency.
+  int num_threads = -1;
+
+  /// Parses --full / --seed N / --threads N / --max-samples N and the
+  /// GBX_FULL environment variable.
+  static ExperimentConfig FromArgs(int argc, char** argv);
+};
+
+/// The noise ratios evaluated throughout §V.
+inline const double kNoiseRatios[] = {0.05, 0.10, 0.20, 0.30, 0.40};
+inline constexpr int kNumNoiseRatios = 5;
+
+}  // namespace gbx
+
+#endif  // GBX_EXP_EXPERIMENT_CONFIG_H_

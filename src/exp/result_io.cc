@@ -1,0 +1,45 @@
+#include "exp/result_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "data/paper_suite.h"
+
+namespace gbx {
+
+std::string ResultsToCsv(const std::vector<EvalResult>& results) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "dataset,noise_ratio,sampler,classifier,mean_accuracy,mean_gmean,"
+         "mean_sampling_ratio,fold_accuracies\n";
+  for (const EvalResult& r : results) {
+    const auto& specs = PaperDatasetSpecs();
+    const std::string dataset =
+        r.request.dataset_index >= 0 &&
+                r.request.dataset_index < static_cast<int>(specs.size())
+            ? specs[r.request.dataset_index].id
+            : std::to_string(r.request.dataset_index);
+    out << dataset << "," << r.request.noise_ratio << ","
+        << SamplerKindName(r.request.sampler) << ","
+        << ClassifierKindName(r.request.classifier) << ","
+        << r.mean_accuracy << "," << r.mean_gmean << ","
+        << r.mean_sampling_ratio << ",";
+    for (std::size_t i = 0; i < r.fold_accuracies.size(); ++i) {
+      if (i > 0) out << ";";
+      out << r.fold_accuracies[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status SaveResultsCsv(const std::vector<EvalResult>& results,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << ResultsToCsv(results);
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace gbx

@@ -1,0 +1,26 @@
+// Export of experiment results to CSV so tables/figures can be re-plotted
+// outside the harness (the paper's figures are matplotlib renderings of
+// exactly this kind of grid).
+#ifndef GBX_EXP_RESULT_IO_H_
+#define GBX_EXP_RESULT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exp/runner.h"
+
+namespace gbx {
+
+/// One CSV row per result: dataset id, noise ratio, sampler, classifier,
+/// mean accuracy, mean G-mean, mean sampling ratio, and the per-fold
+/// accuracies joined with ';'.
+Status SaveResultsCsv(const std::vector<EvalResult>& results,
+                      const std::string& path);
+
+/// Serialization used by SaveResultsCsv (exposed for tests).
+std::string ResultsToCsv(const std::vector<EvalResult>& results);
+
+}  // namespace gbx
+
+#endif  // GBX_EXP_RESULT_IO_H_

@@ -1,0 +1,129 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/gbabs.h"
+#include "data/noise.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "sampling/srs.h"
+#include "stats/descriptive.h"
+
+namespace gbx {
+
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  int threads = num_threads > 0
+                    ? num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min(threads, count));
+  if (threads == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next(0);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(config) {}
+
+Dataset ExperimentRunner::LoadDataset(int dataset_index) const {
+  return MakePaperDataset(dataset_index, config_.max_samples, config_.seed);
+}
+
+EvalResult ExperimentRunner::Evaluate(const EvalRequest& request) const {
+  EvalResult result;
+  result.request = request;
+
+  // Deterministic per-cell stream: cells never share RNG state, so
+  // EvaluateAll's scheduling cannot change results.
+  const std::uint64_t cell_seed =
+      config_.seed * 1000003ULL + request.dataset_index * 7919ULL +
+      static_cast<std::uint64_t>(request.noise_ratio * 1000.0) * 104729ULL +
+      static_cast<std::uint64_t>(request.sampler) * 31ULL +
+      static_cast<std::uint64_t>(request.classifier);
+  Pcg32 rng(cell_seed, /*stream=*/0x5bd1e995);
+
+  const Dataset clean = LoadDataset(request.dataset_index);
+  Dataset data = request.noise_ratio > 0.0
+                     ? WithClassNoise(clean, request.noise_ratio, &rng)
+                     : clean;
+
+  const std::unique_ptr<Sampler> sampler = MakeSampler(request.sampler);
+  std::vector<double> ratios;
+
+  for (int repeat = 0; repeat < config_.cv_repeats; ++repeat) {
+    const std::vector<std::vector<int>> folds =
+        StratifiedKFold(data, config_.cv_folds, &rng);
+    for (const std::vector<int>& test_idx : folds) {
+      const std::vector<int> train_idx =
+          FoldComplement(test_idx, data.size());
+      const Dataset train = data.Subset(train_idx);
+      const Dataset test = data.Subset(test_idx);
+
+      Dataset sampled;
+      if (request.sampler == SamplerKind::kSrs) {
+        // Pin the SRS ratio to GBABS's realized ratio on this fold.
+        GbabsConfig gb;
+        gb.gbg.seed = (static_cast<std::uint64_t>(rng.NextU32()) << 32) |
+                      rng.NextU32();
+        const double ratio =
+            std::clamp(RunGbabs(train, gb).sampling_ratio, 1e-3, 1.0);
+        sampled = SrsSampler(ratio).Sample(train, &rng);
+      } else {
+        sampled = sampler->Sample(train, &rng);
+      }
+      // Guard degenerate folds: a usable training set needs >= 2 samples
+      // and more than one class.
+      bool degenerate = sampled.size() < 2;
+      if (!degenerate) {
+        const std::vector<int> counts = sampled.ClassCounts();
+        int populated = 0;
+        for (int c : counts) populated += c > 0 ? 1 : 0;
+        degenerate = populated < 2;
+      }
+      if (degenerate) sampled = train;
+      ratios.push_back(static_cast<double>(sampled.size()) /
+                       std::max(1, train.size()));
+
+      const std::unique_ptr<Classifier> clf =
+          MakeClassifier(request.classifier, config_.fast_classifiers);
+      clf->Fit(sampled, &rng);
+      const std::vector<int> pred = clf->PredictBatch(test.x());
+      result.fold_accuracies.push_back(Accuracy(test.y(), pred));
+      result.fold_gmeans.push_back(
+          GMean(test.y(), pred, data.num_classes()));
+    }
+  }
+
+  result.mean_accuracy = Mean(result.fold_accuracies);
+  result.mean_gmean = Mean(result.fold_gmeans);
+  result.mean_sampling_ratio = Mean(ratios);
+  return result;
+}
+
+std::vector<EvalResult> ExperimentRunner::EvaluateAll(
+    const std::vector<EvalRequest>& requests) const {
+  std::vector<EvalResult> results(requests.size());
+  ParallelFor(static_cast<int>(requests.size()), config_.num_threads,
+              [&](int i) { results[i] = Evaluate(requests[i]); });
+  return results;
+}
+
+}  // namespace gbx

@@ -1,0 +1,69 @@
+// Cross-validated sampler x classifier evaluation — the engine behind
+// every accuracy/G-mean table and figure in §V. Protocol (per §V-A2/A3):
+// class noise is injected once over the whole dataset, then (repeated)
+// stratified 5-fold CV runs over the noisy data; testing metrics are
+// measured against the (noisy) test-fold labels. SRS uses the GBABS
+// sampling ratio realized on the same training fold, as the paper pins the
+// two ratios together.
+#ifndef GBX_EXP_RUNNER_H_
+#define GBX_EXP_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "exp/experiment_config.h"
+#include "ml/classifier.h"
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+struct EvalRequest {
+  /// Index into PaperDatasetSpecs() (S1 = 0).
+  int dataset_index = 0;
+  double noise_ratio = 0.0;
+  SamplerKind sampler = SamplerKind::kNone;
+  ClassifierKind classifier = ClassifierKind::kDecisionTree;
+};
+
+struct EvalResult {
+  EvalRequest request;
+  double mean_accuracy = 0.0;
+  double mean_gmean = 0.0;
+  /// Mean |sampled| / |train fold| across folds.
+  double mean_sampling_ratio = 1.0;
+  /// Per-(repeat, fold) accuracies, flattened.
+  std::vector<double> fold_accuracies;
+  std::vector<double> fold_gmeans;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Evaluates a single (dataset, noise, sampler, classifier) cell.
+  EvalResult Evaluate(const EvalRequest& request) const;
+
+  /// Evaluates many cells in parallel (deterministic per-cell seeds, so
+  /// results are independent of scheduling).
+  std::vector<EvalResult> EvaluateAll(
+      const std::vector<EvalRequest>& requests) const;
+
+  /// The (possibly size-capped) dataset for a spec index, generated with
+  /// the runner's seed.
+  Dataset LoadDataset(int dataset_index) const;
+
+ private:
+  ExperimentConfig config_;
+};
+
+/// Generic deterministic parallel map used by the runner and benches:
+/// applies fn(i) for i in [0, count) across worker threads.
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn);
+
+}  // namespace gbx
+
+#endif  // GBX_EXP_RUNNER_H_

@@ -1,0 +1,40 @@
+#include "exp/table_printer.h"
+
+#include <cstdio>
+
+namespace gbx {
+
+TablePrinter::TablePrinter(std::vector<int> widths)
+    : widths_(std::move(widths)) {}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths_.size() ? widths_[i] : 12;
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) < width) {
+      cell.append(width - cell.size(), ' ');
+    }
+    line += cell;
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void TablePrinter::PrintSeparator() const {
+  int total = 0;
+  for (int w : widths_) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace gbx

@@ -1,0 +1,32 @@
+// Fixed-width table printing for the bench harnesses, so every binary
+// emits rows that line up with the paper's tables.
+#ifndef GBX_EXP_TABLE_PRINTER_H_
+#define GBX_EXP_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gbx {
+
+class TablePrinter {
+ public:
+  /// `widths` are per-column character widths; text is left-aligned,
+  /// numbers should be pre-formatted by the caller (Cell helpers below).
+  explicit TablePrinter(std::vector<int> widths);
+
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintSeparator() const;
+
+  /// value formatted with `digits` decimals.
+  static std::string Num(double value, int digits = 4);
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Prints a "=== title ===" banner.
+void PrintBanner(const std::string& title);
+
+}  // namespace gbx
+
+#endif  // GBX_EXP_TABLE_PRINTER_H_

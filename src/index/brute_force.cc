@@ -1,0 +1,57 @@
+#include "index/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbx {
+
+BruteForceIndex::BruteForceIndex(const Matrix* points) : points_(points) {
+  GBX_CHECK(points != nullptr);
+}
+
+std::vector<Neighbor> BruteForceIndex::KNearest(const double* query,
+                                                int k) const {
+  GBX_CHECK_GE(k, 0);
+  const int n = points_->rows();
+  const int d = points_->cols();
+  k = std::min(k, n);
+  if (k == 0) return {};
+
+  // Max-heap of the current best k (by squared distance); heap top is the
+  // worst retained candidate.
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  auto worse = [](const Neighbor& a, const Neighbor& b) { return a < b; };
+  for (int i = 0; i < n; ++i) {
+    const double d2 = SquaredDistance(query, points_->Row(i), d);
+    Neighbor cand{i, d2};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (cand < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  for (Neighbor& nb : heap) nb.distance = std::sqrt(nb.distance);
+  return heap;
+}
+
+std::vector<Neighbor> BruteForceIndex::RadiusSearch(const double* query,
+                                                    double radius) const {
+  GBX_CHECK_GE(radius, 0.0);
+  const int n = points_->rows();
+  const int d = points_->cols();
+  const double r2 = radius * radius;
+  std::vector<Neighbor> out;
+  for (int i = 0; i < n; ++i) {
+    const double d2 = SquaredDistance(query, points_->Row(i), d);
+    if (d2 <= r2) out.push_back(Neighbor{i, std::sqrt(d2)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gbx

@@ -1,0 +1,31 @@
+// Exhaustive-scan neighbor index: O(n·d) per query, no preprocessing.
+// The reference implementation that the KD-tree is property-tested against,
+// and the faster choice for small n or very high d.
+#ifndef GBX_INDEX_BRUTE_FORCE_H_
+#define GBX_INDEX_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace gbx {
+
+class BruteForceIndex : public NeighborIndex {
+ public:
+  /// `points` must outlive the index.
+  explicit BruteForceIndex(const Matrix* points);
+
+  std::vector<Neighbor> KNearest(const double* query, int k) const override;
+  std::vector<Neighbor> RadiusSearch(const double* query,
+                                     double radius) const override;
+
+  int size() const override { return points_->rows(); }
+  int dims() const override { return points_->cols(); }
+
+ private:
+  const Matrix* points_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_INDEX_BRUTE_FORCE_H_

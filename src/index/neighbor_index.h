@@ -1,0 +1,43 @@
+// Nearest-neighbor search interface shared by the brute-force scanner and
+// the KD-tree. Indexes are non-owning views over a Matrix whose lifetime
+// must exceed the index.
+#ifndef GBX_INDEX_NEIGHBOR_INDEX_H_
+#define GBX_INDEX_NEIGHBOR_INDEX_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+struct Neighbor {
+  int index = -1;
+  double distance = 0.0;  // Euclidean
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;  // deterministic tie-break
+  }
+};
+
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  /// The k nearest points to `query`, sorted by (distance, index)
+  /// ascending. Returns fewer than k when the index holds fewer points.
+  virtual std::vector<Neighbor> KNearest(const double* query,
+                                         int k) const = 0;
+
+  /// All points within `radius` (inclusive) of `query`, sorted by
+  /// (distance, index).
+  virtual std::vector<Neighbor> RadiusSearch(const double* query,
+                                             double radius) const = 0;
+
+  virtual int size() const = 0;
+  virtual int dims() const = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_INDEX_NEIGHBOR_INDEX_H_

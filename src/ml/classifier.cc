@@ -1,0 +1,70 @@
+#include "ml/classifier.h"
+
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/lgbm.h"
+#include "ml/random_forest.h"
+#include "ml/xgb.h"
+
+namespace gbx {
+
+std::vector<int> Classifier::PredictBatch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (int i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+  return out;
+}
+
+std::string ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return "kNN";
+    case ClassifierKind::kDecisionTree:
+      return "DT";
+    case ClassifierKind::kRandomForest:
+      return "RF";
+    case ClassifierKind::kXgBoost:
+      return "XGBoost";
+    case ClassifierKind::kLightGbm:
+      return "LightGBM";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind, bool fast) {
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return std::make_unique<KnnClassifier>();
+    case ClassifierKind::kDecisionTree:
+      return std::make_unique<DecisionTreeClassifier>();
+    case ClassifierKind::kRandomForest: {
+      RandomForestConfig cfg;
+      if (fast) cfg.num_trees = 40;
+      // Runner-level parallelism owns the cores in fast mode.
+      if (fast) cfg.num_threads = 1;
+      return std::make_unique<RandomForestClassifier>(cfg);
+    }
+    case ClassifierKind::kXgBoost: {
+      XgBoostConfig cfg;
+      if (fast) {
+        cfg.num_rounds = 20;
+        cfg.colsample_bytree = 0.5;
+      }
+      return std::make_unique<XgBoostClassifier>(cfg);
+    }
+    case ClassifierKind::kLightGbm: {
+      LightGbmConfig cfg;
+      if (fast) cfg.num_rounds = 20;
+      return std::make_unique<LightGbmClassifier>(cfg);
+    }
+  }
+  GBX_CHECK(false && "unknown classifier kind");
+  return nullptr;
+}
+
+std::vector<ClassifierKind> AllClassifierKinds() {
+  return {ClassifierKind::kDecisionTree, ClassifierKind::kXgBoost,
+          ClassifierKind::kLightGbm, ClassifierKind::kKnn,
+          ClassifierKind::kRandomForest};
+}
+
+}  // namespace gbx

@@ -1,0 +1,54 @@
+// Common interface for the five classifiers of §V-A1: kNN, decision tree
+// (CART), random forest, and the two gradient-boosting machines standing
+// in for XGBoost and LightGBM. All are implemented from scratch with
+// scikit-learn-like defaults (see each header).
+#ifndef GBX_ML_CLASSIFIER_H_
+#define GBX_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `train`. `rng` drives any randomized component (forests,
+  /// boosting subsampling); deterministic given (train, rng state).
+  virtual void Fit(const Dataset& train, Pcg32* rng) = 0;
+
+  /// Predicts the class of a single feature vector (num_features doubles).
+  virtual int Predict(const double* x) const = 0;
+
+  /// Batch prediction; the default loops over Predict.
+  virtual std::vector<int> PredictBatch(const Matrix& x) const;
+
+  virtual std::string name() const = 0;
+};
+
+enum class ClassifierKind {
+  kKnn,
+  kDecisionTree,
+  kRandomForest,
+  kXgBoost,
+  kLightGbm,
+};
+
+std::string ClassifierKindName(ClassifierKind kind);
+
+/// Factory with default hyperparameters. `fast` trims ensemble sizes for
+/// the scaled experiment mode (see exp/experiment_config.h).
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind,
+                                           bool fast = false);
+
+/// All five paper classifiers, in the order used by Table IV.
+std::vector<ClassifierKind> AllClassifierKinds();
+
+}  // namespace gbx
+
+#endif  // GBX_ML_CLASSIFIER_H_

@@ -1,0 +1,152 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbx {
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(DecisionTreeConfig config)
+    : config_(config) {
+  GBX_CHECK_GE(config.min_samples_split, 2);
+  GBX_CHECK_GE(config.min_samples_leaf, 1);
+}
+
+void DecisionTreeClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  std::vector<int> indices(train.size());
+  for (int i = 0; i < train.size(); ++i) indices[i] = i;
+  FitIndices(train, indices, rng);
+}
+
+void DecisionTreeClassifier::FitIndices(const Dataset& train,
+                                        const std::vector<int>& indices,
+                                        Pcg32* rng) {
+  GBX_CHECK(!indices.empty());
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = train.num_classes();
+  std::vector<int> work = indices;
+  Build(train, &work, 0, static_cast<int>(work.size()), 0, rng);
+}
+
+int DecisionTreeClassifier::Build(const Dataset& train,
+                                  std::vector<int>* indices, int begin,
+                                  int end, int depth, Pcg32* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  depth_ = std::max(depth_, depth);
+
+  const int n = end - begin;
+  std::vector<double> counts(num_classes_, 0.0);
+  for (int i = begin; i < end; ++i) counts[train.label((*indices)[i])] += 1.0;
+  int majority = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (counts[c] > counts[majority]) majority = c;
+  }
+  nodes_[node_id].label = majority;
+
+  const double node_gini = GiniFromCounts(counts, n);
+  const bool stop = node_gini == 0.0 || n < config_.min_samples_split ||
+                    (config_.max_depth >= 0 && depth >= config_.max_depth);
+  if (stop) return node_id;
+
+  // Candidate features: all, or a random subset (forest mode).
+  const int p = train.num_features();
+  std::vector<int> features;
+  if (config_.max_features > 0 && config_.max_features < p) {
+    GBX_CHECK(rng != nullptr);
+    features = rng->SampleWithoutReplacement(p, config_.max_features);
+  } else {
+    features.resize(p);
+    for (int j = 0; j < p; ++j) features[j] = j;
+  }
+
+  // Exact best split: sort the node's rows by each candidate feature and
+  // scan boundaries between distinct values.
+  double best_score = node_gini;  // must strictly improve
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<int> sorted(indices->begin() + begin, indices->begin() + end);
+  std::vector<double> left_counts(num_classes_);
+  for (int feature : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      const double va = train.feature(a, feature);
+      const double vb = train.feature(b, feature);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    for (int i = 0; i + 1 < n; ++i) {
+      left_counts[train.label(sorted[i])] += 1.0;
+      const double v = train.feature(sorted[i], feature);
+      const double v_next = train.feature(sorted[i + 1], feature);
+      if (v == v_next) continue;  // not a boundary
+      const int n_left = i + 1;
+      const int n_right = n - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      double right_sq = 0.0;
+      double left_sq = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        left_sq += left_counts[c] * left_counts[c];
+        const double rc = counts[c] - left_counts[c];
+        right_sq += rc * rc;
+      }
+      const double gini_left = 1.0 - left_sq / (static_cast<double>(n_left) *
+                                                n_left);
+      const double gini_right =
+          1.0 - right_sq / (static_cast<double>(n_right) * n_right);
+      const double weighted =
+          (n_left * gini_left + n_right * gini_right) / n;
+      if (weighted < best_score - 1e-12) {
+        best_score = weighted;
+        best_feature = feature;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no improving split: leaf
+
+  // Partition the node's index range in place.
+  auto mid_it = std::stable_partition(
+      indices->begin() + begin, indices->begin() + end, [&](int idx) {
+        return train.feature(idx, best_feature) <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - indices->begin());
+  GBX_CHECK(mid > begin && mid < end);
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(train, indices, begin, mid, depth + 1, rng);
+  const int right = Build(train, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTreeClassifier::Predict(const double* x) const {
+  GBX_CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+}  // namespace gbx

@@ -1,0 +1,57 @@
+// CART decision-tree classifier (Breiman et al., 1984) with scikit-learn's
+// defaults: gini impurity, best-first exact splits, unlimited depth,
+// min_samples_split = 2, min_samples_leaf = 1. Random forests reuse the
+// same builder with per-node feature subsampling and bootstrap rows.
+#ifndef GBX_ML_DECISION_TREE_H_
+#define GBX_ML_DECISION_TREE_H_
+
+#include "ml/classifier.h"
+
+namespace gbx {
+
+struct DecisionTreeConfig {
+  int max_depth = -1;         // -1 = unlimited
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Number of features considered per split; -1 = all (plain CART),
+  /// otherwise a fresh random subset per node (random forest mode).
+  int max_features = -1;
+};
+
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+
+  /// Fits on a row subset (with repetitions allowed — bootstrap bags).
+  void FitIndices(const Dataset& train, const std::vector<int>& indices,
+                  Pcg32* rng);
+
+  int Predict(const double* x) const override;
+  std::string name() const override { return "DT"; }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 marks a leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = -1;          // majority label (valid for every node)
+  };
+
+  int Build(const Dataset& train, std::vector<int>* indices, int begin,
+            int end, int depth, Pcg32* rng);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_DECISION_TREE_H_

@@ -1,0 +1,70 @@
+#include "ml/gb_knn.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+GbKnnClassifier::GbKnnClassifier(RdGbgConfig gbg, int k)
+    : gbg_config_(gbg), k_(k) {
+  GBX_CHECK_GE(k, 1);
+}
+
+void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  GBX_CHECK_GT(train.size(), 0);
+  RdGbgConfig cfg = gbg_config_;
+  if (rng != nullptr) {
+    cfg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
+               rng->NextU32();
+  }
+  // The balls live in min-max-scaled space; remember the transform so
+  // queries are scaled consistently.
+  scaler_ = MinMaxScaler();
+  scaler_.Fit(train.x());
+  cfg.scale_features = true;
+  RdGbgResult result = GenerateRdGbg(train, cfg);
+  balls_ = std::move(result.balls);
+  num_classes_ = train.num_classes();
+}
+
+int GbKnnClassifier::Predict(const double* x) const {
+  GBX_CHECK_GT(balls_.size(), 0);
+  const int p = balls_.scaled_features().cols();
+  // Scale the query like the training features.
+  std::vector<double> q(p);
+  {
+    Matrix tmp(1, p);
+    for (int j = 0; j < p; ++j) tmp.At(0, j) = x[j];
+    const Matrix scaled = scaler_.Transform(tmp);
+    for (int j = 0; j < p; ++j) q[j] = scaled.At(0, j);
+  }
+
+  // Ball score: a query inside a ball (pure, non-overlapping region) is
+  // decided by it — score = dist - r < 0, unique by the non-overlap
+  // invariant. Outside every ball, the nearest *center* wins. (Plain
+  // dist - r for far queries lets large-radius balls dominate under
+  // high-dimensional distance concentration.)
+  const int k = std::min(k_, balls_.size());
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(balls_.size());
+  for (int i = 0; i < balls_.size(); ++i) {
+    const GranularBall& ball = balls_.ball(i);
+    const double dist = EuclideanDistance(q.data(), ball.center.data(), p);
+    const double score = dist <= ball.radius ? dist - ball.radius : dist;
+    dists.emplace_back(score, i);
+  }
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+
+  std::vector<int> votes(num_classes_, 0);
+  for (int i = 0; i < k; ++i) ++votes[balls_.ball(dists[i].second).label];
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  for (int i = 0; i < k; ++i) {
+    const int cls = balls_.ball(dists[i].second).label;
+    if (votes[cls] == votes[best]) return cls;
+  }
+  return best;
+}
+
+}  // namespace gbx

@@ -1,0 +1,275 @@
+#include "ml/gbdt_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace gbx {
+
+void HistogramBinner::Fit(const Matrix& x, int max_bins) {
+  GBX_CHECK_GE(max_bins, 2);
+  GBX_CHECK_LE(max_bins, 65535);
+  const int n = x.rows();
+  const int p = x.cols();
+  edges_.assign(p, {});
+  std::vector<double> values(n);
+  for (int j = 0; j < p; ++j) {
+    for (int i = 0; i < n; ++i) values[i] = x.At(i, j);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    const int distinct = static_cast<int>(values.size());
+    std::vector<double>& edges = edges_[j];
+    if (distinct <= max_bins) {
+      // One bin per distinct value; edges at the values themselves
+      // (v <= edge goes left).
+      for (int i = 0; i + 1 < distinct; ++i) edges.push_back(values[i]);
+    } else {
+      // Evenly spaced ranks through the distinct values.
+      for (int b = 1; b < max_bins; ++b) {
+        const int rank = static_cast<int>(
+            static_cast<std::int64_t>(b) * distinct / max_bins);
+        const double edge = values[rank - 1];
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+  }
+}
+
+std::vector<std::uint16_t> HistogramBinner::Transform(const Matrix& x) const {
+  GBX_CHECK_EQ(x.cols(), num_features());
+  std::vector<std::uint16_t> out(
+      static_cast<std::size_t>(x.rows()) * x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (int j = 0; j < x.cols(); ++j) {
+      const auto& edges = edges_[j];
+      const auto it = std::lower_bound(edges.begin(), edges.end(), row[j]);
+      // Values equal to an edge belong to that edge's bin (v <= edge).
+      out[static_cast<std::size_t>(i) * x.cols() + j] =
+          static_cast<std::uint16_t>(it - edges.begin());
+    }
+  }
+  return out;
+}
+
+double RegressionTree::Predict(const double* x) const {
+  GBX_CHECK(!nodes.empty());
+  int node = 0;
+  while (nodes[node].feature >= 0) {
+    node = x[nodes[node].feature] <= nodes[node].threshold
+               ? nodes[node].left
+               : nodes[node].right;
+  }
+  return nodes[node].value;
+}
+
+int RegressionTree::num_leaves() const {
+  int count = 0;
+  for (const auto& node : nodes) {
+    if (node.feature < 0) ++count;
+  }
+  return count;
+}
+
+void Softmax(double* scores, int k) {
+  double max_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < k; ++c) max_score = std::max(max_score, scores[c]);
+  double sum = 0.0;
+  for (int c = 0; c < k; ++c) {
+    scores[c] = std::exp(scores[c] - max_score);
+    sum += scores[c];
+  }
+  for (int c = 0; c < k; ++c) scores[c] /= sum;
+}
+
+namespace {
+
+struct SplitInfo {
+  double gain = 0.0;
+  int feature = -1;
+  int bin = -1;  // rows with bin <= this go left
+  bool valid() const { return feature >= 0; }
+};
+
+struct LeafState {
+  int node_id = 0;
+  int begin = 0;  // range in the shared row array
+  int end = 0;
+  int depth = 0;
+  double sum_grad = 0.0;
+  double sum_hess = 0.0;
+  SplitInfo best;
+};
+
+/// Finds the best split of a leaf by building per-feature histograms over
+/// its rows and scanning bins.
+SplitInfo FindBestSplit(const HistogramBinner& binner,
+                        const std::vector<std::uint16_t>& binned, int p,
+                        const std::vector<double>& grad,
+                        const std::vector<double>& hess,
+                        const std::vector<int>& rows, int begin, int end,
+                        double sum_grad, double sum_hess,
+                        const GbdtTreeConfig& cfg,
+                        const std::vector<int>* feature_subset) {
+  SplitInfo best;
+  const int n = end - begin;
+  if (n < 2 * cfg.min_child_samples) return best;
+  const double parent_score =
+      sum_grad * sum_grad / (sum_hess + cfg.lambda);
+
+  std::vector<double> hist_grad;
+  std::vector<double> hist_hess;
+  std::vector<int> hist_count;
+  const int num_candidates =
+      feature_subset ? static_cast<int>(feature_subset->size()) : p;
+  for (int fi = 0; fi < num_candidates; ++fi) {
+    const int j = feature_subset ? (*feature_subset)[fi] : fi;
+    const int bins = binner.num_bins(j);
+    if (bins < 2) continue;
+    hist_grad.assign(bins, 0.0);
+    hist_hess.assign(bins, 0.0);
+    hist_count.assign(bins, 0);
+    for (int i = begin; i < end; ++i) {
+      const int row = rows[i];
+      const int b = binned[static_cast<std::size_t>(row) * p + j];
+      hist_grad[b] += grad[row];
+      hist_hess[b] += hess[row];
+      ++hist_count[b];
+    }
+    double left_grad = 0.0;
+    double left_hess = 0.0;
+    int left_count = 0;
+    for (int b = 0; b + 1 < bins; ++b) {
+      left_grad += hist_grad[b];
+      left_hess += hist_hess[b];
+      left_count += hist_count[b];
+      if (left_count < cfg.min_child_samples) continue;
+      const int right_count = n - left_count;
+      if (right_count < cfg.min_child_samples) break;
+      const double right_hess = sum_hess - left_hess;
+      if (left_hess < cfg.min_child_weight ||
+          right_hess < cfg.min_child_weight) {
+        continue;
+      }
+      const double right_grad = sum_grad - left_grad;
+      const double gain =
+          left_grad * left_grad / (left_hess + cfg.lambda) +
+          right_grad * right_grad / (right_hess + cfg.lambda) -
+          parent_score;
+      if (gain > best.gain + 1e-12 && gain > cfg.gamma) {
+        best.gain = gain;
+        best.feature = j;
+        best.bin = b;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RegressionTree BuildHistTree(const HistogramBinner& binner,
+                             const std::vector<std::uint16_t>& binned,
+                             int num_columns,
+                             const std::vector<double>& gradients,
+                             const std::vector<double>& hessians,
+                             std::vector<int> rows,
+                             const GbdtTreeConfig& config,
+                             const std::vector<int>* feature_subset) {
+  GBX_CHECK(!rows.empty());
+  GBX_CHECK_EQ(num_columns, binner.num_features());
+  const int p = num_columns;
+  const bool leaf_wise = config.max_leaves > 0;
+
+  RegressionTree tree;
+  tree.nodes.emplace_back();
+
+  auto leaf_value = [&](double g, double h) {
+    return -config.learning_rate * g / (h + config.lambda);
+  };
+
+  LeafState root;
+  root.node_id = 0;
+  root.begin = 0;
+  root.end = static_cast<int>(rows.size());
+  for (int row : rows) {
+    root.sum_grad += gradients[row];
+    root.sum_hess += hessians[row];
+  }
+  tree.nodes[0].value = leaf_value(root.sum_grad, root.sum_hess);
+  root.best = FindBestSplit(binner, binned, p, gradients, hessians, rows,
+                            root.begin, root.end, root.sum_grad,
+                            root.sum_hess, config, feature_subset);
+
+  // Best-first priority queue (leaf-wise); for depth-wise we simply split
+  // every splittable leaf until the depth limit, which a FIFO-ish queue
+  // with a depth check also achieves.
+  auto cmp = [](const LeafState& a, const LeafState& b) {
+    return a.best.gain < b.best.gain;
+  };
+  std::priority_queue<LeafState, std::vector<LeafState>, decltype(cmp)> heap(
+      cmp);
+  heap.push(root);
+  int leaves = 1;
+
+  while (!heap.empty()) {
+    if (leaf_wise && leaves >= config.max_leaves) break;
+    LeafState leaf = heap.top();
+    heap.pop();
+    if (!leaf.best.valid()) continue;
+    if (!leaf_wise && leaf.depth >= config.max_depth) continue;
+
+    const int feature = leaf.best.feature;
+    const int split_bin = leaf.best.bin;
+    // Partition this leaf's rows.
+    auto mid_it = std::stable_partition(
+        rows.begin() + leaf.begin, rows.begin() + leaf.end, [&](int row) {
+          return binned[static_cast<std::size_t>(row) * p + feature] <=
+                 split_bin;
+        });
+    const int mid = static_cast<int>(mid_it - rows.begin());
+    GBX_CHECK(mid > leaf.begin && mid < leaf.end);
+
+    LeafState left;
+    LeafState right;
+    left.begin = leaf.begin;
+    left.end = mid;
+    right.begin = mid;
+    right.end = leaf.end;
+    left.depth = right.depth = leaf.depth + 1;
+    for (int i = left.begin; i < left.end; ++i) {
+      left.sum_grad += gradients[rows[i]];
+      left.sum_hess += hessians[rows[i]];
+    }
+    right.sum_grad = leaf.sum_grad - left.sum_grad;
+    right.sum_hess = leaf.sum_hess - left.sum_hess;
+
+    left.node_id = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    right.node_id = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+
+    RegressionTree::Node& parent = tree.nodes[leaf.node_id];
+    parent.feature = feature;
+    parent.threshold = binner.SplitThreshold(feature, split_bin);
+    parent.left = left.node_id;
+    parent.right = right.node_id;
+    tree.nodes[left.node_id].value = leaf_value(left.sum_grad, left.sum_hess);
+    tree.nodes[right.node_id].value =
+        leaf_value(right.sum_grad, right.sum_hess);
+    ++leaves;
+
+    left.best = FindBestSplit(binner, binned, p, gradients, hessians, rows,
+                              left.begin, left.end, left.sum_grad,
+                              left.sum_hess, config, feature_subset);
+    right.best = FindBestSplit(binner, binned, p, gradients, hessians, rows,
+                               right.begin, right.end, right.sum_grad,
+                               right.sum_hess, config, feature_subset);
+    heap.push(left);
+    heap.push(right);
+  }
+  return tree;
+}
+
+}  // namespace gbx

@@ -1,0 +1,88 @@
+// Shared machinery for the two gradient-boosted tree classifiers:
+//   * HistogramBinner — global quantile feature binning (LightGBM-style),
+//   * RegressionTree  — additive-model tree with real-valued thresholds,
+//   * BuildHistTree   — second-order histogram tree grower supporting
+//     depth-wise growth (the XGBoost stand-in) and best-first leaf-wise
+//     growth (the LightGBM stand-in),
+//   * softmax objective helpers for multi-class boosting.
+#ifndef GBX_ML_GBDT_COMMON_H_
+#define GBX_ML_GBDT_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+/// Quantile-bins every feature into at most `max_bins` buckets. Bin edges
+/// are chosen from the sorted distinct values so each bucket holds roughly
+/// equal mass; bin index = number of edges strictly below the value.
+class HistogramBinner {
+ public:
+  void Fit(const Matrix& x, int max_bins);
+
+  /// Bins one matrix (typically the training matrix passed to Fit).
+  /// Result is row-major rows x cols of bin ids.
+  std::vector<std::uint16_t> Transform(const Matrix& x) const;
+
+  int num_features() const { return static_cast<int>(edges_.size()); }
+  int num_bins(int feature) const {
+    return static_cast<int>(edges_[feature].size()) + 1;
+  }
+  /// Real-valued threshold for the split "bin <= b": values <= edge go
+  /// left. Requires b < num_bins(feature) - 1.
+  double SplitThreshold(int feature, int bin) const {
+    return edges_[feature][bin];
+  }
+
+ private:
+  std::vector<std::vector<double>> edges_;
+};
+
+/// Regression tree producing an additive margin contribution.
+struct RegressionTree {
+  struct Node {
+    int feature = -1;        // -1 marks a leaf
+    double threshold = 0.0;  // x[feature] <= threshold -> left
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf output (already scaled by the learner)
+  };
+  std::vector<Node> nodes;
+
+  double Predict(const double* x) const;
+  int num_leaves() const;
+};
+
+struct GbdtTreeConfig {
+  /// Depth-wise limit; used when max_leaves <= 0.
+  int max_depth = 6;
+  /// Leaf-wise (best-first) growth to this many leaves when > 0.
+  int max_leaves = -1;
+  double lambda = 1.0;            // L2 regularization on leaf weights
+  double gamma = 0.0;             // minimum split gain
+  double min_child_weight = 1.0;  // minimum hessian sum per child
+  int min_child_samples = 1;
+  double learning_rate = 0.3;     // folded into leaf values
+};
+
+/// Grows one tree on gradients/hessians over the rows in `rows`. `binned`
+/// is the binner's Transform of the training matrix, `num_columns` its
+/// width. `feature_subset`, when non-null, restricts split search to those
+/// feature ids (column subsampling).
+RegressionTree BuildHistTree(const HistogramBinner& binner,
+                             const std::vector<std::uint16_t>& binned,
+                             int num_columns,
+                             const std::vector<double>& gradients,
+                             const std::vector<double>& hessians,
+                             std::vector<int> rows,
+                             const GbdtTreeConfig& config,
+                             const std::vector<int>* feature_subset = nullptr);
+
+/// In-place softmax over `k` scores.
+void Softmax(double* scores, int k);
+
+}  // namespace gbx
+
+#endif  // GBX_ML_GBDT_COMMON_H_

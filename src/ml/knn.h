@@ -1,0 +1,31 @@
+// k-nearest-neighbors classifier (Cover & Hart, 1967) with scikit-learn's
+// default k = 5 and uniform vote; the KD-tree accelerates queries. Ties
+// break toward the class of the nearer neighbor, matching the behaviour of
+// a distance-sorted majority vote.
+#ifndef GBX_ML_KNN_H_
+#define GBX_ML_KNN_H_
+
+#include "index/kd_tree.h"
+#include "ml/classifier.h"
+
+namespace gbx {
+
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5);
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "kNN"; }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  Dataset train_;
+  std::unique_ptr<KdTree> tree_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_KNN_H_

@@ -1,0 +1,82 @@
+#include "ml/lgbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbx {
+
+LightGbmClassifier::LightGbmClassifier(LightGbmConfig config)
+    : config_(config) {
+  GBX_CHECK_GE(config.num_rounds, 1);
+  GBX_CHECK_GE(config.num_leaves, 2);
+}
+
+void LightGbmClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  (void)rng;  // no stochastic component at these defaults
+  GBX_CHECK_GT(train.size(), 0);
+  const int n = train.size();
+  const int p = train.num_features();
+  num_classes_ = std::max(2, train.num_classes());
+
+  binner_ = HistogramBinner();
+  binner_.Fit(train.x(), config_.max_bins);
+  const std::vector<std::uint16_t> binned = binner_.Transform(train.x());
+
+  GbdtTreeConfig tree_cfg;
+  tree_cfg.max_leaves = config_.num_leaves;  // leaf-wise growth
+  tree_cfg.min_child_samples = config_.min_child_samples;
+  tree_cfg.lambda = config_.lambda;
+  tree_cfg.learning_rate = config_.learning_rate;
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.num_rounds) * num_classes_);
+
+  std::vector<double> margins(static_cast<std::size_t>(n) * num_classes_,
+                              0.0);
+  std::vector<double> probs(num_classes_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  std::vector<int> all_rows(n);
+  for (int i = 0; i < n; ++i) all_rows[i] = i;
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    for (int c = 0; c < num_classes_; ++c) {
+      for (int i = 0; i < n; ++i) {
+        const double* m = &margins[static_cast<std::size_t>(i) * num_classes_];
+        std::copy(m, m + num_classes_, probs.begin());
+        Softmax(probs.data(), num_classes_);
+        const double pc = probs[c];
+        const double y = train.label(i) == c ? 1.0 : 0.0;
+        grad[i] = pc - y;
+        hess[i] = std::max(pc * (1.0 - pc), 1e-6);
+      }
+      RegressionTree tree =
+          BuildHistTree(binner_, binned, p, grad, hess, all_rows, tree_cfg);
+      for (int i = 0; i < n; ++i) {
+        margins[static_cast<std::size_t>(i) * num_classes_ + c] +=
+            tree.Predict(train.row(i));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+}
+
+std::vector<double> LightGbmClassifier::PredictMargin(const double* x) const {
+  std::vector<double> margin(num_classes_, 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    margin[t % num_classes_] += trees_[t].Predict(x);
+  }
+  return margin;
+}
+
+int LightGbmClassifier::Predict(const double* x) const {
+  GBX_CHECK(!trees_.empty());
+  const std::vector<double> margin = PredictMargin(x);
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (margin[c] > margin[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace gbx

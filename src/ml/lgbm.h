@@ -1,0 +1,42 @@
+// LightGBM-style gradient boosting (Ke et al., 2017): histogram split
+// finding with best-first *leaf-wise* tree growth (num_leaves = 31),
+// learning rate 0.1, min_child_samples = 20 — the library defaults used by
+// the paper's scikit pipeline. Contrast with the XGBoost stand-in, which
+// grows depth-wise.
+#ifndef GBX_ML_LGBM_H_
+#define GBX_ML_LGBM_H_
+
+#include "ml/classifier.h"
+#include "ml/gbdt_common.h"
+
+namespace gbx {
+
+struct LightGbmConfig {
+  int num_rounds = 100;
+  double learning_rate = 0.1;
+  int num_leaves = 31;
+  int min_child_samples = 20;
+  double lambda = 0.0;
+  int max_bins = 63;
+};
+
+class LightGbmClassifier : public Classifier {
+ public:
+  explicit LightGbmClassifier(LightGbmConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "LightGBM"; }
+
+  std::vector<double> PredictMargin(const double* x) const;
+
+ private:
+  LightGbmConfig config_;
+  HistogramBinner binner_;
+  std::vector<RegressionTree> trees_;  // trees_[round * num_classes_ + c]
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_LGBM_H_

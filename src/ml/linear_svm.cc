@@ -1,0 +1,89 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbx {
+
+LinearSvmClassifier::LinearSvmClassifier(LinearSvmConfig config)
+    : config_(config) {
+  GBX_CHECK_GT(config.lambda, 0.0);
+  GBX_CHECK_GE(config.epochs, 1);
+}
+
+void LinearSvmClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GT(train.size(), 0);
+  const int n = train.size();
+  const int p = train.num_features();
+  num_classes_ = std::max(2, train.num_classes());
+
+  Matrix x = train.x();
+  if (config_.standardize) {
+    scaler_ = StandardScaler();
+    x = scaler_.FitTransform(x);
+  }
+
+  weights_ = Matrix(num_classes_, p);
+  biases_.assign(num_classes_, 0.0);
+
+  // Pegasos per class (one-vs-rest): at step t, with learning rate
+  // 1/(lambda*t):   w <- (1 - 1/t) w + [margin violated] y x / (lambda t).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    double* w = weights_.Row(cls);
+    double& b = biases_[cls];
+    std::int64_t t = 0;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng->Shuffle(&order);
+      for (int i : order) {
+        ++t;
+        const double eta = 1.0 / (config_.lambda * t);
+        const double y = train.label(i) == cls ? 1.0 : -1.0;
+        const double* xi = x.Row(i);
+        double margin = b;
+        for (int j = 0; j < p; ++j) margin += w[j] * xi[j];
+        const double shrink = 1.0 - eta * config_.lambda;
+        for (int j = 0; j < p; ++j) w[j] *= shrink;
+        if (y * margin < 1.0) {
+          const double step = eta * y;
+          for (int j = 0; j < p; ++j) w[j] += step * xi[j];
+          b += step;  // unregularized bias
+        }
+      }
+    }
+  }
+}
+
+double LinearSvmClassifier::DecisionValue(const double* x, int cls) const {
+  GBX_CHECK(cls >= 0 && cls < num_classes_);
+  const int p = weights_.cols();
+  std::vector<double> q(x, x + p);
+  if (config_.standardize && scaler_.fitted()) {
+    Matrix tmp(1, p);
+    for (int j = 0; j < p; ++j) tmp.At(0, j) = x[j];
+    const Matrix scaled = scaler_.Transform(tmp);
+    for (int j = 0; j < p; ++j) q[j] = scaled.At(0, j);
+  }
+  const double* w = weights_.Row(cls);
+  double v = biases_[cls];
+  for (int j = 0; j < p; ++j) v += w[j] * q[j];
+  return v;
+}
+
+int LinearSvmClassifier::Predict(const double* x) const {
+  GBX_CHECK_GT(num_classes_, 0);
+  int best = 0;
+  double best_v = DecisionValue(x, 0);
+  for (int c = 1; c < num_classes_; ++c) {
+    const double v = DecisionValue(x, c);
+    if (v > best_v) {
+      best_v = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace gbx

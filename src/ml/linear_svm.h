@@ -1,0 +1,45 @@
+// Linear support-vector machine trained with Pegasos (Shalev-Shwartz et
+// al., 2007): stochastic sub-gradient descent on the L2-regularized hinge
+// loss, one-vs-rest for multi-class. Included because borderline sampling
+// was historically motivated by SVM training-set reduction (§I of the
+// paper cites [24]-[26]): max-margin models depend exactly on the
+// boundary samples GBABS keeps. See examples/svm_borderline.cpp.
+#ifndef GBX_ML_LINEAR_SVM_H_
+#define GBX_ML_LINEAR_SVM_H_
+
+#include "data/scaler.h"
+#include "ml/classifier.h"
+
+namespace gbx {
+
+struct LinearSvmConfig {
+  /// Regularization strength lambda of Pegasos (1 / (n * C)).
+  double lambda = 1e-4;
+  int epochs = 20;
+  /// Standardize features internally (recommended; hinge loss is not
+  /// scale-invariant).
+  bool standardize = true;
+};
+
+class LinearSvmClassifier : public Classifier {
+ public:
+  explicit LinearSvmClassifier(LinearSvmConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "LinearSVM"; }
+
+  /// Decision value of class c for a raw (unstandardized) input.
+  double DecisionValue(const double* x, int cls) const;
+
+ private:
+  LinearSvmConfig config_;
+  StandardScaler scaler_;
+  Matrix weights_;             // one row per class (one-vs-rest)
+  std::vector<double> biases_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_LINEAR_SVM_H_

@@ -1,0 +1,134 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gbx {
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  GBX_CHECK_EQ(y_true.size(), y_pred.size());
+  GBX_CHECK(!y_true.empty());
+  int correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / y_true.size();
+}
+
+Matrix ConfusionMatrix(const std::vector<int>& y_true,
+                       const std::vector<int>& y_pred, int num_classes) {
+  GBX_CHECK_EQ(y_true.size(), y_pred.size());
+  Matrix cm(num_classes, num_classes);
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    GBX_CHECK(y_true[i] >= 0 && y_true[i] < num_classes);
+    GBX_CHECK(y_pred[i] >= 0 && y_pred[i] < num_classes);
+    cm.At(y_true[i], y_pred[i]) += 1.0;
+  }
+  return cm;
+}
+
+std::vector<double> PerClassRecall(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred,
+                                   int num_classes) {
+  const Matrix cm = ConfusionMatrix(y_true, y_pred, num_classes);
+  std::vector<double> recall(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    double support = 0.0;
+    for (int j = 0; j < num_classes; ++j) support += cm.At(c, j);
+    recall[c] = support > 0 ? cm.At(c, c) / support
+                            : std::numeric_limits<double>::quiet_NaN();
+  }
+  return recall;
+}
+
+double GMean(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+             int num_classes) {
+  const std::vector<double> recall =
+      PerClassRecall(y_true, y_pred, num_classes);
+  double log_sum = 0.0;
+  int present = 0;
+  for (double r : recall) {
+    if (std::isnan(r)) continue;
+    ++present;
+    if (r <= 0.0) return 0.0;
+    log_sum += std::log(r);
+  }
+  if (present == 0) return 0.0;
+  return std::exp(log_sum / present);
+}
+
+double BalancedAccuracy(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred, int num_classes) {
+  const std::vector<double> recall =
+      PerClassRecall(y_true, y_pred, num_classes);
+  double sum = 0.0;
+  int present = 0;
+  for (double r : recall) {
+    if (std::isnan(r)) continue;
+    sum += r;
+    ++present;
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+double BinaryAuc(const std::vector<int>& y_true,
+                 const std::vector<double>& scores, int positive_class) {
+  GBX_CHECK_EQ(y_true.size(), scores.size());
+  // Mann-Whitney U via rank sum with midranks for ties.
+  const std::size_t n = y_true.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(n);
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = (i + 1 + j) / 2.0;
+    for (std::size_t k = i; k < j; ++k) ranks[order[k]] = midrank;
+    i = j;
+  }
+  double positive_rank_sum = 0.0;
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (y_true[i] == positive_class) {
+      positive_rank_sum += ranks[i];
+      ++positives;
+    }
+  }
+  const std::size_t negatives = n - positives;
+  GBX_CHECK_GT(positives, 0u);
+  GBX_CHECK_GT(negatives, 0u);
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes) {
+  const Matrix cm = ConfusionMatrix(y_true, y_pred, num_classes);
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    double support = 0.0;
+    double predicted = 0.0;
+    for (int j = 0; j < num_classes; ++j) {
+      support += cm.At(c, j);
+      predicted += cm.At(j, c);
+    }
+    if (support == 0.0) continue;
+    ++present;
+    const double tp = cm.At(c, c);
+    const double precision = predicted > 0 ? tp / predicted : 0.0;
+    const double recall = tp / support;
+    f1_sum += (precision + recall) > 0
+                  ? 2.0 * precision * recall / (precision + recall)
+                  : 0.0;
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+}  // namespace gbx

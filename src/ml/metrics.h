@@ -1,0 +1,49 @@
+// Evaluation metrics used by the paper: Accuracy for the main tables and
+// G-mean (geometric mean of per-class recall) for the imbalanced study
+// (Fig. 9).
+#ifndef GBX_ML_METRICS_H_
+#define GBX_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+/// Fraction of equal entries. Requires equal non-zero lengths.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Row = true class, column = predicted class.
+Matrix ConfusionMatrix(const std::vector<int>& y_true,
+                       const std::vector<int>& y_pred, int num_classes);
+
+/// Recall of each class; classes absent from y_true get recall NaN and are
+/// skipped by GMean.
+std::vector<double> PerClassRecall(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred,
+                                   int num_classes);
+
+/// Geometric mean of per-class recall over the classes present in y_true.
+/// Zero when any present class has zero recall (the standard convention).
+double GMean(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+             int num_classes);
+
+/// Macro-averaged F1 over classes present in y_true.
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes);
+
+/// Mean of per-class recall over classes present in y_true (the arithmetic
+/// sibling of GMean; robust under imbalance).
+double BalancedAccuracy(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred, int num_classes);
+
+/// Area under the ROC curve for binary problems, computed from real-valued
+/// scores for the positive class (higher score = more positive). Ties get
+/// the standard 0.5 credit (Mann-Whitney formulation). Requires both
+/// classes present.
+double BinaryAuc(const std::vector<int>& y_true,
+                 const std::vector<double>& scores, int positive_class = 1);
+
+}  // namespace gbx
+
+#endif  // GBX_ML_METRICS_H_

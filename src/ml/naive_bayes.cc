@@ -1,0 +1,95 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gbx {
+
+GaussianNbClassifier::GaussianNbClassifier(NaiveBayesConfig config)
+    : config_(config) {
+  GBX_CHECK_GE(config.var_smoothing, 0.0);
+}
+
+void GaussianNbClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  (void)rng;  // deterministic
+  GBX_CHECK_GT(train.size(), 0);
+  const int n = train.size();
+  const int p = train.num_features();
+  num_classes_ = train.num_classes();
+
+  means_ = Matrix(num_classes_, p);
+  variances_ = Matrix(num_classes_, p);
+  log_priors_.assign(num_classes_, 0.0);
+  class_present_.assign(num_classes_, false);
+
+  const std::vector<int> counts = train.ClassCounts();
+  for (int i = 0; i < n; ++i) {
+    const double* row = train.row(i);
+    double* mean = means_.Row(train.label(i));
+    for (int j = 0; j < p; ++j) mean[j] += row[j];
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0) continue;
+    class_present_[c] = true;
+    double* mean = means_.Row(c);
+    for (int j = 0; j < p; ++j) mean[j] /= counts[c];
+    log_priors_[c] = std::log(static_cast<double>(counts[c]) / n);
+  }
+  for (int i = 0; i < n; ++i) {
+    const double* row = train.row(i);
+    const double* mean = means_.Row(train.label(i));
+    double* var = variances_.Row(train.label(i));
+    for (int j = 0; j < p; ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  // Smooth by a fraction of the largest per-feature variance (pooled).
+  double max_var = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0) continue;
+    double* var = variances_.Row(c);
+    for (int j = 0; j < p; ++j) {
+      var[j] /= counts[c];
+      max_var = std::max(max_var, var[j]);
+    }
+  }
+  const double epsilon = std::max(config_.var_smoothing * max_var, 1e-12);
+  for (int c = 0; c < num_classes_; ++c) {
+    double* var = variances_.Row(c);
+    for (int j = 0; j < p; ++j) var[j] += epsilon;
+  }
+}
+
+double GaussianNbClassifier::LogPosterior(const double* x, int cls) const {
+  GBX_CHECK(cls >= 0 && cls < num_classes_);
+  if (!class_present_[cls]) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const int p = means_.cols();
+  const double* mean = means_.Row(cls);
+  const double* var = variances_.Row(cls);
+  double log_likelihood = log_priors_[cls];
+  for (int j = 0; j < p; ++j) {
+    const double d = x[j] - mean[j];
+    log_likelihood +=
+        -0.5 * (std::log(2.0 * M_PI * var[j]) + d * d / var[j]);
+  }
+  return log_likelihood;
+}
+
+int GaussianNbClassifier::Predict(const double* x) const {
+  GBX_CHECK_GT(num_classes_, 0);
+  int best = 0;
+  double best_v = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < num_classes_; ++c) {
+    const double v = LogPosterior(x, c);
+    if (v > best_v) {
+      best_v = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace gbx

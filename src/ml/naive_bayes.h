@@ -1,0 +1,41 @@
+// Gaussian Naive Bayes: per-class feature means/variances with independent
+// Gaussian likelihoods and class priors. A cheap, well-calibrated baseline
+// that rounds out the classifier suite (it reacts to sampling differently
+// from trees/kNN: it models class-conditional densities, so borderline
+// sampling deliberately biases its estimates — a useful contrast case).
+#ifndef GBX_ML_NAIVE_BAYES_H_
+#define GBX_ML_NAIVE_BAYES_H_
+
+#include "ml/classifier.h"
+
+namespace gbx {
+
+struct NaiveBayesConfig {
+  /// Additive variance smoothing, as a fraction of the largest feature
+  /// variance (scikit-learn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+class GaussianNbClassifier : public Classifier {
+ public:
+  explicit GaussianNbClassifier(NaiveBayesConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "GaussianNB"; }
+
+  /// Unnormalized log posterior of class c for input x.
+  double LogPosterior(const double* x, int cls) const;
+
+ private:
+  NaiveBayesConfig config_;
+  Matrix means_;       // class x feature
+  Matrix variances_;   // class x feature (smoothed)
+  std::vector<double> log_priors_;
+  std::vector<bool> class_present_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_NAIVE_BAYES_H_

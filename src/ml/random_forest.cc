@@ -1,0 +1,79 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <thread>
+
+namespace gbx {
+
+RandomForestClassifier::RandomForestClassifier(RandomForestConfig config)
+    : config_(config) {
+  GBX_CHECK_GE(config.num_trees, 1);
+}
+
+void RandomForestClassifier::Fit(const Dataset& train, Pcg32* rng) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GT(train.size(), 0);
+  num_classes_ = train.num_classes();
+  const int n = train.size();
+  const int p = train.num_features();
+
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.max_features =
+      config_.max_features > 0
+          ? config_.max_features
+          : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(p))));
+
+  trees_.assign(config_.num_trees, DecisionTreeClassifier(tree_config));
+
+  // One independent RNG stream per tree, all derived from the caller's
+  // stream up front: results do not depend on thread interleaving.
+  std::vector<std::uint64_t> seeds(config_.num_trees);
+  for (auto& seed : seeds) {
+    seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) | rng->NextU32();
+  }
+
+  auto fit_tree = [&](int t) {
+    Pcg32 tree_rng(seeds[t], /*stream=*/t + 1);
+    std::vector<int> bag(n);
+    if (config_.bootstrap) {
+      for (int i = 0; i < n; ++i) {
+        bag[i] = static_cast<int>(
+            tree_rng.NextBounded(static_cast<std::uint32_t>(n)));
+      }
+    } else {
+      for (int i = 0; i < n; ++i) bag[i] = i;
+    }
+    trees_[t].FitIndices(train, bag, &tree_rng);
+  };
+
+  int threads = config_.num_threads > 0
+                    ? config_.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min(threads, config_.num_trees));
+  if (threads == 1) {
+    for (int t = 0; t < config_.num_trees; ++t) fit_tree(t);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int t = w; t < config_.num_trees; t += threads) fit_tree(t);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+int RandomForestClassifier::Predict(const double* x) const {
+  GBX_CHECK(!trees_.empty());
+  std::vector<int> votes(num_classes_, 0);
+  for (const auto& tree : trees_) ++votes[tree.Predict(x)];
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace gbx

@@ -1,0 +1,41 @@
+// Random forest (Breiman, 2001): bagged CART trees with sqrt(p) features
+// per split and majority vote. Defaults follow scikit-learn
+// (n_estimators = 100, bootstrap = true). Trees are trained in parallel
+// with deterministic per-tree RNG streams, so results are independent of
+// thread scheduling.
+#ifndef GBX_ML_RANDOM_FOREST_H_
+#define GBX_ML_RANDOM_FOREST_H_
+
+#include "ml/decision_tree.h"
+
+namespace gbx {
+
+struct RandomForestConfig {
+  int num_trees = 100;
+  int max_depth = -1;
+  /// Features per split; -1 = floor(sqrt(p)).
+  int max_features = -1;
+  bool bootstrap = true;
+  /// Worker threads; -1 = hardware concurrency.
+  int num_threads = -1;
+};
+
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(RandomForestConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "RF"; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTreeClassifier> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_RANDOM_FOREST_H_

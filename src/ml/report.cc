@@ -1,0 +1,60 @@
+#include "ml/report.h"
+
+#include <cstdio>
+
+#include "common/matrix.h"
+#include "ml/metrics.h"
+
+namespace gbx {
+
+ClassificationReport BuildClassificationReport(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    int num_classes) {
+  ClassificationReport report;
+  const Matrix cm = ConfusionMatrix(y_true, y_pred, num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    double support = 0.0;
+    double predicted = 0.0;
+    for (int j = 0; j < num_classes; ++j) {
+      support += cm.At(c, j);
+      predicted += cm.At(j, c);
+    }
+    if (support == 0.0) continue;
+    ClassReportRow row;
+    row.cls = c;
+    row.support = static_cast<int>(support);
+    const double tp = cm.At(c, c);
+    row.precision = predicted > 0 ? tp / predicted : 0.0;
+    row.recall = tp / support;
+    row.f1 = (row.precision + row.recall) > 0
+                 ? 2.0 * row.precision * row.recall /
+                       (row.precision + row.recall)
+                 : 0.0;
+    report.per_class.push_back(row);
+  }
+  report.accuracy = Accuracy(y_true, y_pred);
+  report.balanced_accuracy = BalancedAccuracy(y_true, y_pred, num_classes);
+  report.g_mean = GMean(y_true, y_pred, num_classes);
+  report.macro_f1 = MacroF1(y_true, y_pred, num_classes);
+  return report;
+}
+
+std::string ClassificationReport::ToString() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-8s %10s %10s %10s %10s\n", "class",
+                "precision", "recall", "f1", "support");
+  out += buf;
+  for (const ClassReportRow& row : per_class) {
+    std::snprintf(buf, sizeof(buf), "%-8d %10.4f %10.4f %10.4f %10d\n",
+                  row.cls, row.precision, row.recall, row.f1, row.support);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "accuracy %.4f  balanced %.4f  g-mean %.4f  macro-F1 %.4f\n",
+                accuracy, balanced_accuracy, g_mean, macro_f1);
+  out += buf;
+  return out;
+}
+
+}  // namespace gbx

@@ -1,0 +1,39 @@
+// Human-readable classification report (per-class precision / recall / F1
+// / support, plus accuracy, balanced accuracy and G-mean) in the spirit of
+// scikit-learn's classification_report. Used by the examples and handy for
+// downstream users.
+#ifndef GBX_ML_REPORT_H_
+#define GBX_ML_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace gbx {
+
+struct ClassReportRow {
+  int cls = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int support = 0;
+};
+
+struct ClassificationReport {
+  std::vector<ClassReportRow> per_class;  // classes present in y_true
+  double accuracy = 0.0;
+  double balanced_accuracy = 0.0;
+  double g_mean = 0.0;
+  double macro_f1 = 0.0;
+
+  /// Fixed-width text rendering.
+  std::string ToString() const;
+};
+
+/// Builds the report from labels and predictions.
+ClassificationReport BuildClassificationReport(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    int num_classes);
+
+}  // namespace gbx
+
+#endif  // GBX_ML_REPORT_H_

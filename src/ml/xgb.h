@@ -1,0 +1,50 @@
+// XGBoost-style gradient boosting (Chen & Guestrin, 2016): second-order
+// softmax objective, depth-wise trees (default depth 6), shrinkage 0.3 and
+// L2 lambda = 1 — the library defaults the paper's scikit pipeline uses.
+// Split finding uses histogram approximation (xgboost's `hist` tree
+// method) rather than exact enumeration.
+#ifndef GBX_ML_XGB_H_
+#define GBX_ML_XGB_H_
+
+#include "ml/gbdt_common.h"
+#include "ml/classifier.h"
+
+namespace gbx {
+
+struct XgBoostConfig {
+  int num_rounds = 100;
+  double learning_rate = 0.3;
+  int max_depth = 6;
+  double lambda = 1.0;
+  double gamma = 0.0;
+  double min_child_weight = 1.0;
+  int max_bins = 64;
+  /// Fraction of features considered per tree (1.0 = all).
+  double colsample_bytree = 1.0;
+};
+
+class XgBoostClassifier : public Classifier {
+ public:
+  explicit XgBoostClassifier(XgBoostConfig config = {});
+
+  void Fit(const Dataset& train, Pcg32* rng) override;
+  int Predict(const double* x) const override;
+  std::string name() const override { return "XGBoost"; }
+
+  /// Raw class margins for a single sample (useful in tests).
+  std::vector<double> PredictMargin(const double* x) const;
+
+ private:
+  XgBoostConfig config_;
+  HistogramBinner binner_;
+  /// trees_[round * num_classes_ + c]
+  std::vector<RegressionTree> trees_;
+  /// Per-tree feature id remap when colsample < 1 (empty = identity).
+  std::vector<std::vector<int>> tree_features_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_ML_XGB_H_

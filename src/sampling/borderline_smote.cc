@@ -1,0 +1,61 @@
+#include "sampling/borderline_smote.h"
+
+#include <algorithm>
+
+#include "index/kd_tree.h"
+#include "sampling/smote.h"
+
+namespace gbx {
+
+BorderlineSmoteSampler::BorderlineSmoteSampler(int m_neighbors,
+                                               int k_neighbors)
+    : m_neighbors_(m_neighbors), k_neighbors_(k_neighbors) {
+  GBX_CHECK_GE(m_neighbors, 1);
+  GBX_CHECK_GE(k_neighbors, 1);
+}
+
+std::vector<int> BorderlineSmoteSampler::DangerSamples(
+    const Dataset& train, const std::vector<int>& class_indices,
+    int cls) const {
+  KdTree tree(&train.x());
+  std::vector<int> danger;
+  const int m = std::min(m_neighbors_, train.size() - 1);
+  for (int idx : class_indices) {
+    const std::vector<Neighbor> nns = tree.KNearest(train.row(idx), m + 1);
+    int heterogeneous = 0;
+    int considered = 0;
+    for (const Neighbor& nb : nns) {
+      if (nb.index == idx) continue;  // skip the query itself
+      if (train.label(nb.index) != cls) ++heterogeneous;
+      if (++considered == m) break;
+    }
+    // DANGER: m/2 <= heterogeneous < m. heterogeneous == m means the
+    // sample is likely noise; fewer than half means it is safe interior.
+    if (2 * heterogeneous >= considered && heterogeneous < considered) {
+      danger.push_back(idx);
+    }
+  }
+  return danger;
+}
+
+Dataset BorderlineSmoteSampler::Sample(const Dataset& train,
+                                       Pcg32* rng) const {
+  GBX_CHECK(rng != nullptr);
+  Dataset out = train;
+  const std::vector<int> counts = train.ClassCounts();
+  const int majority = *std::max_element(counts.begin(), counts.end());
+  for (int cls = 0; cls < train.num_classes(); ++cls) {
+    if (counts[cls] == 0 || counts[cls] >= majority) continue;
+    const std::vector<int> members = train.IndicesOfClass(cls);
+    std::vector<int> danger = DangerSamples(train, members, cls);
+    // No borderline samples: fall back to plain SMOTE seeds so heavily
+    // imbalanced folds still get rebalanced (imblearn raises instead; a
+    // fallback keeps experiment pipelines total).
+    const std::vector<int>& seeds = danger.empty() ? members : danger;
+    AppendSyntheticSamples(train, seeds, members, cls,
+                           majority - counts[cls], k_neighbors_, rng, &out);
+  }
+  return out;
+}
+
+}  // namespace gbx

@@ -1,0 +1,33 @@
+// Sampler adapter for GBABS so the paper's method plugs into the same
+// experiment pipelines as the baselines.
+#ifndef GBX_SAMPLING_GBABS_SAMPLER_H_
+#define GBX_SAMPLING_GBABS_SAMPLER_H_
+
+#include "core/gbabs.h"
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class GbabsSampler : public Sampler {
+ public:
+  explicit GbabsSampler(GbabsConfig config = {}) : config_(config) {}
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override {
+    GBX_CHECK(rng != nullptr);
+    GbabsConfig cfg = config_;
+    cfg.gbg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
+                   rng->NextU32();
+    return GbabsSample(train, cfg);
+  }
+
+  std::string name() const override { return "GBABS"; }
+
+  const GbabsConfig& config() const { return config_; }
+
+ private:
+  GbabsConfig config_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_GBABS_SAMPLER_H_

@@ -1,0 +1,64 @@
+#include "sampling/ggbs.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace gbx {
+
+std::vector<int> LargeBallAxisSamples(const GranularBall& ball,
+                                      const Matrix& scaled_features,
+                                      const std::vector<int>& labels) {
+  const int d = scaled_features.cols();
+  std::set<int> picked;
+  std::vector<double> target(ball.center.begin(), ball.center.end());
+  for (int j = 0; j < d; ++j) {
+    for (int sign = -1; sign <= 1; sign += 2) {
+      target[j] = ball.center[j] + sign * ball.radius;
+      // Homogeneous member closest to the intersection point c ± r·e_j.
+      double best = std::numeric_limits<double>::infinity();
+      int best_idx = -1;
+      for (int idx : ball.members) {
+        if (labels[idx] != ball.label) continue;
+        const double dist = SquaredDistance(scaled_features.Row(idx),
+                                            target.data(), d);
+        if (dist < best || (dist == best && idx < best_idx)) {
+          best = dist;
+          best_idx = idx;
+        }
+      }
+      if (best_idx >= 0) picked.insert(best_idx);
+      target[j] = ball.center[j];
+    }
+  }
+  return std::vector<int>(picked.begin(), picked.end());
+}
+
+GgbsSampler::GgbsSampler(PurityGbgConfig config) : config_(config) {}
+
+std::vector<int> GgbsSampler::SampleIndices(const Dataset& train,
+                                            Pcg32* rng) const {
+  GBX_CHECK(rng != nullptr);
+  PurityGbgConfig cfg = config_;
+  cfg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
+             rng->NextU32();
+  const PurityGbgResult gbg = GeneratePurityGbg(train, cfg);
+  const int p = train.num_features();
+  std::set<int> sampled;
+  for (const GranularBall& ball : gbg.balls.balls()) {
+    if (IsSmallBall(ball, p)) {
+      sampled.insert(ball.members.begin(), ball.members.end());
+    } else {
+      const std::vector<int> axis = LargeBallAxisSamples(
+          ball, gbg.balls.scaled_features(), train.y());
+      sampled.insert(axis.begin(), axis.end());
+    }
+  }
+  return std::vector<int>(sampled.begin(), sampled.end());
+}
+
+Dataset GgbsSampler::Sample(const Dataset& train, Pcg32* rng) const {
+  return train.Subset(SampleIndices(train, rng));
+}
+
+}  // namespace gbx

@@ -1,0 +1,38 @@
+// GGBS: the general granular-ball sampling baseline of Xia et al. [23]
+// (§III-B of the paper). After purity-threshold GBG:
+//   * every sample of a small ball (<= 2p members) enters the sample set;
+//   * each large ball contributes the 2p homogeneous samples closest to
+//     the 2p axis intersection points c ± r·e_i of the ball.
+#ifndef GBX_SAMPLING_GGBS_H_
+#define GBX_SAMPLING_GGBS_H_
+
+#include "sampling/purity_gbg.h"
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class GgbsSampler : public Sampler {
+ public:
+  explicit GgbsSampler(PurityGbgConfig config = {});
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override;
+  std::string name() const override { return "GGBS"; }
+
+  /// Indices selected by GGBS on `train` (sorted). Exposed for ratio
+  /// studies (Fig. 6).
+  std::vector<int> SampleIndices(const Dataset& train, Pcg32* rng) const;
+
+ private:
+  PurityGbgConfig config_;
+};
+
+/// Shared by GGBS and IGBS: the <=2p samples of a large ball nearest to
+/// its axis intersection points, restricted to members homogeneous with
+/// the ball label. Returned sorted and deduplicated.
+std::vector<int> LargeBallAxisSamples(const GranularBall& ball,
+                                      const Matrix& scaled_features,
+                                      const std::vector<int>& labels);
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_GGBS_H_

@@ -1,0 +1,62 @@
+#include "sampling/igbs.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sampling/ggbs.h"
+
+namespace gbx {
+
+IgbsSampler::IgbsSampler(PurityGbgConfig config) : config_(config) {}
+
+std::vector<int> IgbsSampler::SampleIndices(const Dataset& train,
+                                            Pcg32* rng) const {
+  GBX_CHECK(rng != nullptr);
+  PurityGbgConfig cfg = config_;
+  cfg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
+             rng->NextU32();
+  const PurityGbgResult gbg = GeneratePurityGbg(train, cfg);
+  const int p = train.num_features();
+  const int majority_class = train.MajorityClass();
+  std::set<int> sampled;
+
+  for (const GranularBall& ball : gbg.balls.balls()) {
+    if (IsSmallBall(ball, p)) {
+      sampled.insert(ball.members.begin(), ball.members.end());
+    } else if (ball.label != majority_class) {
+      // Large minority-class ball: keep all its minority samples.
+      for (int idx : ball.members) {
+        if (train.label(idx) == ball.label) sampled.insert(idx);
+      }
+    } else {
+      const std::vector<int> axis = LargeBallAxisSamples(
+          ball, gbg.balls.scaled_features(), train.y());
+      sampled.insert(axis.begin(), axis.end());
+    }
+  }
+
+  // Rebalance: top each class up toward the largest per-class count in S
+  // using random not-yet-sampled training samples of that class.
+  std::vector<int> counts(train.num_classes(), 0);
+  for (int idx : sampled) ++counts[train.label(idx)];
+  const int target = *std::max_element(counts.begin(), counts.end());
+  for (int cls = 0; cls < train.num_classes(); ++cls) {
+    if (counts[cls] >= target) continue;
+    std::vector<int> pool;
+    for (int idx : train.IndicesOfClass(cls)) {
+      if (sampled.find(idx) == sampled.end()) pool.push_back(idx);
+    }
+    rng->Shuffle(&pool);
+    const int need = std::min<int>(target - counts[cls],
+                                   static_cast<int>(pool.size()));
+    for (int i = 0; i < need; ++i) sampled.insert(pool[i]);
+  }
+
+  return std::vector<int>(sampled.begin(), sampled.end());
+}
+
+Dataset IgbsSampler::Sample(const Dataset& train, Pcg32* rng) const {
+  return train.Subset(SampleIndices(train, rng));
+}
+
+}  // namespace gbx

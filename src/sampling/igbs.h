@@ -1,0 +1,29 @@
+// IGBS: granular-ball sampling for imbalanced datasets (Xia et al. [23],
+// §III-B). Same GBG as GGBS, but minority-class large balls keep all their
+// minority samples while majority-class large balls keep only the 2p axis
+// samples; if the result is still skewed, random extra majority samples
+// top the classes up toward balance.
+#ifndef GBX_SAMPLING_IGBS_H_
+#define GBX_SAMPLING_IGBS_H_
+
+#include "sampling/purity_gbg.h"
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class IgbsSampler : public Sampler {
+ public:
+  explicit IgbsSampler(PurityGbgConfig config = {});
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override;
+  std::string name() const override { return "IGBS"; }
+
+  std::vector<int> SampleIndices(const Dataset& train, Pcg32* rng) const;
+
+ private:
+  PurityGbgConfig config_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_IGBS_H_

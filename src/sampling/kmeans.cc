@@ -1,0 +1,98 @@
+#include "sampling/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gbx {
+
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config,
+                       Pcg32* rng, const Matrix* initial_centers) {
+  const int n = points.rows();
+  const int d = points.cols();
+  const int k = config.num_clusters;
+  GBX_CHECK_GE(n, 1);
+  GBX_CHECK_GE(k, 1);
+  GBX_CHECK(rng != nullptr);
+
+  KMeansResult result;
+  if (initial_centers != nullptr) {
+    GBX_CHECK_EQ(initial_centers->rows(), k);
+    GBX_CHECK_EQ(initial_centers->cols(), d);
+    result.centers = *initial_centers;
+  } else {
+    const std::vector<int> seeds =
+        rng->SampleWithoutReplacement(n, std::min(k, n));
+    result.centers = Matrix(k, d);
+    for (int c = 0; c < k; ++c) {
+      // With k > n, reuse points cyclically (degenerate but defined).
+      const double* src = points.Row(seeds[c % seeds.size()]);
+      double* dst = result.centers.Row(c);
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+  }
+
+  result.assignments.assign(n, 0);
+  std::vector<int> counts(k, 0);
+  Matrix sums(k, d);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    for (int i = 0; i < n; ++i) {
+      const double* x = points.Row(i);
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(x, result.centers.Row(c), d);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+    }
+    // Update step.
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.mutable_data().begin(), sums.mutable_data().end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      const double* x = points.Row(i);
+      double* s = sums.Row(c);
+      for (int j = 0; j < d; ++j) s[j] += x[j];
+    }
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      double* center = result.centers.Row(c);
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its center.
+        double worst = -1.0;
+        int worst_i = 0;
+        for (int i = 0; i < n; ++i) {
+          const double d2 = SquaredDistance(
+              points.Row(i), result.centers.Row(result.assignments[i]), d);
+          if (d2 > worst) {
+            worst = d2;
+            worst_i = i;
+          }
+        }
+        const double* x = points.Row(worst_i);
+        for (int j = 0; j < d; ++j) {
+          movement += std::fabs(center[j] - x[j]);
+          center[j] = x[j];
+        }
+        continue;
+      }
+      for (int j = 0; j < d; ++j) {
+        const double next = sums.At(c, j) / counts[c];
+        movement += std::fabs(center[j] - next);
+        center[j] = next;
+      }
+    }
+    if (movement <= config.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace gbx

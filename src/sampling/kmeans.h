@@ -1,0 +1,39 @@
+// Lloyd's k-means, used by the k-division step of the classic purity-
+// threshold GBG (the GGBS/IGBS baseline granulation of §III-B). Supports
+// caller-provided initial centers so the k-division variant can seed with
+// one random sample per class, as in [27].
+#ifndef GBX_SAMPLING_KMEANS_H_
+#define GBX_SAMPLING_KMEANS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace gbx {
+
+struct KMeansConfig {
+  int num_clusters = 2;
+  int max_iterations = 20;
+  /// Convergence threshold on total center movement.
+  double tolerance = 1e-6;
+};
+
+struct KMeansResult {
+  /// Cluster assignment per input row, in [0, k).
+  std::vector<int> assignments;
+  /// Final centers, one row per cluster.
+  Matrix centers;
+  int iterations = 0;
+};
+
+/// Runs k-means on `points`. If `initial_centers` is non-null it provides
+/// the starting centers (rows == k); otherwise k distinct random points
+/// are chosen. Empty clusters are re-seeded with the point farthest from
+/// its assigned center.
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config,
+                       Pcg32* rng, const Matrix* initial_centers = nullptr);
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_KMEANS_H_

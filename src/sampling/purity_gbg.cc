@@ -1,0 +1,162 @@
+#include "sampling/purity_gbg.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+#include "data/scaler.h"
+#include "sampling/kmeans.h"
+
+namespace gbx {
+
+namespace {
+
+struct PendingBall {
+  std::vector<int> members;
+};
+
+/// Majority label and purity of a member set.
+void MajorityAndPurity(const std::vector<int>& members,
+                       const std::vector<int>& labels, int num_classes,
+                       int* majority, double* purity) {
+  std::vector<int> counts(num_classes, 0);
+  for (int idx : members) ++counts[labels[idx]];
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  *majority = best;
+  *purity = static_cast<double>(counts[best]) / members.size();
+}
+
+/// Distinct classes present in a member set, ascending.
+std::vector<int> DistinctClasses(const std::vector<int>& members,
+                                 const std::vector<int>& labels,
+                                 int num_classes) {
+  std::vector<char> present(num_classes, 0);
+  for (int idx : members) present[labels[idx]] = 1;
+  std::vector<int> out;
+  for (int c = 0; c < num_classes; ++c) {
+    if (present[c]) out.push_back(c);
+  }
+  return out;
+}
+
+GranularBall Finalize(const std::vector<int>& members, const Matrix& x,
+                      int majority) {
+  const int d = x.cols();
+  GranularBall ball;
+  ball.members = members;
+  ball.label = majority;
+  ball.center_index = -1;  // centroid, not a sample (Eq.1)
+  ball.center.assign(d, 0.0);
+  for (int idx : members) {
+    const double* row = x.Row(idx);
+    for (int j = 0; j < d; ++j) ball.center[j] += row[j];
+  }
+  for (int j = 0; j < d; ++j) ball.center[j] /= members.size();
+  double sum = 0.0;
+  for (int idx : members) {
+    sum += EuclideanDistance(x.Row(idx), ball.center.data(), d);
+  }
+  ball.radius = sum / members.size();  // classic *average* radius
+  return ball;
+}
+
+}  // namespace
+
+PurityGbgResult GeneratePurityGbg(const Dataset& dataset,
+                                  const PurityGbgConfig& config) {
+  GBX_CHECK_GT(dataset.size(), 0);
+  GBX_CHECK(config.purity_threshold > 0.0 && config.purity_threshold <= 1.0);
+  const int p = dataset.num_features();
+  const int q = dataset.num_classes();
+  Matrix x = config.scale_features ? MinMaxScaler().FitTransform(dataset.x())
+                                   : dataset.x();
+  const std::vector<int>& labels = dataset.y();
+  Pcg32 rng(config.seed);
+
+  std::deque<PendingBall> queue;
+  {
+    PendingBall root;
+    root.members.resize(dataset.size());
+    for (int i = 0; i < dataset.size(); ++i) root.members[i] = i;
+    queue.push_back(std::move(root));
+  }
+
+  std::vector<GranularBall> final_balls;
+  std::vector<double> purities;
+
+  while (!queue.empty()) {
+    PendingBall ball = std::move(queue.front());
+    queue.pop_front();
+    int majority = 0;
+    double purity = 0.0;
+    MajorityAndPurity(ball.members, labels, q, &majority, &purity);
+
+    const bool small = static_cast<int>(ball.members.size()) <= 2 * p;
+    if (purity >= config.purity_threshold || small) {
+      final_balls.push_back(Finalize(ball.members, x, majority));
+      purities.push_back(purity);
+      continue;
+    }
+
+    // k-division: k-means with one random sample per class in the ball.
+    const std::vector<int> classes = DistinctClasses(ball.members, labels, q);
+    const int k = static_cast<int>(classes.size());
+    GBX_CHECK_GE(k, 2);  // purity < 1 implies >= 2 classes
+
+    Matrix points(static_cast<int>(ball.members.size()), x.cols());
+    for (std::size_t i = 0; i < ball.members.size(); ++i) {
+      const double* src = x.Row(ball.members[i]);
+      double* dst = points.Row(static_cast<int>(i));
+      for (int j = 0; j < x.cols(); ++j) dst[j] = src[j];
+    }
+    Matrix init(k, x.cols());
+    for (int c = 0; c < k; ++c) {
+      // Random member of class classes[c].
+      std::vector<int> of_class;
+      for (std::size_t i = 0; i < ball.members.size(); ++i) {
+        if (labels[ball.members[i]] == classes[c]) {
+          of_class.push_back(static_cast<int>(i));
+        }
+      }
+      const int pick =
+          of_class[rng.NextBounded(static_cast<std::uint32_t>(of_class.size()))];
+      const double* src = points.Row(pick);
+      double* dst = init.Row(c);
+      for (int j = 0; j < x.cols(); ++j) dst[j] = src[j];
+    }
+
+    KMeansConfig km;
+    km.num_clusters = k;
+    km.max_iterations = 10;
+    const KMeansResult split = RunKMeans(points, km, &rng, &init);
+
+    std::vector<PendingBall> children(k);
+    for (std::size_t i = 0; i < ball.members.size(); ++i) {
+      children[split.assignments[i]].members.push_back(ball.members[i]);
+    }
+    int non_empty = 0;
+    for (const auto& child : children) {
+      if (!child.members.empty()) ++non_empty;
+    }
+    if (non_empty <= 1) {
+      // Degenerate split (duplicate points): stop here to guarantee
+      // termination.
+      final_balls.push_back(Finalize(ball.members, x, majority));
+      purities.push_back(purity);
+      continue;
+    }
+    for (auto& child : children) {
+      if (!child.members.empty()) queue.push_back(std::move(child));
+    }
+  }
+
+  PurityGbgResult result;
+  result.balls = GranularBallSet(std::move(final_balls), std::move(x), q);
+  result.purities = std::move(purities);
+  return result;
+}
+
+}  // namespace gbx

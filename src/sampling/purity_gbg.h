@@ -1,0 +1,47 @@
+// Classic purity-threshold granular-ball generation — the granulation used
+// by the GGBS / IGBS baselines (§III-B of the paper, after [23]/[27]).
+//
+// The whole training set starts as one ball. Any ball whose purity is
+// below the threshold and which holds more than 2·p samples is split by
+// k-division (k-means seeded with one random sample per class present in
+// the ball). Finalized balls use the classic definition of Eq.1: center =
+// sample mean, radius = *average* distance to the center — which is
+// exactly why classic GBs can overlap and leave members outside the ball,
+// the deficiency RD-GBG removes.
+#ifndef GBX_SAMPLING_PURITY_GBG_H_
+#define GBX_SAMPLING_PURITY_GBG_H_
+
+#include <cstdint>
+
+#include "core/granular_ball.h"
+#include "data/dataset.h"
+
+namespace gbx {
+
+struct PurityGbgConfig {
+  /// Minimum purity a ball must reach to stop splitting.
+  double purity_threshold = 1.0;
+  std::uint64_t seed = 42;
+  bool scale_features = true;
+};
+
+struct PurityGbgResult {
+  GranularBallSet balls;
+  /// Purity of each ball (same order as balls), since classic GBs are not
+  /// necessarily pure.
+  std::vector<double> purities;
+};
+
+/// Runs the classic GBG. A ball with <= 2*p samples is never split ("small
+/// GB"), matching the preset-sample-count stop rule the paper criticizes.
+PurityGbgResult GeneratePurityGbg(const Dataset& dataset,
+                                  const PurityGbgConfig& config);
+
+/// True if the ball counts as "small" for the GGBS/IGBS sampling rules.
+inline bool IsSmallBall(const GranularBall& ball, int num_features) {
+  return ball.size() <= 2 * num_features;
+}
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_PURITY_GBG_H_

@@ -1,0 +1,68 @@
+#include "sampling/sampler.h"
+
+#include "sampling/borderline_smote.h"
+#include "sampling/gbabs_sampler.h"
+#include "sampling/ggbs.h"
+#include "sampling/igbs.h"
+#include "sampling/smote.h"
+#include "sampling/smotenc.h"
+#include "sampling/srs.h"
+#include "sampling/tomek.h"
+
+namespace gbx {
+
+Dataset NoneSampler::Sample(const Dataset& train, Pcg32* rng) const {
+  (void)rng;
+  return train;
+}
+
+std::string SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kNone:
+      return "Ori";
+    case SamplerKind::kGbabs:
+      return "GBABS";
+    case SamplerKind::kGgbs:
+      return "GGBS";
+    case SamplerKind::kIgbs:
+      return "IGBS";
+    case SamplerKind::kSrs:
+      return "SRS";
+    case SamplerKind::kSmote:
+      return "SM";
+    case SamplerKind::kBorderlineSmote:
+      return "BSM";
+    case SamplerKind::kSmotenc:
+      return "SMNC";
+    case SamplerKind::kTomek:
+      return "Tomek";
+  }
+  return "?";
+}
+
+std::unique_ptr<Sampler> MakeSampler(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kNone:
+      return std::make_unique<NoneSampler>();
+    case SamplerKind::kGbabs:
+      return std::make_unique<GbabsSampler>();
+    case SamplerKind::kGgbs:
+      return std::make_unique<GgbsSampler>();
+    case SamplerKind::kIgbs:
+      return std::make_unique<IgbsSampler>();
+    case SamplerKind::kSrs:
+      return std::make_unique<SrsSampler>();
+    case SamplerKind::kSmote:
+      return std::make_unique<SmoteSampler>();
+    case SamplerKind::kBorderlineSmote:
+      return std::make_unique<BorderlineSmoteSampler>();
+    case SamplerKind::kSmotenc:
+      return std::make_unique<SmotencSampler>();
+    case SamplerKind::kTomek:
+      return std::make_unique<TomekLinksSampler>();
+  }
+  GBX_CHECK(false && "unknown sampler kind");
+  return nullptr;
+}
+
+}  // namespace gbx

@@ -1,0 +1,141 @@
+#include "sampling/smotenc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace gbx {
+
+std::vector<bool> SmotencSampler::DetectNominal(const Dataset& train,
+                                                int max_cardinality) {
+  const int p = train.num_features();
+  std::vector<bool> nominal(p, false);
+  for (int j = 0; j < p; ++j) {
+    std::map<double, int> distinct;
+    bool integral = true;
+    for (int i = 0; i < train.size(); ++i) {
+      const double v = train.feature(i, j);
+      if (v != std::floor(v)) {
+        integral = false;
+        break;
+      }
+      if (static_cast<int>(distinct.size()) <= max_cardinality) {
+        distinct[v] = 1;
+      }
+    }
+    nominal[j] = integral &&
+                 static_cast<int>(distinct.size()) <= max_cardinality &&
+                 !distinct.empty();
+  }
+  return nominal;
+}
+
+SmotencSampler::SmotencSampler(std::vector<bool> nominal_mask,
+                               int k_neighbors, int max_nominal_cardinality)
+    : nominal_mask_(std::move(nominal_mask)),
+      k_neighbors_(k_neighbors),
+      max_nominal_cardinality_(max_nominal_cardinality) {
+  GBX_CHECK_GE(k_neighbors, 1);
+}
+
+Dataset SmotencSampler::Sample(const Dataset& train, Pcg32* rng) const {
+  GBX_CHECK(rng != nullptr);
+  const int p = train.num_features();
+  std::vector<bool> nominal = nominal_mask_;
+  if (nominal.empty()) {
+    nominal = DetectNominal(train, max_nominal_cardinality_);
+  }
+  GBX_CHECK_EQ(static_cast<int>(nominal.size()), p);
+
+  // Median of the continuous features' standard deviations: the nominal
+  // mismatch penalty of the original SMOTENC formulation.
+  std::vector<double> stds;
+  for (int j = 0; j < p; ++j) {
+    if (nominal[j]) continue;
+    double mean = 0.0;
+    for (int i = 0; i < train.size(); ++i) mean += train.feature(i, j);
+    mean /= train.size();
+    double var = 0.0;
+    for (int i = 0; i < train.size(); ++i) {
+      const double d = train.feature(i, j) - mean;
+      var += d * d;
+    }
+    stds.push_back(std::sqrt(var / train.size()));
+  }
+  double penalty = 1.0;
+  if (!stds.empty()) {
+    std::sort(stds.begin(), stds.end());
+    penalty = stds[stds.size() / 2];
+  }
+  const double penalty2 = penalty * penalty;
+
+  auto mixed_distance2 = [&](const double* a, const double* b) {
+    double s = 0.0;
+    for (int j = 0; j < p; ++j) {
+      if (nominal[j]) {
+        if (a[j] != b[j]) s += penalty2;
+      } else {
+        const double d = a[j] - b[j];
+        s += d * d;
+      }
+    }
+    return s;
+  };
+
+  Dataset out = train;
+  const std::vector<int> counts = train.ClassCounts();
+  const int majority = *std::max_element(counts.begin(), counts.end());
+  std::vector<double> synthetic(p);
+  for (int cls = 0; cls < train.num_classes(); ++cls) {
+    if (counts[cls] == 0 || counts[cls] >= majority) continue;
+    const std::vector<int> members = train.IndicesOfClass(cls);
+    const int need = majority - counts[cls];
+    const int k = std::min<int>(k_neighbors_,
+                                static_cast<int>(members.size()) - 1);
+    for (int s = 0; s < need; ++s) {
+      const int seed = members[rng->NextBounded(
+          static_cast<std::uint32_t>(members.size()))];
+      const double* x = train.row(seed);
+      if (k < 1) {
+        out.AppendSample(x, p, cls);  // lone sample: duplicate it
+        continue;
+      }
+      // k nearest same-class neighbors under the mixed metric.
+      std::vector<std::pair<double, int>> dists;
+      dists.reserve(members.size());
+      for (int idx : members) {
+        if (idx == seed) continue;
+        dists.emplace_back(mixed_distance2(x, train.row(idx)), idx);
+      }
+      std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+      const int nn = dists[rng->NextBounded(static_cast<std::uint32_t>(k))]
+                         .second;
+      const double* xn = train.row(nn);
+      const double u = rng->NextDouble();
+      for (int j = 0; j < p; ++j) {
+        if (nominal[j]) {
+          // Mode of the k neighbors' nominal values (ties: smallest).
+          std::map<double, int> votes;
+          for (int t = 0; t < k; ++t) {
+            ++votes[train.feature(dists[t].second, j)];
+          }
+          double best_v = x[j];
+          int best_n = 0;
+          for (const auto& [v, cnt] : votes) {
+            if (cnt > best_n) {
+              best_n = cnt;
+              best_v = v;
+            }
+          }
+          synthetic[j] = best_v;
+        } else {
+          synthetic[j] = x[j] + u * (xn[j] - x[j]);
+        }
+      }
+      out.AppendSample(synthetic.data(), p, cls);
+    }
+  }
+  return out;
+}
+
+}  // namespace gbx

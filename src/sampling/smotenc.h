@@ -1,0 +1,40 @@
+// SMOTENC: SMOTE for mixed Nominal + Continuous features (Chawla et al.,
+// 2002, §6.1). Nominal features contribute a fixed penalty (the median of
+// the continuous features' standard deviations) to the neighbor distance,
+// and synthetic samples take the *mode* of the neighbors' nominal values
+// while interpolating continuous ones.
+//
+// The synthetic datasets here are fully continuous, so by default nominal
+// features are auto-detected as integer-valued columns with at most
+// `max_nominal_cardinality` distinct values — mirroring how discretized
+// UCI attributes (e.g. Car Evaluation) behave.
+#ifndef GBX_SAMPLING_SMOTENC_H_
+#define GBX_SAMPLING_SMOTENC_H_
+
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class SmotencSampler : public Sampler {
+ public:
+  /// `nominal_mask` marks nominal features; empty means auto-detect.
+  explicit SmotencSampler(std::vector<bool> nominal_mask = {},
+                          int k_neighbors = 5,
+                          int max_nominal_cardinality = 10);
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override;
+  std::string name() const override { return "SMNC"; }
+
+  /// Auto-detection used when the mask is empty. Exposed for tests.
+  static std::vector<bool> DetectNominal(const Dataset& train,
+                                         int max_cardinality);
+
+ private:
+  std::vector<bool> nominal_mask_;
+  int k_neighbors_;
+  int max_nominal_cardinality_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_SMOTENC_H_

@@ -1,0 +1,24 @@
+#include "sampling/srs.h"
+
+#include <algorithm>
+
+namespace gbx {
+
+SrsSampler::SrsSampler(double ratio) : ratio_(ratio) { set_ratio(ratio); }
+
+void SrsSampler::set_ratio(double ratio) {
+  GBX_CHECK(ratio > 0.0 && ratio <= 1.0);
+  ratio_ = ratio;
+}
+
+Dataset SrsSampler::Sample(const Dataset& train, Pcg32* rng) const {
+  GBX_CHECK(rng != nullptr);
+  const int n = train.size();
+  const int keep = std::max(1, static_cast<int>(n * ratio_));
+  if (keep >= n) return train;
+  std::vector<int> idx = rng->SampleWithoutReplacement(n, keep);
+  std::sort(idx.begin(), idx.end());
+  return train.Subset(idx);
+}
+
+}  // namespace gbx

@@ -1,0 +1,29 @@
+// Simple random sampling (SRS): the unbiased general baseline. Draws
+// floor(ratio * n) samples without replacement, uniformly. The paper pins
+// SRS's ratio to GBABS's realized ratio on each dataset for a fair
+// comparison (§V-A3).
+#ifndef GBX_SAMPLING_SRS_H_
+#define GBX_SAMPLING_SRS_H_
+
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class SrsSampler : public Sampler {
+ public:
+  /// `ratio` in (0, 1]: the fraction of the training set to keep.
+  explicit SrsSampler(double ratio = 1.0);
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override;
+  std::string name() const override { return "SRS"; }
+
+  double ratio() const { return ratio_; }
+  void set_ratio(double ratio);
+
+ private:
+  double ratio_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_SRS_H_

@@ -1,0 +1,34 @@
+// Tomek links undersampling (Tomek, 1976). A Tomek link is a pair of
+// mutually nearest neighbors with different labels; such pairs straddle
+// the class boundary or are noise. The sampler removes the majority-class
+// member of every link (imbalanced-learn's default policy), cleaning the
+// boundary without synthesizing data.
+#ifndef GBX_SAMPLING_TOMEK_H_
+#define GBX_SAMPLING_TOMEK_H_
+
+#include <utility>
+
+#include "sampling/sampler.h"
+
+namespace gbx {
+
+class TomekLinksSampler : public Sampler {
+ public:
+  /// When `remove_both` is set, both endpoints of a link are removed
+  /// (imblearn's sampling_strategy='all'); otherwise only the
+  /// majority-class endpoint.
+  explicit TomekLinksSampler(bool remove_both = false);
+
+  Dataset Sample(const Dataset& train, Pcg32* rng) const override;
+  std::string name() const override { return "Tomek"; }
+
+  /// All Tomek links as (i, j) pairs with i < j. Exposed for tests.
+  static std::vector<std::pair<int, int>> FindLinks(const Dataset& train);
+
+ private:
+  bool remove_both_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SAMPLING_TOMEK_H_

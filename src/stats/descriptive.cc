@@ -1,0 +1,42 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gbx {
+
+double Mean(const std::vector<double>& values) {
+  GBX_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / values.size();
+}
+
+double StdDev(const std::vector<double>& values) {
+  const double mean = Mean(values);
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / values.size());
+}
+
+double Quantile(std::vector<double> values, double q) {
+  GBX_CHECK(!values.empty());
+  GBX_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * (values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+}  // namespace gbx

@@ -1,0 +1,21 @@
+// Descriptive statistics used across experiments.
+#ifndef GBX_STATS_DESCRIPTIVE_H_
+#define GBX_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace gbx {
+
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation (ddof = 0).
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::vector<double> values, double q);
+
+double Median(std::vector<double> values);
+
+}  // namespace gbx
+
+#endif  // GBX_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,49 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace gbx {
+
+double SilvermanBandwidth(const std::vector<double>& samples) {
+  GBX_CHECK(!samples.empty());
+  const double n = static_cast<double>(samples.size());
+  const double sd = StdDev(samples);
+  const double iqr =
+      Quantile(samples, 0.75) - Quantile(samples, 0.25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(sd, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(1e-3, std::fabs(Mean(samples)) * 0.01);
+  return 0.9 * spread * std::pow(n, -0.2);
+}
+
+double KdeDensity(const std::vector<double>& samples, double x, double h) {
+  GBX_CHECK(!samples.empty());
+  if (h <= 0.0) h = SilvermanBandwidth(samples);
+  const double norm =
+      1.0 / (samples.size() * h * std::sqrt(2.0 * M_PI));
+  double sum = 0.0;
+  for (double s : samples) {
+    const double z = (x - s) / h;
+    sum += std::exp(-0.5 * z * z);
+  }
+  return norm * sum;
+}
+
+std::vector<double> KdeCurve(const std::vector<double>& samples, double lo,
+                             double hi, int num_points, double h) {
+  GBX_CHECK_GE(num_points, 2);
+  GBX_CHECK_LT(lo, hi);
+  if (h <= 0.0) h = SilvermanBandwidth(samples);
+  std::vector<double> out(num_points);
+  const double step = (hi - lo) / (num_points - 1);
+  for (int i = 0; i < num_points; ++i) {
+    out[i] = KdeDensity(samples, lo + i * step, h);
+  }
+  return out;
+}
+
+}  // namespace gbx

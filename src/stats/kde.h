@@ -1,0 +1,27 @@
+// Gaussian kernel density estimation — generates the accuracy-distribution
+// curves of the ridge plots (Figs. 7 and 8).
+#ifndef GBX_STATS_KDE_H_
+#define GBX_STATS_KDE_H_
+
+#include <vector>
+
+namespace gbx {
+
+/// Silverman's rule-of-thumb bandwidth; falls back to a small positive
+/// value for near-constant data.
+double SilvermanBandwidth(const std::vector<double>& samples);
+
+/// Density estimate at `x` using a Gaussian kernel with bandwidth `h`
+/// (h <= 0 selects Silverman's rule).
+double KdeDensity(const std::vector<double>& samples, double x,
+                  double h = -1.0);
+
+/// Density evaluated on `num_points` evenly spaced points spanning
+/// [lo, hi]. Returns pairs implicit by position: result[i] is the density
+/// at lo + i * (hi - lo) / (num_points - 1).
+std::vector<double> KdeCurve(const std::vector<double>& samples, double lo,
+                             double hi, int num_points, double h = -1.0);
+
+}  // namespace gbx
+
+#endif  // GBX_STATS_KDE_H_

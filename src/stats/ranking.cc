@@ -1,0 +1,78 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gbx {
+
+std::vector<int> CompetitionRankDescending(const std::vector<double>& scores) {
+  const int m = static_cast<int>(scores.size());
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<int> ranks(m, 0);
+  for (int i = 0; i < m; ++i) {
+    if (i > 0 && scores[order[i]] == scores[order[i - 1]]) {
+      ranks[order[i]] = ranks[order[i - 1]];
+    } else {
+      ranks[order[i]] = i + 1;
+    }
+  }
+  return ranks;
+}
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  GBX_CHECK_EQ(a.size(), b.size());
+  GBX_CHECK(!a.empty());
+  int ka = 0;
+  int kb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    GBX_CHECK_GE(a[i], 0);
+    GBX_CHECK_GE(b[i], 0);
+    ka = std::max(ka, a[i] + 1);
+    kb = std::max(kb, b[i] + 1);
+  }
+  // Contingency table.
+  std::vector<std::vector<double>> table(ka, std::vector<double>(kb, 0.0));
+  std::vector<double> row_sums(ka, 0.0);
+  std::vector<double> col_sums(kb, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    table[a[i]][b[i]] += 1.0;
+    row_sums[a[i]] += 1.0;
+    col_sums[b[i]] += 1.0;
+  }
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& row : table) {
+    for (double cell : row) sum_cells += choose2(cell);
+  }
+  double sum_rows = 0.0;
+  for (double r : row_sums) sum_rows += choose2(r);
+  double sum_cols = 0.0;
+  for (double c : col_sums) sum_cols += choose2(c);
+  const double total = choose2(static_cast<double>(a.size()));
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+std::vector<double> MeanRanks(const std::vector<std::vector<double>>& scores) {
+  GBX_CHECK(!scores.empty());
+  const std::size_t m = scores[0].size();
+  std::vector<double> sums(m, 0.0);
+  for (const auto& row : scores) {
+    GBX_CHECK_EQ(row.size(), m);
+    const std::vector<int> ranks = CompetitionRankDescending(row);
+    for (std::size_t j = 0; j < m; ++j) sums[j] += ranks[j];
+  }
+  for (double& s : sums) s /= scores.size();
+  return sums;
+}
+
+}  // namespace gbx

@@ -1,0 +1,27 @@
+// Competition ranking of methods per dataset — the rank heatmaps of
+// Fig. 9 (rank 1 = best G-mean).
+#ifndef GBX_STATS_RANKING_H_
+#define GBX_STATS_RANKING_H_
+
+#include <vector>
+
+namespace gbx {
+
+/// Ranks `scores` descending: the largest score gets rank 1. Ties receive
+/// the same (minimum) rank, and the next distinct value skips the tied
+/// slots ("1224" competition ranking).
+std::vector<int> CompetitionRankDescending(const std::vector<double>& scores);
+
+/// Average rank of each method over multiple datasets. `scores[d][m]` is
+/// method m's score on dataset d; returns one mean rank per method.
+std::vector<double> MeanRanks(const std::vector<std::vector<double>>& scores);
+
+/// Adjusted Rand Index between two partitions of the same items (labels
+/// may use arbitrary non-negative ids). 1 = identical partitions, ~0 =
+/// random agreement. Used to score clustering results against ground
+/// truth.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace gbx
+
+#endif  // GBX_STATS_RANKING_H_

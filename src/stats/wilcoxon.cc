@@ -1,0 +1,104 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gbx {
+
+namespace {
+
+/// P(W+ <= w) under the exact null: each rank 1..n joins W+ independently
+/// with probability 1/2. DP over achievable rank sums.
+double ExactCdf(int n, double w) {
+  const int max_sum = n * (n + 1) / 2;
+  std::vector<double> counts(max_sum + 1, 0.0);
+  counts[0] = 1.0;
+  for (int rank = 1; rank <= n; ++rank) {
+    for (int s = max_sum; s >= rank; --s) {
+      counts[s] += counts[s - rank];
+    }
+  }
+  double below = 0.0;
+  double total = 0.0;
+  for (int s = 0; s <= max_sum; ++s) {
+    total += counts[s];
+    if (s <= w + 1e-9) below += counts[s];
+  }
+  return below / total;
+}
+
+double NormalSf(double z) {  // P(Z >= z)
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  GBX_CHECK_EQ(a.size(), b.size());
+  GBX_CHECK(!a.empty());
+
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(Diff{std::fabs(d), d > 0 ? 1 : -1});
+  }
+  WilcoxonResult result;
+  result.n_effective = static_cast<int>(diffs.size());
+  if (diffs.empty()) return result;  // all pairs tied: p = 1
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& x, const Diff& y) { return x.abs < y.abs; });
+
+  // Average ranks for tied |differences|; track tie groups for the normal
+  // variance correction.
+  const int n = result.n_effective;
+  std::vector<double> ranks(n);
+  bool has_ties = false;
+  double tie_term = 0.0;  // sum of (t^3 - t) over tie groups
+  for (int i = 0; i < n;) {
+    int j = i;
+    while (j < n && diffs[j].abs == diffs[i].abs) ++j;
+    const int t = j - i;
+    const double avg_rank = (i + 1 + j) / 2.0;  // mean of ranks i+1..j
+    for (int k = i; k < j; ++k) ranks[k] = avg_rank;
+    if (t > 1) {
+      has_ties = true;
+      tie_term += static_cast<double>(t) * t * t - t;
+    }
+    i = j;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (diffs[i].sign > 0) {
+      result.w_plus += ranks[i];
+    } else {
+      result.w_minus += ranks[i];
+    }
+  }
+
+  const double w = std::min(result.w_plus, result.w_minus);
+  if (!has_ties && n <= 25) {
+    result.exact = true;
+    // Two-sided: double the lower tail of the smaller statistic.
+    result.p_value = std::min(1.0, 2.0 * ExactCdf(n, w));
+  } else {
+    const double mean = n * (n + 1) / 4.0;
+    const double var =
+        n * (n + 1) * (2.0 * n + 1) / 24.0 - tie_term / 48.0;
+    GBX_CHECK_GT(var, 0.0);
+    // Lower-tail statistic with continuity correction toward the mean:
+    // two-sided p = 2 * P(Z <= z) where z is negative for small w.
+    const double z = (w - mean + 0.5) / std::sqrt(var);
+    result.p_value = std::min(1.0, 2.0 * NormalSf(-z));
+  }
+  return result;
+}
+
+}  // namespace gbx

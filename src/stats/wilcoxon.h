@@ -1,0 +1,29 @@
+// Wilcoxon signed-rank test for paired samples — Table III of the paper
+// compares GBABS-DT against each baseline over the 13 datasets with this
+// test at alpha = 0.05. Uses the exact null distribution when there are no
+// ties among nonzero |differences| and n <= 25, otherwise the normal
+// approximation with tie correction and continuity correction.
+#ifndef GBX_STATS_WILCOXON_H_
+#define GBX_STATS_WILCOXON_H_
+
+#include <vector>
+
+namespace gbx {
+
+struct WilcoxonResult {
+  double w_plus = 0.0;   // rank sum of positive differences
+  double w_minus = 0.0;  // rank sum of negative differences
+  int n_effective = 0;   // pairs with nonzero difference
+  double p_value = 1.0;  // two-sided
+  bool exact = false;    // exact distribution vs normal approximation
+};
+
+/// Two-sided test of H0: median(a - b) == 0. Zero differences are dropped
+/// (the standard Wilcoxon convention). Requires equal sizes and at least
+/// one nonzero difference for a meaningful p-value (otherwise p = 1).
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace gbx
+
+#endif  // GBX_STATS_WILCOXON_H_

@@ -1,0 +1,95 @@
+#include "viz/pca.h"
+
+#include <cmath>
+
+namespace gbx {
+
+PcaResult FitPca(const Matrix& x, int num_components, Pcg32* rng,
+                 int power_iterations) {
+  GBX_CHECK(rng != nullptr);
+  GBX_CHECK_GT(x.rows(), 1);
+  const int n = x.rows();
+  const int p = x.cols();
+  num_components = std::min(num_components, p);
+
+  PcaResult result;
+  result.mean.assign(p, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (int j = 0; j < p; ++j) result.mean[j] += row[j];
+  }
+  for (int j = 0; j < p; ++j) result.mean[j] /= n;
+
+  // Covariance (p x p).
+  Matrix cov(p, p);
+  for (int i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (int a = 0; a < p; ++a) {
+      const double da = row[a] - result.mean[a];
+      double* cov_row = cov.Row(a);
+      for (int b = a; b < p; ++b) {
+        cov_row[b] += da * (row[b] - result.mean[b]);
+      }
+    }
+  }
+  for (int a = 0; a < p; ++a) {
+    for (int b = a; b < p; ++b) {
+      cov.At(a, b) /= (n - 1);
+      cov.At(b, a) = cov.At(a, b);
+    }
+  }
+
+  result.components = Matrix(num_components, p);
+  std::vector<double> v(p);
+  std::vector<double> next(p);
+  for (int comp = 0; comp < num_components; ++comp) {
+    for (int j = 0; j < p; ++j) v[j] = rng->NextGaussian();
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < power_iterations; ++iter) {
+      // next = cov * v
+      for (int a = 0; a < p; ++a) {
+        double s = 0.0;
+        const double* cov_row = cov.Row(a);
+        for (int b = 0; b < p; ++b) s += cov_row[b] * v[b];
+        next[a] = s;
+      }
+      double norm = 0.0;
+      for (int a = 0; a < p; ++a) norm += next[a] * next[a];
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // null space reached
+      eigenvalue = norm;
+      for (int a = 0; a < p; ++a) v[a] = next[a] / norm;
+    }
+    result.explained_variance.push_back(eigenvalue);
+    double* dst = result.components.Row(comp);
+    for (int j = 0; j < p; ++j) dst[j] = v[j];
+    // Deflate: cov -= lambda * v v^T.
+    for (int a = 0; a < p; ++a) {
+      double* cov_row = cov.Row(a);
+      for (int b = 0; b < p; ++b) {
+        cov_row[b] -= eigenvalue * v[a] * v[b];
+      }
+    }
+  }
+  return result;
+}
+
+Matrix PcaTransform(const PcaResult& pca, const Matrix& x) {
+  const int k = pca.components.rows();
+  const int p = pca.components.cols();
+  GBX_CHECK_EQ(x.cols(), p);
+  Matrix out(x.rows(), k);
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    double* dst = out.Row(i);
+    for (int c = 0; c < k; ++c) {
+      const double* axis = pca.components.Row(c);
+      double s = 0.0;
+      for (int j = 0; j < p; ++j) s += (row[j] - pca.mean[j]) * axis[j];
+      dst[c] = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace gbx

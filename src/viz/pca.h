@@ -1,0 +1,30 @@
+// Principal component analysis via power iteration with deflation — used
+// to initialize t-SNE and as a cheap 2-D projector. Exact enough for
+// visualization (components converge to the leading eigenvectors of the
+// covariance matrix).
+#ifndef GBX_VIZ_PCA_H_
+#define GBX_VIZ_PCA_H_
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace gbx {
+
+struct PcaResult {
+  /// Row i = i-th principal axis (length p), orthonormal.
+  Matrix components;
+  std::vector<double> explained_variance;
+  std::vector<double> mean;
+};
+
+/// Fits `num_components` principal axes of `x`.
+PcaResult FitPca(const Matrix& x, int num_components, Pcg32* rng,
+                 int power_iterations = 100);
+
+/// Projects rows of `x` onto the fitted axes (centers with the fitted
+/// mean).
+Matrix PcaTransform(const PcaResult& pca, const Matrix& x);
+
+}  // namespace gbx
+
+#endif  // GBX_VIZ_PCA_H_

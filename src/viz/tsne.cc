@@ -1,0 +1,170 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "viz/pca.h"
+
+namespace gbx {
+
+namespace {
+
+/// Binary-searches the Gaussian precision beta_i so the conditional
+/// distribution P(j|i) has the requested perplexity.
+void ComputeRowAffinities(const std::vector<double>& d2_row, int i, int n,
+                          double perplexity, std::vector<double>* p_row) {
+  double beta = 1.0;
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+  const double log_perp = std::log(perplexity);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        (*p_row)[j] = 0.0;
+        continue;
+      }
+      const double w = std::exp(-beta * d2_row[j]);
+      (*p_row)[j] = w;
+      sum += w;
+      weighted += w * d2_row[j];
+    }
+    if (sum <= 0.0) {
+      // All neighbors infinitely far at this beta: soften.
+      beta /= 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - log_perp;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) sum += (*p_row)[j];
+  if (sum <= 0.0) sum = 1.0;
+  for (int j = 0; j < n; ++j) (*p_row)[j] /= sum;
+}
+
+}  // namespace
+
+Matrix RunTsne(const Matrix& input, const TsneConfig& config) {
+  GBX_CHECK_GT(input.rows(), 2);
+  GBX_CHECK_GE(config.output_dims, 1);
+  const int n = input.rows();
+  Pcg32 rng(config.seed);
+
+  // Optional PCA preprocessing (standard t-SNE practice for p >> 50).
+  Matrix x = input;
+  if (config.pca_dims > 0 && input.cols() > config.pca_dims) {
+    PcaResult pca = FitPca(input, config.pca_dims, &rng);
+    x = PcaTransform(pca, input);
+  }
+  const int p = x.cols();
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), p);
+      d2[i][j] = d;
+      d2[j][i] = d;
+    }
+  }
+
+  // Symmetrized affinities P.
+  const double perplexity =
+      std::min(config.perplexity, (n - 1) / 3.0);  // keep search feasible
+  std::vector<std::vector<double>> cond(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    ComputeRowAffinities(d2[i], i, n, perplexity, &cond[i]);
+  }
+  std::vector<std::vector<double>> P(n, std::vector<double>(n, 0.0));
+  double p_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      P[i][j] = (cond[i][j] + cond[j][i]) / (2.0 * n);
+      p_sum += P[i][j];
+    }
+  }
+  (void)p_sum;
+
+  const int dims = config.output_dims;
+  Matrix y(n, dims);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) y.At(i, d) = rng.NextGaussian() * 1e-4;
+  }
+  Matrix velocity(n, dims);
+  Matrix gains(n, dims, 1.0);
+  Matrix grad(n, dims);
+  std::vector<std::vector<double>> Q(n, std::vector<double>(n, 0.0));
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+
+    // Student-t low-dimensional affinities Q (unnormalized) and their sum.
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double d = SquaredDistance(y.Row(i), y.Row(j), dims);
+        const double w = 1.0 / (1.0 + d);
+        Q[i][j] = w;
+        Q[j][i] = w;
+        q_sum += 2.0 * w;
+      }
+      Q[i][i] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    // Gradient: 4 * sum_j (p_ij * ex - q_ij) * w_ij * (y_i - y_j).
+    for (int i = 0; i < n; ++i) {
+      double* g = grad.Row(i);
+      std::fill(g, g + dims, 0.0);
+      const double* yi = y.Row(i);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = Q[i][j];
+        const double mult = (exaggeration * P[i][j] - w / q_sum) * w;
+        const double* yj = y.Row(j);
+        for (int d = 0; d < dims; ++d) g[d] += 4.0 * mult * (yi[d] - yj[d]);
+      }
+    }
+
+    // Adaptive gains + momentum update (standard t-SNE schedule).
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dims; ++d) {
+        const bool same_sign =
+            (grad.At(i, d) > 0.0) == (velocity.At(i, d) > 0.0);
+        double gain = gains.At(i, d);
+        gain = same_sign ? gain * 0.8 : gain + 0.2;
+        gain = std::max(gain, 0.01);
+        gains.At(i, d) = gain;
+        velocity.At(i, d) = momentum * velocity.At(i, d) -
+                            config.learning_rate * gain * grad.At(i, d);
+        y.At(i, d) += velocity.At(i, d);
+      }
+    }
+
+    // Recenter the embedding.
+    for (int d = 0; d < dims; ++d) {
+      double mean = 0.0;
+      for (int i = 0; i < n; ++i) mean += y.At(i, d);
+      mean /= n;
+      for (int i = 0; i < n; ++i) y.At(i, d) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace gbx

@@ -1,0 +1,34 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) — the visualization used in
+// Fig. 5 to show the class geometry of the evaluation datasets. O(n^2)
+// per iteration; callers subsample large datasets. Deterministic given the
+// seed.
+#ifndef GBX_VIZ_TSNE_H_
+#define GBX_VIZ_TSNE_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace gbx {
+
+struct TsneConfig {
+  int output_dims = 2;
+  double perplexity = 30.0;
+  int iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 250;
+  /// Reduce the input to this many PCA dimensions first (<= 0 disables).
+  int pca_dims = 50;
+  std::uint64_t seed = 42;
+};
+
+/// Embeds the rows of `x` into config.output_dims dimensions.
+Matrix RunTsne(const Matrix& x, const TsneConfig& config = {});
+
+}  // namespace gbx
+
+#endif  // GBX_VIZ_TSNE_H_

@@ -1,0 +1,128 @@
+#include "data/arff.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+constexpr char kBananaLikeArff[] = R"(% KEEL-style header
+@relation banana
+@attribute At1 real [-3.09, 2.81]
+@attribute At2 real
+@attribute Class {-1.0, 1.0}
+@inputs At1, At2
+@outputs Class
+@data
+1.14, -0.11, -1.0
+-1.52, -1.15, 1.0
+0.12, 0.40, -1.0
+)";
+
+TEST(ArffTest, ParsesKeelStyleNumericRelation) {
+  const StatusOr<ArffRelation> rel = ParseArff(kBananaLikeArff);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->name, "banana");
+  ASSERT_EQ(rel->attributes.size(), 2u);
+  EXPECT_EQ(rel->attributes[0].name, "At1");
+  EXPECT_FALSE(rel->attributes[0].nominal);
+  EXPECT_EQ(rel->class_attribute.name, "Class");
+  ASSERT_EQ(rel->class_attribute.categories.size(), 2u);
+
+  const Dataset& ds = rel->data;
+  EXPECT_EQ(ds.size(), 3);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(ds.feature(0, 0), 1.14);
+  EXPECT_EQ(ds.label(0), 0);  // "-1.0" is category 0
+  EXPECT_EQ(ds.label(1), 1);
+}
+
+TEST(ArffTest, NominalFeaturesMapToCategoryIndices) {
+  const char* text = R"(@relation car
+@attribute buying {vhigh, high, med, low}
+@attribute doors numeric
+@attribute class {unacc, acc, good}
+@data
+med, 4, acc
+vhigh, 2, unacc
+low, 5, good
+)";
+  const StatusOr<ArffRelation> rel = ParseArff(text);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->attributes[0].nominal);
+  EXPECT_DOUBLE_EQ(rel->data.feature(0, 0), 2);  // med -> index 2
+  EXPECT_DOUBLE_EQ(rel->data.feature(1, 0), 0);  // vhigh -> 0
+  EXPECT_EQ(rel->data.label(2), 2);              // good -> 2
+}
+
+TEST(ArffTest, ClassAttributeByName) {
+  const char* text = R"(@relation t
+@attribute label {a, b}
+@attribute x numeric
+@data
+a, 1.5
+b, 2.5
+)";
+  ArffOptions options;
+  options.class_attribute = "label";
+  const StatusOr<ArffRelation> rel = ParseArff(text, options);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->class_attribute.name, "label");
+  EXPECT_EQ(rel->data.num_features(), 1);
+  EXPECT_DOUBLE_EQ(rel->data.feature(1, 0), 2.5);
+  EXPECT_EQ(rel->data.label(1), 1);
+}
+
+TEST(ArffTest, QuotedNamesAndComments) {
+  const char* text = "@relation 'my data'\n"
+                     "% a comment\n"
+                     "@attribute 'f one' real\n"
+                     "@attribute class {yes, no}\n"
+                     "@data\n"
+                     "% another comment\n"
+                     "3.5, yes\n";
+  const StatusOr<ArffRelation> rel = ParseArff(text);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->name, "my data");
+  EXPECT_EQ(rel->attributes[0].name, "f one");
+}
+
+TEST(ArffTest, Rejections) {
+  EXPECT_FALSE(ParseArff("").ok());
+  EXPECT_FALSE(ParseArff("@relation t\n@data\n1,2\n").ok());
+  // Non-nominal class.
+  EXPECT_FALSE(ParseArff("@relation t\n@attribute a real\n"
+                         "@attribute b real\n@data\n1,2\n")
+                   .ok());
+  // Unknown class value.
+  EXPECT_FALSE(ParseArff("@relation t\n@attribute a real\n"
+                         "@attribute c {x}\n@data\n1,zz\n")
+                   .ok());
+  // Arity mismatch.
+  EXPECT_FALSE(ParseArff("@relation t\n@attribute a real\n"
+                         "@attribute c {x,y}\n@data\n1\n")
+                   .ok());
+  // Unknown nominal category in feature column.
+  EXPECT_FALSE(ParseArff("@relation t\n@attribute a {p,q}\n"
+                         "@attribute c {x,y}\n@data\nzz,x\n")
+                   .ok());
+}
+
+TEST(ArffTest, FileRoundTripViaDisk) {
+  const std::string path = ::testing::TempDir() + "/gbx_test.arff";
+  {
+    std::ofstream out(path);
+    out << kBananaLikeArff;
+  }
+  const StatusOr<ArffRelation> rel = LoadArff(path);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->data.size(), 3);
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadArff(path).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,91 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(CsvTest, ParseBasic) {
+  const std::string text = "f0,f1,label\n1.5,2.5,0\n3.0,4.0,1\n";
+  const StatusOr<Dataset> ds = ParseCsv(text);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 2);
+  EXPECT_EQ(ds->num_features(), 2);
+  EXPECT_DOUBLE_EQ(ds->feature(0, 1), 2.5);
+  EXPECT_EQ(ds->label(1), 1);
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  const StatusOr<Dataset> ds = ParseCsv("1,2,0\n3,4,1\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2);
+}
+
+TEST(CsvTest, ParseLabelColumnNotLast) {
+  CsvOptions options;
+  options.has_header = false;
+  options.label_column = 0;
+  const StatusOr<Dataset> ds = ParseCsv("1,2.5,3.5\n0,4.5,5.5\n", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->label(0), 1);
+  EXPECT_DOUBLE_EQ(ds->feature(0, 0), 2.5);
+}
+
+TEST(CsvTest, ParseSkipsBlankLinesAndCrLf) {
+  const StatusOr<Dataset> ds = ParseCsv("f0,label\r\n1,0\r\n\r\n2,1\r\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2);
+}
+
+TEST(CsvTest, RejectsInconsistentFieldCount) {
+  const StatusOr<Dataset> ds = ParseCsv("f0,f1,label\n1,2,0\n1,2\n");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  const StatusOr<Dataset> ds = ParseCsv("f0,label\nabc,0\n");
+  ASSERT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, RejectsNegativeLabel) {
+  const StatusOr<Dataset> ds = ParseCsv("f0,label\n1,-2\n");
+  ASSERT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("f0,label\n").ok());
+}
+
+TEST(CsvTest, LoadMissingFileIsNotFound) {
+  const StatusOr<Dataset> ds = LoadCsv("/nonexistent/path/x.csv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  const Dataset original(
+      Matrix::FromRows({{0.125, -3.75}, {1e-9, 42.0}, {7.0, 8.0}}),
+      {0, 2, 1});
+  const std::string path = ::testing::TempDir() + "/gbx_csv_roundtrip.csv";
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+  const StatusOr<Dataset> loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->num_features(), original.num_features());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->label(i), original.label(i));
+    for (int j = 0; j < original.num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded->feature(i, j), original.feature(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,103 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+Dataset TinyDataset() {
+  return Dataset(Matrix::FromRows({{0, 0}, {1, 0}, {0, 1}, {5, 5}, {6, 5}}),
+                 {0, 0, 0, 1, 1});
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.size(), 5);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.label(3), 1);
+  EXPECT_DOUBLE_EQ(ds.feature(4, 0), 6);
+  EXPECT_DOUBLE_EQ(ds.row(1)[0], 1);
+}
+
+TEST(DatasetTest, NumClassesOverride) {
+  const Dataset ds(Matrix::FromRows({{0.0}}), {0}, 4);
+  EXPECT_EQ(ds.num_classes(), 4);
+}
+
+TEST(DatasetTest, SubsetPreservesClassesAndOrder) {
+  const Dataset ds = TinyDataset();
+  const Dataset sub = ds.Subset({4, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.num_classes(), 2);  // even though only visiting both
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_DOUBLE_EQ(sub.feature(1, 0), 0);
+}
+
+TEST(DatasetTest, SubsetSingleClassKeepsArity) {
+  const Dataset ds = TinyDataset();
+  const Dataset sub = ds.Subset({0, 1});
+  EXPECT_EQ(sub.num_classes(), 2);
+  EXPECT_EQ(sub.ClassCounts()[1], 0);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  const std::vector<int> counts = TinyDataset().ClassCounts();
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(DatasetTest, ImbalanceRatio) {
+  EXPECT_DOUBLE_EQ(TinyDataset().ImbalanceRatio(), 1.5);
+}
+
+TEST(DatasetTest, ImbalanceRatioSingleClass) {
+  const Dataset ds(Matrix::FromRows({{0.0}, {1.0}}), {0, 0});
+  EXPECT_DOUBLE_EQ(ds.ImbalanceRatio(), 1.0);
+}
+
+TEST(DatasetTest, MajorityMinority) {
+  const Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.MajorityClass(), 0);
+  EXPECT_EQ(ds.MinorityClass(), 1);
+}
+
+TEST(DatasetTest, IndicesOfClass) {
+  const std::vector<int> idx = TinyDataset().IndicesOfClass(1);
+  EXPECT_EQ(idx, (std::vector<int>{3, 4}));
+}
+
+TEST(DatasetTest, AppendSample) {
+  Dataset ds = TinyDataset();
+  const double x[] = {9.0, 9.0};
+  ds.AppendSample(x, 2, 2);
+  EXPECT_EQ(ds.size(), 6);
+  EXPECT_EQ(ds.num_classes(), 3);
+  EXPECT_EQ(ds.label(5), 2);
+}
+
+TEST(DatasetTest, AppendDataset) {
+  Dataset a = TinyDataset();
+  const Dataset b = TinyDataset();
+  a.Append(b);
+  EXPECT_EQ(a.size(), 10);
+  EXPECT_EQ(a.label(9), 1);
+}
+
+TEST(DatasetTest, SetLabel) {
+  Dataset ds = TinyDataset();
+  ds.set_label(0, 1);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_EQ(ds.ClassCounts()[1], 3);
+}
+
+TEST(DatasetDeathTest, MismatchedLabelCountAborts) {
+  EXPECT_DEATH(Dataset(Matrix::FromRows({{1.0}}), {0, 1}), "GBX_CHECK");
+}
+
+TEST(DatasetDeathTest, NegativeLabelAborts) {
+  EXPECT_DEATH(Dataset(Matrix::FromRows({{1.0}}), {-1}), "GBX_CHECK");
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,166 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace gbx {
+namespace {
+
+TEST(DecisionTreeTest, MemorizesConsistentData) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 3;
+  cfg.num_features = 3;
+  Pcg32 gen(1);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  DecisionTreeClassifier dt;
+  Pcg32 rng(2);
+  dt.Fit(ds, &rng);
+  EXPECT_DOUBLE_EQ(Accuracy(ds.y(), dt.PredictBatch(ds.x())), 1.0);
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedRule) {
+  // y = 1 iff x0 > 0.5; a single split suffices.
+  Matrix x(40, 2);
+  std::vector<int> y(40);
+  Pcg32 gen(3);
+  for (int i = 0; i < 40; ++i) {
+    x.At(i, 0) = gen.NextDouble();
+    x.At(i, 1) = gen.NextDouble();
+    y[i] = x.At(i, 0) > 0.5 ? 1 : 0;
+  }
+  const Dataset ds(std::move(x), std::move(y));
+  DecisionTreeClassifier dt;
+  Pcg32 rng(4);
+  dt.Fit(ds, &rng);
+  const double a[] = {0.95, 0.1};
+  const double b[] = {0.05, 0.9};
+  EXPECT_EQ(dt.Predict(a), 1);
+  EXPECT_EQ(dt.Predict(b), 0);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsDepth) {
+  BlobsConfig cfg;
+  cfg.num_samples = 300;
+  cfg.num_classes = 2;
+  cfg.center_spread = 1.0;  // overlapping, forces deep trees otherwise
+  cfg.cluster_std = 1.5;
+  Pcg32 gen(5);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  DecisionTreeClassifier dt(config);
+  Pcg32 rng(6);
+  dt.Fit(ds, &rng);
+  EXPECT_LE(dt.depth(), 3);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  BlobsConfig cfg;
+  cfg.num_samples = 100;
+  cfg.num_classes = 2;
+  Pcg32 gen(7);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  DecisionTreeConfig config;
+  config.min_samples_leaf = 20;
+  DecisionTreeClassifier dt(config);
+  Pcg32 rng(8);
+  dt.Fit(ds, &rng);
+  // With 100 samples and >= 20 per leaf, at most 5 leaves -> few nodes.
+  EXPECT_LE(dt.node_count(), 2 * 5 - 1);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  const Dataset ds(Matrix::FromRows({{0.0}, {1.0}, {2.0}}), {1, 1, 1});
+  DecisionTreeClassifier dt;
+  Pcg32 rng(9);
+  dt.Fit(ds, &rng);
+  EXPECT_EQ(dt.node_count(), 1);
+  const double q[] = {5.0};
+  EXPECT_EQ(dt.Predict(q), 1);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesYieldMajorityLeaf) {
+  Matrix x(10, 2, 3.0);
+  std::vector<int> y = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1};
+  const Dataset ds(std::move(x), std::move(y));
+  DecisionTreeClassifier dt;
+  Pcg32 rng(10);
+  dt.Fit(ds, &rng);
+  EXPECT_EQ(dt.node_count(), 1);
+  const double q[] = {3.0, 3.0};
+  EXPECT_EQ(dt.Predict(q), 0);
+}
+
+TEST(DecisionTreeTest, FitIndicesWithRepeats) {
+  BlobsConfig cfg;
+  cfg.num_samples = 50;
+  cfg.num_classes = 2;
+  Pcg32 gen(11);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  std::vector<int> bag;
+  for (int i = 0; i < 50; ++i) bag.push_back(i % 25);  // repeated rows
+  DecisionTreeClassifier dt;
+  Pcg32 rng(12);
+  dt.FitIndices(ds, bag, &rng);
+  // Tree fits only the first 25 rows; must memorize them.
+  int correct = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (dt.Predict(ds.row(i)) == ds.label(i)) ++correct;
+  }
+  EXPECT_EQ(correct, 25);
+}
+
+TEST(DecisionTreeTest, GeneralizesOnBlobs) {
+  BlobsConfig cfg;
+  cfg.num_samples = 500;
+  cfg.num_classes = 2;
+  cfg.num_features = 5;
+  cfg.center_spread = 6.0;
+  Pcg32 gen(13);
+  const Dataset all = MakeGaussianBlobs(cfg, &gen);
+  Pcg32 split_rng(14);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  DecisionTreeClassifier dt;
+  Pcg32 rng(15);
+  dt.Fit(split.train, &rng);
+  EXPECT_GT(Accuracy(split.test.y(), dt.PredictBatch(split.test.x())), 0.9);
+}
+
+TEST(DecisionTreeTest, RandomFeatureSubsetStillLearns) {
+  BlobsConfig cfg;
+  cfg.num_samples = 300;
+  cfg.num_classes = 2;
+  cfg.num_features = 8;
+  cfg.center_spread = 6.0;
+  Pcg32 gen(16);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  DecisionTreeConfig config;
+  config.max_features = 2;
+  DecisionTreeClassifier dt(config);
+  Pcg32 rng(17);
+  dt.Fit(ds, &rng);
+  EXPECT_GT(Accuracy(ds.y(), dt.PredictBatch(ds.x())), 0.95);
+}
+
+TEST(DecisionTreeTest, Deterministic) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 2;
+  Pcg32 gen(18);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  DecisionTreeClassifier a;
+  DecisionTreeClassifier b;
+  Pcg32 rng_a(19);
+  Pcg32 rng_b(19);
+  a.Fit(ds, &rng_a);
+  b.Fit(ds, &rng_b);
+  EXPECT_EQ(a.PredictBatch(ds.x()), b.PredictBatch(ds.x()));
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+}  // namespace
+}  // namespace gbx

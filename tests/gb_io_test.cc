@@ -1,0 +1,104 @@
+#include "core/gb_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/rd_gbg.h"
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+GranularBallSet MakeBalls(std::uint64_t seed = 1) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 3;
+  cfg.num_features = 2;
+  cfg.center_spread = 5.0;
+  cfg.cluster_std = 0.8;
+  Pcg32 rng(seed);
+  const Dataset ds = MakeGaussianBlobs(cfg, &rng);
+  return GenerateRdGbg(ds, RdGbgConfig{}).balls;
+}
+
+void ExpectEqualBallSets(const GranularBallSet& a, const GranularBallSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ball(i).members, b.ball(i).members);
+    EXPECT_EQ(a.ball(i).label, b.ball(i).label);
+    EXPECT_EQ(a.ball(i).center_index, b.ball(i).center_index);
+    EXPECT_DOUBLE_EQ(a.ball(i).radius, b.ball(i).radius);
+    for (std::size_t j = 0; j < a.ball(i).center.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.ball(i).center[j], b.ball(i).center[j]);
+    }
+  }
+  ASSERT_EQ(a.scaled_features().rows(), b.scaled_features().rows());
+  for (int i = 0; i < a.scaled_features().rows(); ++i) {
+    for (int j = 0; j < a.scaled_features().cols(); ++j) {
+      EXPECT_DOUBLE_EQ(a.scaled_features().At(i, j),
+                       b.scaled_features().At(i, j));
+    }
+  }
+}
+
+TEST(GbIoTest, StringRoundTripIsExact) {
+  const GranularBallSet balls = MakeBalls();
+  const std::string text = GranularBallsToString(balls);
+  const StatusOr<GranularBallSet> loaded = GranularBallsFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualBallSets(balls, *loaded);
+}
+
+TEST(GbIoTest, FileRoundTrip) {
+  const GranularBallSet balls = MakeBalls(2);
+  const std::string path = ::testing::TempDir() + "/gbx_balls.gb";
+  ASSERT_TRUE(SaveGranularBalls(balls, path).ok());
+  const StatusOr<GranularBallSet> loaded = LoadGranularBalls(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualBallSets(balls, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(GbIoTest, LoadedSetStillSatisfiesInvariants) {
+  const GranularBallSet balls = MakeBalls(3);
+  const StatusOr<GranularBallSet> loaded =
+      GranularBallsFromString(GranularBallsToString(balls));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->CheckContainment());
+  EXPECT_TRUE(loaded->CheckNonOverlap());
+  EXPECT_TRUE(
+      loaded->CheckDisjointMembership(loaded->scaled_features().rows()));
+}
+
+TEST(GbIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(GranularBallsFromString("not-a-ball-file\n").ok());
+  EXPECT_FALSE(GranularBallsFromString("").ok());
+}
+
+TEST(GbIoTest, RejectsTruncatedInput) {
+  const std::string text = GranularBallsToString(MakeBalls(4));
+  // Chop the feature section off.
+  const std::string truncated = text.substr(0, text.size() / 2);
+  EXPECT_FALSE(GranularBallsFromString(truncated).ok());
+}
+
+TEST(GbIoTest, RejectsOutOfRangeMembers) {
+  const std::string text =
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 0.5 0 0.5 members 1 7\n"  // member 7 >= samples 2
+      "features\n0.0\n1.0\n";
+  const StatusOr<GranularBallSet> loaded = GranularBallsFromString(text);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GbIoTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(LoadGranularBalls("/no/such/file.gb").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,101 @@
+#include "ml/gb_knn.h"
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+
+namespace gbx {
+namespace {
+
+Dataset Blobs(int n, int classes, std::uint64_t seed, double spread = 6.0,
+              double std_dev = 0.8) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = 3;
+  cfg.center_spread = spread;
+  cfg.cluster_std = std_dev;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+TEST(GbKnnTest, GeneralizesOnSeparableBlobs) {
+  const Dataset all = Blobs(600, 3, 1);
+  Pcg32 split_rng(2);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  GbKnnClassifier gbknn;
+  Pcg32 rng(3);
+  gbknn.Fit(split.train, &rng);
+  EXPECT_GT(Accuracy(split.test.y(), gbknn.PredictBatch(split.test.x())),
+            0.93);
+}
+
+TEST(GbKnnTest, ModelIsSmallerThanTrainingSet) {
+  const Dataset ds = Blobs(800, 2, 4, /*spread=*/10.0, /*std_dev=*/0.5);
+  GbKnnClassifier gbknn;
+  Pcg32 rng(5);
+  gbknn.Fit(ds, &rng);
+  // Compact granulation: far fewer balls than samples on separable data.
+  EXPECT_LT(gbknn.num_balls(), ds.size() / 3);
+  EXPECT_GT(gbknn.num_balls(), 0);
+}
+
+TEST(GbKnnTest, MoreRobustThanOneNnUnderLabelNoise) {
+  // 1-NN memorizes noise; GB-kNN's granulation removes much of it.
+  const Dataset all = Blobs(900, 2, 6, /*spread=*/8.0, /*std_dev=*/0.7);
+  Pcg32 split_rng(7);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  Dataset noisy_train = split.train;
+  Pcg32 noise_rng(8);
+  InjectClassNoise(&noisy_train, 0.25, &noise_rng);
+
+  GbKnnClassifier gbknn;
+  KnnClassifier one_nn(1);
+  Pcg32 rng_a(9);
+  Pcg32 rng_b(9);
+  gbknn.Fit(noisy_train, &rng_a);
+  one_nn.Fit(noisy_train, &rng_b);
+  const double gb_acc =
+      Accuracy(split.test.y(), gbknn.PredictBatch(split.test.x()));
+  const double nn_acc =
+      Accuracy(split.test.y(), one_nn.PredictBatch(split.test.x()));
+  EXPECT_GT(gb_acc, nn_acc);
+}
+
+TEST(GbKnnTest, KBallVoting) {
+  const Dataset ds = Blobs(300, 2, 10);
+  GbKnnClassifier gbknn(RdGbgConfig{}, /*k=*/3);
+  Pcg32 rng(11);
+  gbknn.Fit(ds, &rng);
+  for (int pred : gbknn.PredictBatch(ds.x())) {
+    EXPECT_GE(pred, 0);
+    EXPECT_LT(pred, 2);
+  }
+}
+
+TEST(GbKnnTest, DeterministicGivenRngState) {
+  const Dataset ds = Blobs(400, 3, 12);
+  GbKnnClassifier a;
+  GbKnnClassifier b;
+  Pcg32 rng_a(13);
+  Pcg32 rng_b(13);
+  a.Fit(ds, &rng_a);
+  b.Fit(ds, &rng_b);
+  EXPECT_EQ(a.PredictBatch(ds.x()), b.PredictBatch(ds.x()));
+  EXPECT_EQ(a.num_balls(), b.num_balls());
+}
+
+TEST(GbKnnTest, TrainAccuracyHighOnCleanData) {
+  const Dataset ds = Blobs(500, 3, 14, /*spread=*/8.0, /*std_dev=*/0.6);
+  GbKnnClassifier gbknn;
+  Pcg32 rng(15);
+  gbknn.Fit(ds, &rng);
+  EXPECT_GT(Accuracy(ds.y(), gbknn.PredictBatch(ds.x())), 0.97);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/gbdt_common.h"
+#include "ml/lgbm.h"
+#include "ml/metrics.h"
+#include "ml/xgb.h"
+
+namespace gbx {
+namespace {
+
+Dataset Blobs(int n, int classes, int features, std::uint64_t seed,
+              double spread = 6.0, double std_dev = 1.0) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = features;
+  cfg.center_spread = spread;
+  cfg.cluster_std = std_dev;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+TEST(HistogramBinnerTest, FewDistinctValuesGetOwnBins) {
+  const Matrix x = Matrix::FromRows({{1.0}, {2.0}, {2.0}, {3.0}});
+  HistogramBinner binner;
+  binner.Fit(x, 64);
+  EXPECT_EQ(binner.num_bins(0), 3);
+  const std::vector<std::uint16_t> binned = binner.Transform(x);
+  EXPECT_EQ(binned[0], 0);
+  EXPECT_EQ(binned[1], 1);
+  EXPECT_EQ(binned[2], 1);
+  EXPECT_EQ(binned[3], 2);
+}
+
+TEST(HistogramBinnerTest, CapsBinCount) {
+  Pcg32 rng(1);
+  Matrix x(1000, 1);
+  for (int i = 0; i < 1000; ++i) x.At(i, 0) = rng.NextGaussian();
+  HistogramBinner binner;
+  binner.Fit(x, 16);
+  EXPECT_LE(binner.num_bins(0), 16);
+  EXPECT_GE(binner.num_bins(0), 8);  // roughly equal-mass buckets
+}
+
+TEST(HistogramBinnerTest, MonotoneBinning) {
+  Pcg32 rng(2);
+  Matrix x(500, 1);
+  for (int i = 0; i < 500; ++i) x.At(i, 0) = rng.NextGaussian();
+  HistogramBinner binner;
+  binner.Fit(x, 32);
+  const std::vector<std::uint16_t> binned = binner.Transform(x);
+  for (int i = 0; i < 500; ++i) {
+    for (int j = 0; j < 500; ++j) {
+      if (x.At(i, 0) < x.At(j, 0)) {
+        ASSERT_LE(binned[i], binned[j]);
+      }
+    }
+  }
+}
+
+TEST(RegressionTreeTest, PredictFollowsSplits) {
+  RegressionTree tree;
+  tree.nodes.resize(3);
+  tree.nodes[0].feature = 0;
+  tree.nodes[0].threshold = 0.5;
+  tree.nodes[0].left = 1;
+  tree.nodes[0].right = 2;
+  tree.nodes[1].value = -1.0;
+  tree.nodes[2].value = 2.0;
+  const double lo[] = {0.3};
+  const double hi[] = {0.7};
+  EXPECT_DOUBLE_EQ(tree.Predict(lo), -1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict(hi), 2.0);
+  EXPECT_EQ(tree.num_leaves(), 2);
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  double scores[3] = {1.0, 2.0, 0.5};
+  Softmax(scores, 3);
+  EXPECT_NEAR(scores[0] + scores[1] + scores[2], 1.0, 1e-12);
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[0], scores[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeScores) {
+  double scores[2] = {1000.0, 999.0};
+  Softmax(scores, 2);
+  EXPECT_NEAR(scores[0] + scores[1], 1.0, 1e-12);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(BuildHistTreeTest, FitsSimpleStep) {
+  // Gradients encode y = sign step at x = 0: the tree should split there
+  // and emit opposite-signed leaf values.
+  Matrix x(100, 1);
+  std::vector<double> grad(100);
+  std::vector<double> hess(100, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    x.At(i, 0) = i < 50 ? -1.0 - i * 0.01 : 1.0 + i * 0.01;
+    grad[i] = i < 50 ? 1.0 : -1.0;
+  }
+  HistogramBinner binner;
+  binner.Fit(x, 32);
+  const std::vector<std::uint16_t> binned = binner.Transform(x);
+  std::vector<int> rows(100);
+  for (int i = 0; i < 100; ++i) rows[i] = i;
+  GbdtTreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.learning_rate = 1.0;
+  const RegressionTree tree =
+      BuildHistTree(binner, binned, 1, grad, hess, rows, cfg);
+  const double lo[] = {-2.0};
+  const double hi[] = {2.0};
+  EXPECT_LT(tree.Predict(lo), 0.0);
+  EXPECT_GT(tree.Predict(hi), 0.0);
+}
+
+TEST(BuildHistTreeTest, LeafWiseRespectsLeafBudget) {
+  Pcg32 rng(3);
+  Matrix x(400, 3);
+  std::vector<double> grad(400);
+  std::vector<double> hess(400, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    for (int j = 0; j < 3; ++j) x.At(i, j) = rng.NextGaussian();
+    grad[i] = rng.NextGaussian();
+  }
+  HistogramBinner binner;
+  binner.Fit(x, 32);
+  const std::vector<std::uint16_t> binned = binner.Transform(x);
+  std::vector<int> rows(400);
+  for (int i = 0; i < 400; ++i) rows[i] = i;
+  GbdtTreeConfig cfg;
+  cfg.max_leaves = 7;
+  cfg.min_child_samples = 5;
+  const RegressionTree tree =
+      BuildHistTree(binner, binned, 3, grad, hess, rows, cfg);
+  EXPECT_LE(tree.num_leaves(), 7);
+  EXPECT_GE(tree.num_leaves(), 2);
+}
+
+template <typename Clf>
+double TrainTestAccuracy(Clf* clf, int classes, std::uint64_t seed) {
+  const Dataset all = Blobs(600, classes, 5, seed);
+  Pcg32 split_rng(seed + 1);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  Pcg32 rng(seed + 2);
+  clf->Fit(split.train, &rng);
+  return Accuracy(split.test.y(), clf->PredictBatch(split.test.x()));
+}
+
+TEST(XgBoostTest, BinaryBlobs) {
+  XgBoostConfig cfg;
+  cfg.num_rounds = 30;
+  XgBoostClassifier xgb(cfg);
+  EXPECT_GT(TrainTestAccuracy(&xgb, 2, 10), 0.95);
+}
+
+TEST(XgBoostTest, MultiClassBlobs) {
+  XgBoostConfig cfg;
+  cfg.num_rounds = 30;
+  XgBoostClassifier xgb(cfg);
+  EXPECT_GT(TrainTestAccuracy(&xgb, 4, 11), 0.9);
+}
+
+TEST(XgBoostTest, MarginsSumPerClass) {
+  const Dataset ds = Blobs(200, 3, 4, 12);
+  XgBoostConfig cfg;
+  cfg.num_rounds = 5;
+  XgBoostClassifier xgb(cfg);
+  Pcg32 rng(13);
+  xgb.Fit(ds, &rng);
+  const std::vector<double> margin = xgb.PredictMargin(ds.row(0));
+  EXPECT_EQ(margin.size(), 3u);
+  const int pred = xgb.Predict(ds.row(0));
+  for (double m : margin) EXPECT_GE(margin[pred], m);
+}
+
+TEST(XgBoostTest, ColumnSubsamplingStillLearns) {
+  XgBoostConfig cfg;
+  cfg.num_rounds = 40;
+  cfg.colsample_bytree = 0.4;
+  XgBoostClassifier xgb(cfg);
+  EXPECT_GT(TrainTestAccuracy(&xgb, 2, 14), 0.9);
+}
+
+TEST(LightGbmTest, BinaryBlobs) {
+  LightGbmConfig cfg;
+  cfg.num_rounds = 30;
+  LightGbmClassifier lgbm(cfg);
+  EXPECT_GT(TrainTestAccuracy(&lgbm, 2, 15), 0.95);
+}
+
+TEST(LightGbmTest, MultiClassBlobs) {
+  LightGbmConfig cfg;
+  cfg.num_rounds = 30;
+  LightGbmClassifier lgbm(cfg);
+  EXPECT_GT(TrainTestAccuracy(&lgbm, 4, 16), 0.9);
+}
+
+TEST(GbdtDeterminismTest, SameSeedSamePredictions) {
+  const Dataset ds = Blobs(250, 2, 4, 17);
+  XgBoostConfig xcfg;
+  xcfg.num_rounds = 10;
+  XgBoostClassifier a(xcfg);
+  XgBoostClassifier b(xcfg);
+  Pcg32 rng_a(18);
+  Pcg32 rng_b(18);
+  a.Fit(ds, &rng_a);
+  b.Fit(ds, &rng_b);
+  EXPECT_EQ(a.PredictBatch(ds.x()), b.PredictBatch(ds.x()));
+
+  LightGbmConfig lcfg;
+  lcfg.num_rounds = 10;
+  LightGbmClassifier c(lcfg);
+  LightGbmClassifier d(lcfg);
+  Pcg32 rng_c(19);
+  Pcg32 rng_d(19);
+  c.Fit(ds, &rng_c);
+  d.Fit(ds, &rng_d);
+  EXPECT_EQ(c.PredictBatch(ds.x()), d.PredictBatch(ds.x()));
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,128 @@
+#include "core/granular_ball.h"
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+GranularBall MakeBall(std::vector<int> members, std::vector<double> center,
+                      double radius, int label, int center_index = -1) {
+  GranularBall ball;
+  ball.members = std::move(members);
+  ball.center = std::move(center);
+  ball.radius = radius;
+  ball.label = label;
+  ball.center_index = center_index;
+  return ball;
+}
+
+TEST(GranularBallTest, Contains) {
+  const GranularBall ball = MakeBall({0}, {0.0, 0.0}, 1.0, 0);
+  const double inside[] = {0.5, 0.5};
+  const double surface[] = {1.0, 0.0};
+  const double outside[] = {1.5, 0.0};
+  EXPECT_TRUE(ball.Contains(inside, 2));
+  EXPECT_TRUE(ball.Contains(surface, 2));
+  EXPECT_FALSE(ball.Contains(outside, 2));
+}
+
+TEST(GranularBallSetTest, ContainmentCheck) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {0.5, 0}, {3, 3}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0, 1}, {0, 0}, 0.6, 0, 0));
+  balls.push_back(MakeBall({2}, {3, 3}, 0.0, 1, 2));
+  GranularBallSet set(std::move(balls), x, 2);
+  EXPECT_TRUE(set.CheckContainment());
+
+  std::vector<GranularBall> bad;
+  bad.push_back(MakeBall({0, 2}, {0, 0}, 0.6, 0, 0));  // member 2 outside
+  GranularBallSet bad_set(std::move(bad), x, 2);
+  EXPECT_FALSE(bad_set.CheckContainment());
+}
+
+TEST(GranularBallSetTest, PurityCheck) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {0.1, 0}, {0.2, 0}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0, 1, 2}, {0.1, 0}, 0.3, 0));
+  GranularBallSet set(std::move(balls), x, 2);
+  EXPECT_TRUE(set.CheckPurity({0, 0, 0}));
+  EXPECT_FALSE(set.CheckPurity({0, 1, 0}));
+}
+
+TEST(GranularBallSetTest, NonOverlapCheck) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {10, 0}});
+  {
+    std::vector<GranularBall> balls;
+    balls.push_back(MakeBall({0}, {0, 0}, 1.0, 0));
+    balls.push_back(MakeBall({1}, {10, 0}, 1.0, 1));
+    GranularBallSet set(std::move(balls), x, 2);
+    EXPECT_TRUE(set.CheckNonOverlap());
+  }
+  {
+    std::vector<GranularBall> balls;
+    balls.push_back(MakeBall({0}, {0, 0}, 6.0, 0));
+    balls.push_back(MakeBall({1}, {10, 0}, 6.0, 1));
+    GranularBallSet set(std::move(balls), x, 2);
+    EXPECT_FALSE(set.CheckNonOverlap());
+  }
+}
+
+TEST(GranularBallSetTest, RadiusZeroBallsNeverOverlap) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {0, 0}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0}, {0, 0}, 0.0, 0));
+  balls.push_back(MakeBall({1}, {0, 0}, 0.0, 1));
+  GranularBallSet set(std::move(balls), x, 2);
+  EXPECT_TRUE(set.CheckNonOverlap());
+}
+
+TEST(GranularBallSetTest, DisjointMembershipCheck) {
+  const Matrix x = Matrix::FromRows({{0.0}, {1.0}, {2.0}});
+  {
+    std::vector<GranularBall> balls;
+    balls.push_back(MakeBall({0, 1}, {0.5}, 0.6, 0));
+    balls.push_back(MakeBall({2}, {2.0}, 0.0, 1));
+    GranularBallSet set(std::move(balls), x, 2);
+    EXPECT_TRUE(set.CheckDisjointMembership(3));
+  }
+  {
+    std::vector<GranularBall> balls;
+    balls.push_back(MakeBall({0, 1}, {0.5}, 0.6, 0));
+    balls.push_back(MakeBall({1, 2}, {1.5}, 0.6, 1));  // 1 shared
+    GranularBallSet set(std::move(balls), x, 2);
+    EXPECT_FALSE(set.CheckDisjointMembership(3));
+  }
+}
+
+TEST(GranularBallSetTest, HeterogeneousOverlapDepth) {
+  const Matrix x = Matrix::FromRows({{0.0}, {1.0}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0}, {0.0}, 1.0, 0));
+  balls.push_back(MakeBall({1}, {1.0}, 1.0, 1));
+  GranularBallSet set(std::move(balls), x, 2);
+  // Overlap depth = r0 + r1 - dist = 1 + 1 - 1 = 1 over one pair.
+  EXPECT_NEAR(set.HeterogeneousOverlapDepth(), 1.0, 1e-12);
+}
+
+TEST(GranularBallSetTest, HomogeneousPairsExcludedFromOverlapDepth) {
+  const Matrix x = Matrix::FromRows({{0.0}, {1.0}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0}, {0.0}, 1.0, 0));
+  balls.push_back(MakeBall({1}, {1.0}, 1.0, 0));  // same label
+  GranularBallSet set(std::move(balls), x, 1);
+  EXPECT_DOUBLE_EQ(set.HeterogeneousOverlapDepth(), 0.0);
+}
+
+TEST(GranularBallSetTest, Totals) {
+  const Matrix x = Matrix::FromRows({{0.0}, {1.0}, {2.0}});
+  std::vector<GranularBall> balls;
+  balls.push_back(MakeBall({0, 1}, {0.5}, 0.6, 0));
+  balls.push_back(MakeBall({2}, {2.0}, 0.0, 1));
+  GranularBallSet set(std::move(balls), x, 2);
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.TotalCoveredSamples(), 3);
+  EXPECT_EQ(set.NonSingletonCount(), 1);
+}
+
+}  // namespace
+}  // namespace gbx

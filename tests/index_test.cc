@@ -1,0 +1,138 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/brute_force.h"
+#include "index/kd_tree.h"
+
+namespace gbx {
+namespace {
+
+Matrix RandomPoints(int n, int d, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  Matrix m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m.At(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+TEST(BruteForceTest, KnnOnCraftedLine) {
+  const Matrix pts = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {10.0}});
+  BruteForceIndex index(&pts);
+  const double q[] = {1.2};
+  const std::vector<Neighbor> nns = index.KNearest(q, 2);
+  ASSERT_EQ(nns.size(), 2u);
+  EXPECT_EQ(nns[0].index, 1);
+  EXPECT_NEAR(nns[0].distance, 0.2, 1e-12);
+  EXPECT_EQ(nns[1].index, 2);
+}
+
+TEST(BruteForceTest, KLargerThanNReturnsAll) {
+  const Matrix pts = Matrix::FromRows({{0.0}, {1.0}});
+  BruteForceIndex index(&pts);
+  const double q[] = {0.0};
+  EXPECT_EQ(index.KNearest(q, 10).size(), 2u);
+  EXPECT_TRUE(index.KNearest(q, 0).empty());
+}
+
+TEST(BruteForceTest, RadiusSearchInclusive) {
+  const Matrix pts = Matrix::FromRows({{0.0}, {1.0}, {2.0}});
+  BruteForceIndex index(&pts);
+  const double q[] = {0.0};
+  const std::vector<Neighbor> res = index.RadiusSearch(q, 1.0);
+  ASSERT_EQ(res.size(), 2u);  // 0 and 1 (distance exactly 1 included)
+  EXPECT_EQ(res[0].index, 0);
+  EXPECT_EQ(res[1].index, 1);
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  const Matrix pts =
+      Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}});
+  KdTree tree(&pts, /*leaf_size=*/1);
+  const double q[] = {1.0, 1.0};
+  const std::vector<Neighbor> nns = tree.KNearest(q, 3);
+  ASSERT_EQ(nns.size(), 3u);
+  EXPECT_EQ(nns[0].index, 0);
+  EXPECT_EQ(nns[1].index, 1);
+  EXPECT_EQ(nns[2].index, 2);
+}
+
+TEST(KdTreeTest, EmptyAndSinglePoint) {
+  const Matrix empty(0, 3);
+  KdTree tree(&empty);
+  const double q[] = {0.0, 0.0, 0.0};
+  EXPECT_TRUE(tree.KNearest(q, 5).empty());
+  EXPECT_TRUE(tree.RadiusSearch(q, 1.0).empty());
+
+  const Matrix one = Matrix::FromRows({{1.0, 2.0, 3.0}});
+  KdTree tree1(&one);
+  const std::vector<Neighbor> nns = tree1.KNearest(q, 5);
+  ASSERT_EQ(nns.size(), 1u);
+  EXPECT_EQ(nns[0].index, 0);
+}
+
+// Property: KD-tree results must equal brute force exactly (indices and
+// distances) across sizes, dimensionalities and leaf sizes.
+class KdTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KdTreeEquivalenceTest, MatchesBruteForceKnn) {
+  const auto [n, d, leaf_size] = GetParam();
+  const Matrix pts = RandomPoints(n, d, 100 + n + d);
+  BruteForceIndex brute(&pts);
+  KdTree tree(&pts, leaf_size);
+  Pcg32 rng(n * 31 + d);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(d);
+    for (int j = 0; j < d; ++j) q[j] = rng.NextGaussian();
+    const int k = 1 + static_cast<int>(rng.NextBounded(10));
+    const std::vector<Neighbor> expected = brute.KNearest(q.data(), k);
+    const std::vector<Neighbor> actual = tree.KNearest(q.data(), k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].index, expected[i].index) << "trial " << trial;
+      EXPECT_NEAR(actual[i].distance, expected[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(KdTreeEquivalenceTest, MatchesBruteForceRadius) {
+  const auto [n, d, leaf_size] = GetParam();
+  const Matrix pts = RandomPoints(n, d, 200 + n + d);
+  BruteForceIndex brute(&pts);
+  KdTree tree(&pts, leaf_size);
+  Pcg32 rng(n * 37 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(d);
+    for (int j = 0; j < d; ++j) q[j] = rng.NextGaussian();
+    const double radius = 0.5 + rng.NextDouble() * 2.0;
+    const std::vector<Neighbor> expected = brute.RadiusSearch(q.data(), radius);
+    const std::vector<Neighbor> actual = tree.RadiusSearch(q.data(), radius);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].index, expected[i].index);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 5, 64, 257),
+                       ::testing::Values(1, 2, 8),
+                       ::testing::Values(1, 16)));
+
+TEST(KdTreeTest, SelfQueryReturnsSelfFirst) {
+  const Matrix pts = RandomPoints(64, 4, 11);
+  KdTree tree(&pts);
+  for (int i = 0; i < pts.rows(); ++i) {
+    const std::vector<Neighbor> nns = tree.KNearest(pts.Row(i), 1);
+    ASSERT_EQ(nns.size(), 1u);
+    EXPECT_EQ(nns[0].index, i);
+    EXPECT_NEAR(nns[0].distance, 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gbx

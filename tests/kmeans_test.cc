@@ -1,0 +1,106 @@
+#include "sampling/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(KMeansTest, SeparatesTwoObviousClusters) {
+  Matrix pts = Matrix::FromRows({{0.0, 0.0},
+                                 {0.1, 0.1},
+                                 {-0.1, 0.0},
+                                 {10.0, 10.0},
+                                 {10.1, 9.9},
+                                 {9.9, 10.0}});
+  KMeansConfig cfg;
+  cfg.num_clusters = 2;
+  Pcg32 rng(1);
+  const KMeansResult result = RunKMeans(pts, cfg, &rng);
+  // First three rows share a cluster, last three share the other.
+  EXPECT_EQ(result.assignments[0], result.assignments[1]);
+  EXPECT_EQ(result.assignments[1], result.assignments[2]);
+  EXPECT_EQ(result.assignments[3], result.assignments[4]);
+  EXPECT_EQ(result.assignments[4], result.assignments[5]);
+  EXPECT_NE(result.assignments[0], result.assignments[3]);
+}
+
+TEST(KMeansTest, RespectsInitialCenters) {
+  Matrix pts = Matrix::FromRows({{0.0}, {1.0}, {9.0}, {10.0}});
+  Matrix init = Matrix::FromRows({{0.5}, {9.5}});
+  KMeansConfig cfg;
+  cfg.num_clusters = 2;
+  Pcg32 rng(2);
+  const KMeansResult result = RunKMeans(pts, cfg, &rng, &init);
+  EXPECT_EQ(result.assignments[0], 0);
+  EXPECT_EQ(result.assignments[1], 0);
+  EXPECT_EQ(result.assignments[2], 1);
+  EXPECT_EQ(result.assignments[3], 1);
+  EXPECT_NEAR(result.centers.At(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(result.centers.At(1, 0), 9.5, 1e-9);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  Matrix pts = Matrix::FromRows({{1.0}, {2.0}, {3.0}});
+  KMeansConfig cfg;
+  cfg.num_clusters = 1;
+  Pcg32 rng(3);
+  const KMeansResult result = RunKMeans(pts, cfg, &rng);
+  for (int a : result.assignments) EXPECT_EQ(a, 0);
+  EXPECT_NEAR(result.centers.At(0, 0), 2.0, 1e-9);
+}
+
+TEST(KMeansTest, CentersAreClusterMeans) {
+  Pcg32 data_rng(4);
+  Matrix pts(60, 3);
+  for (int i = 0; i < 60; ++i) {
+    for (int j = 0; j < 3; ++j) pts.At(i, j) = data_rng.NextGaussian();
+  }
+  KMeansConfig cfg;
+  cfg.num_clusters = 4;
+  cfg.max_iterations = 50;
+  Pcg32 rng(5);
+  const KMeansResult result = RunKMeans(pts, cfg, &rng);
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> mean(3, 0.0);
+    int count = 0;
+    for (int i = 0; i < 60; ++i) {
+      if (result.assignments[i] != c) continue;
+      ++count;
+      for (int j = 0; j < 3; ++j) mean[j] += pts.At(i, j);
+    }
+    if (count == 0) continue;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(result.centers.At(c, j), mean[j] / count, 1e-6);
+    }
+  }
+}
+
+TEST(KMeansTest, Deterministic) {
+  Pcg32 data_rng(6);
+  Matrix pts(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 2; ++j) pts.At(i, j) = data_rng.NextGaussian();
+  }
+  KMeansConfig cfg;
+  cfg.num_clusters = 3;
+  Pcg32 rng1(7);
+  Pcg32 rng2(7);
+  EXPECT_EQ(RunKMeans(pts, cfg, &rng1).assignments,
+            RunKMeans(pts, cfg, &rng2).assignments);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsIsDefined) {
+  Matrix pts = Matrix::FromRows({{0.0}, {5.0}});
+  KMeansConfig cfg;
+  cfg.num_clusters = 4;
+  Pcg32 rng(8);
+  const KMeansResult result = RunKMeans(pts, cfg, &rng);
+  EXPECT_EQ(result.assignments.size(), 2u);
+  for (int a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,108 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace gbx {
+namespace {
+
+TEST(LinearSvmTest, SeparatesLinearlySeparableData) {
+  // y = sign(x0 + x1 - 1) with a comfortable margin.
+  Pcg32 gen(1);
+  Matrix x(300, 2);
+  std::vector<int> y(300);
+  int row = 0;
+  while (row < 300) {
+    const double a = gen.NextDouble() * 4 - 2;
+    const double b = gen.NextDouble() * 4 - 2;
+    const double margin = a + b - 1.0;
+    if (std::fabs(margin) < 0.2) continue;  // enforce a margin band
+    x.At(row, 0) = a;
+    x.At(row, 1) = b;
+    y[row] = margin > 0 ? 1 : 0;
+    ++row;
+  }
+  const Dataset ds(std::move(x), std::move(y));
+  LinearSvmClassifier svm;
+  Pcg32 rng(2);
+  svm.Fit(ds, &rng);
+  EXPECT_GT(Accuracy(ds.y(), svm.PredictBatch(ds.x())), 0.97);
+}
+
+TEST(LinearSvmTest, MultiClassBlobs) {
+  BlobsConfig cfg;
+  cfg.num_samples = 600;
+  cfg.num_classes = 4;
+  cfg.num_features = 5;
+  cfg.center_spread = 8.0;
+  cfg.cluster_std = 1.0;
+  Pcg32 gen(3);
+  const Dataset all = MakeGaussianBlobs(cfg, &gen);
+  Pcg32 split_rng(4);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  LinearSvmClassifier svm;
+  Pcg32 rng(5);
+  svm.Fit(split.train, &rng);
+  EXPECT_GT(Accuracy(split.test.y(), svm.PredictBatch(split.test.x())),
+            0.9);
+}
+
+TEST(LinearSvmTest, DecisionValueOrdersWithPrediction) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 3;
+  Pcg32 gen(6);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  LinearSvmClassifier svm;
+  Pcg32 rng(7);
+  svm.Fit(ds, &rng);
+  for (int i = 0; i < 20; ++i) {
+    const int pred = svm.Predict(ds.row(i));
+    for (int c = 0; c < ds.num_classes(); ++c) {
+      EXPECT_GE(svm.DecisionValue(ds.row(i), pred),
+                svm.DecisionValue(ds.row(i), c));
+    }
+  }
+}
+
+TEST(LinearSvmTest, StandardizationHandlesScaleMismatch) {
+  // Feature 1 is 1000x larger in scale; without standardization Pegasos
+  // with a common learning rate struggles.
+  Pcg32 gen(8);
+  Matrix x(300, 2);
+  std::vector<int> y(300);
+  for (int i = 0; i < 300; ++i) {
+    const int cls = i % 2;
+    x.At(i, 0) = gen.NextGaussian() * 0.001 + (cls ? 0.004 : -0.004);
+    x.At(i, 1) = gen.NextGaussian() * 1000.0;
+    y[i] = cls;
+  }
+  const Dataset ds(std::move(x), std::move(y));
+  LinearSvmClassifier svm;
+  Pcg32 rng(9);
+  svm.Fit(ds, &rng);
+  EXPECT_GT(Accuracy(ds.y(), svm.PredictBatch(ds.x())), 0.95);
+}
+
+TEST(LinearSvmTest, Deterministic) {
+  BlobsConfig cfg;
+  cfg.num_samples = 150;
+  cfg.num_classes = 2;
+  Pcg32 gen(10);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  LinearSvmClassifier a;
+  LinearSvmClassifier b;
+  Pcg32 rng_a(11);
+  Pcg32 rng_b(11);
+  a.Fit(ds, &rng_a);
+  b.Fit(ds, &rng_b);
+  EXPECT_EQ(a.PredictBatch(ds.x()), b.PredictBatch(ds.x()));
+}
+
+}  // namespace
+}  // namespace gbx

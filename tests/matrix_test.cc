@@ -1,0 +1,108 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(MatrixTest, ConstructAndFill) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_FALSE(m.empty());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(m.At(i, j), 1.5);
+  }
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(MatrixTest, FromRows) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const double* row1 = m.Row(1);
+  EXPECT_DOUBLE_EQ(row1[0], 3);
+  EXPECT_DOUBLE_EQ(row1[1], 4);
+  m.Row(0)[1] = 9;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 9);
+}
+
+TEST(MatrixTest, SelectRows) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix sel = m.SelectRows({2, 0, 2});
+  EXPECT_EQ(sel.rows(), 3);
+  EXPECT_DOUBLE_EQ(sel.At(0, 0), 5);
+  EXPECT_DOUBLE_EQ(sel.At(1, 0), 1);
+  EXPECT_DOUBLE_EQ(sel.At(2, 1), 6);
+}
+
+TEST(MatrixTest, SelectRowsEmpty) {
+  const Matrix m = Matrix::FromRows({{1, 2}});
+  const Matrix sel = m.SelectRows({});
+  EXPECT_EQ(sel.rows(), 0);
+  EXPECT_EQ(sel.cols(), 2);
+}
+
+TEST(MatrixTest, AppendRows) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  const Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  a.AppendRows(b);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_DOUBLE_EQ(a.At(2, 1), 6);
+}
+
+TEST(MatrixTest, AppendRowsToEmpty) {
+  Matrix a;
+  a.AppendRows(Matrix::FromRows({{7, 8, 9}}));
+  EXPECT_EQ(a.rows(), 1);
+  EXPECT_EQ(a.cols(), 3);
+}
+
+TEST(MatrixTest, AppendRow) {
+  Matrix a;
+  const double row0[] = {1.0, 2.0};
+  const double row1[] = {3.0, 4.0};
+  a.AppendRow(row0, 2);
+  a.AppendRow(row1, 2);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 3.0);
+}
+
+TEST(DistanceTest, SquaredAndEuclidean) {
+  const double a[] = {0.0, 0.0, 0.0};
+  const double b[] = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b, 3), 3.0);
+}
+
+TEST(DistanceTest, ZeroDistance) {
+  const double a[] = {1.5, -2.5};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a, 2), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a, 2), 0.0);
+}
+
+TEST(DistanceTest, SymmetricAndTriangle) {
+  const double a[] = {0.0, 1.0};
+  const double b[] = {2.0, 3.0};
+  const double c[] = {-1.0, 0.5};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b, 2), EuclideanDistance(b, a, 2));
+  EXPECT_LE(EuclideanDistance(a, b, 2),
+            EuclideanDistance(a, c, 2) + EuclideanDistance(c, b, 2) + 1e-12);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,113 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1}, {0, 0}), 0.0);
+}
+
+TEST(ConfusionMatrixTest, EntriesLandInRightCells) {
+  const Matrix cm = ConfusionMatrix({0, 0, 1, 1, 2}, {0, 1, 1, 1, 0}, 3);
+  EXPECT_DOUBLE_EQ(cm.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.At(0, 1), 1);
+  EXPECT_DOUBLE_EQ(cm.At(1, 1), 2);
+  EXPECT_DOUBLE_EQ(cm.At(2, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.At(2, 2), 0);
+}
+
+TEST(PerClassRecallTest, Values) {
+  const std::vector<double> recall =
+      PerClassRecall({0, 0, 1, 1, 1, 2}, {0, 1, 1, 1, 0, 0}, 3);
+  EXPECT_DOUBLE_EQ(recall[0], 0.5);
+  EXPECT_NEAR(recall[1], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[2], 0.0);
+}
+
+TEST(PerClassRecallTest, AbsentClassIsNaN) {
+  const std::vector<double> recall = PerClassRecall({0, 0}, {0, 0}, 3);
+  EXPECT_TRUE(std::isnan(recall[1]));
+  EXPECT_TRUE(std::isnan(recall[2]));
+}
+
+TEST(GMeanTest, PerfectPredictionIsOne) {
+  EXPECT_DOUBLE_EQ(GMean({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+}
+
+TEST(GMeanTest, ZeroRecallClassZeroesGMean) {
+  EXPECT_DOUBLE_EQ(GMean({0, 0, 1, 1}, {0, 0, 0, 0}, 2), 0.0);
+}
+
+TEST(GMeanTest, GeometricMeanOfRecalls) {
+  // recall(0) = 1.0, recall(1) = 0.5 -> gmean = sqrt(0.5).
+  EXPECT_NEAR(GMean({0, 0, 1, 1}, {0, 0, 1, 0}, 2), std::sqrt(0.5), 1e-12);
+}
+
+TEST(GMeanTest, SkipsAbsentClasses) {
+  // Class 2 never appears in y_true: gmean over classes 0 and 1 only.
+  EXPECT_NEAR(GMean({0, 0, 1, 1}, {0, 0, 1, 0}, 3), std::sqrt(0.5), 1e-12);
+}
+
+TEST(MacroF1Test, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // y_true = {0,0,1,1}, y_pred = {0,1,1,1}:
+  // class 0: precision 1, recall .5 -> F1 = 2/3
+  // class 1: precision 2/3, recall 1 -> F1 = 0.8
+  EXPECT_NEAR(MacroF1({0, 0, 1, 1}, {0, 1, 1, 1}, 2), (2.0 / 3 + 0.8) / 2,
+              1e-12);
+}
+
+TEST(BalancedAccuracyTest, MeanOfRecalls) {
+  // recall(0) = 1.0, recall(1) = 0.5 -> balanced = 0.75.
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0, 0, 1, 1}, {0, 0, 1, 0}, 2), 0.75);
+}
+
+TEST(BalancedAccuracyTest, IgnoresAbsentClasses) {
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0, 0, 1, 1}, {0, 0, 1, 0}, 4), 0.75);
+}
+
+TEST(BinaryAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(
+      BinaryAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(BinaryAucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(
+      BinaryAuc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(BinaryAucTest, RandomScoresGiveHalfOnTies) {
+  EXPECT_DOUBLE_EQ(BinaryAuc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(BinaryAucTest, KnownMixedCase) {
+  // positives at scores {0.8, 0.3}, negatives at {0.5, 0.1}:
+  // pairs won: (0.8>0.5), (0.8>0.1), (0.3<0.5 lost), (0.3>0.1) -> 3/4.
+  EXPECT_DOUBLE_EQ(BinaryAuc({1, 0, 1, 0}, {0.8, 0.5, 0.3, 0.1}), 0.75);
+}
+
+TEST(BinaryAucTest, CustomPositiveClass) {
+  EXPECT_DOUBLE_EQ(
+      BinaryAuc({2, 2, 7, 7}, {0.1, 0.2, 0.8, 0.9}, /*positive_class=*/7),
+      1.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(Accuracy({0, 1}, {0}), "GBX_CHECK");
+}
+
+TEST(MetricsDeathTest, AucNeedsBothClasses) {
+  EXPECT_DEATH(BinaryAuc({1, 1}, {0.5, 0.6}), "GBX_CHECK");
+}
+
+}  // namespace
+}  // namespace gbx

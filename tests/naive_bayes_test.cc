@@ -1,0 +1,127 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "ml/report.h"
+
+namespace gbx {
+namespace {
+
+TEST(GaussianNbTest, SeparatesGaussianBlobs) {
+  BlobsConfig cfg;
+  cfg.num_samples = 600;
+  cfg.num_classes = 3;
+  cfg.num_features = 4;
+  cfg.center_spread = 6.0;
+  cfg.cluster_std = 1.0;
+  Pcg32 gen(1);
+  const Dataset all = MakeGaussianBlobs(cfg, &gen);
+  Pcg32 split_rng(2);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  GaussianNbClassifier nb;
+  Pcg32 rng(3);
+  nb.Fit(split.train, &rng);
+  // NB is the Bayes-optimal family for isotropic Gaussian blobs.
+  EXPECT_GT(Accuracy(split.test.y(), nb.PredictBatch(split.test.x())),
+            0.95);
+}
+
+TEST(GaussianNbTest, PriorsMatter) {
+  // Identical overlapping distributions, 9:1 priors: NB must predict the
+  // majority class nearly always in the overlap region.
+  Pcg32 gen(4);
+  Matrix x(500, 1);
+  std::vector<int> y(500);
+  for (int i = 0; i < 500; ++i) {
+    x.At(i, 0) = gen.NextGaussian();
+    y[i] = i < 450 ? 0 : 1;
+  }
+  const Dataset ds(std::move(x), std::move(y));
+  GaussianNbClassifier nb;
+  Pcg32 rng(5);
+  nb.Fit(ds, &rng);
+  const double q[] = {0.0};
+  EXPECT_EQ(nb.Predict(q), 0);
+  EXPECT_GT(nb.LogPosterior(q, 0), nb.LogPosterior(q, 1));
+}
+
+TEST(GaussianNbTest, LogPosteriorOrdersWithPrediction) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 4;
+  Pcg32 gen(6);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  GaussianNbClassifier nb;
+  Pcg32 rng(7);
+  nb.Fit(ds, &rng);
+  for (int i = 0; i < 20; ++i) {
+    const int pred = nb.Predict(ds.row(i));
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_GE(nb.LogPosterior(ds.row(i), pred),
+                nb.LogPosterior(ds.row(i), c));
+    }
+  }
+}
+
+TEST(GaussianNbTest, HandlesConstantFeatures) {
+  Matrix x(20, 2, 5.0);  // all-constant features
+  std::vector<int> y(20);
+  for (int i = 0; i < 20; ++i) y[i] = i < 14 ? 0 : 1;
+  const Dataset ds(std::move(x), std::move(y));
+  GaussianNbClassifier nb;
+  Pcg32 rng(8);
+  nb.Fit(ds, &rng);
+  const double q[] = {5.0, 5.0};
+  EXPECT_EQ(nb.Predict(q), 0);  // prior decides
+}
+
+TEST(GaussianNbTest, MissingClassNeverPredicted) {
+  // num_classes = 3 but class 1 absent from training.
+  const Dataset ds(Matrix::FromRows({{0.0}, {0.1}, {9.0}, {9.1}}),
+                   {0, 0, 2, 2}, 3);
+  GaussianNbClassifier nb;
+  Pcg32 rng(9);
+  nb.Fit(ds, &rng);
+  for (double v : {-1.0, 0.05, 4.5, 9.05, 20.0}) {
+    const double q[] = {v};
+    EXPECT_NE(nb.Predict(q), 1);
+  }
+}
+
+TEST(ClassificationReportTest, ValuesMatchMetrics) {
+  const std::vector<int> y_true = {0, 0, 1, 1, 1, 2};
+  const std::vector<int> y_pred = {0, 1, 1, 1, 0, 2};
+  const ClassificationReport report =
+      BuildClassificationReport(y_true, y_pred, 3);
+  ASSERT_EQ(report.per_class.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.accuracy, Accuracy(y_true, y_pred));
+  EXPECT_DOUBLE_EQ(report.balanced_accuracy,
+                   BalancedAccuracy(y_true, y_pred, 3));
+  EXPECT_DOUBLE_EQ(report.g_mean, GMean(y_true, y_pred, 3));
+  // class 0: precision 1/2, recall 1/2; supports 2, 3, 1.
+  EXPECT_DOUBLE_EQ(report.per_class[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(report.per_class[0].recall, 0.5);
+  EXPECT_EQ(report.per_class[1].support, 3);
+  EXPECT_DOUBLE_EQ(report.per_class[2].f1, 1.0);
+}
+
+TEST(ClassificationReportTest, SkipsAbsentClasses) {
+  const ClassificationReport report =
+      BuildClassificationReport({0, 0}, {0, 0}, 5);
+  EXPECT_EQ(report.per_class.size(), 1u);
+  EXPECT_EQ(report.per_class[0].cls, 0);
+}
+
+TEST(ClassificationReportTest, ToStringContainsRows) {
+  const ClassificationReport report =
+      BuildClassificationReport({0, 1}, {0, 1}, 2);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("precision"), std::string::npos);
+  EXPECT_NE(text.find("accuracy 1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbx

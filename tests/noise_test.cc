@@ -1,0 +1,99 @@
+#include "data/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+Dataset MakeData(int n, int classes) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  Pcg32 rng(5);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+class NoiseRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseRatioTest, FlipsExactlyTheRequestedFraction) {
+  const double ratio = GetParam();
+  const Dataset clean = MakeData(500, 3);
+  Dataset noisy = clean;
+  Pcg32 rng(1);
+  const std::vector<int> flipped = InjectClassNoise(&noisy, ratio, &rng);
+  EXPECT_EQ(static_cast<int>(flipped.size()),
+            static_cast<int>(500 * ratio));
+  int changed = 0;
+  for (int i = 0; i < clean.size(); ++i) {
+    if (clean.label(i) != noisy.label(i)) ++changed;
+  }
+  EXPECT_EQ(changed, static_cast<int>(flipped.size()));
+}
+
+TEST_P(NoiseRatioTest, FlippedLabelsAlwaysDiffer) {
+  const double ratio = GetParam();
+  const Dataset clean = MakeData(400, 4);
+  Dataset noisy = clean;
+  Pcg32 rng(2);
+  for (int idx : InjectClassNoise(&noisy, ratio, &rng)) {
+    EXPECT_NE(clean.label(idx), noisy.label(idx));
+    EXPECT_GE(noisy.label(idx), 0);
+    EXPECT_LT(noisy.label(idx), 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, NoiseRatioTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4));
+
+TEST(NoiseTest, FeaturesUntouched) {
+  const Dataset clean = MakeData(100, 2);
+  Dataset noisy = clean;
+  Pcg32 rng(3);
+  InjectClassNoise(&noisy, 0.3, &rng);
+  for (int i = 0; i < clean.size(); ++i) {
+    for (int j = 0; j < clean.num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(clean.feature(i, j), noisy.feature(i, j));
+    }
+  }
+}
+
+TEST(NoiseTest, ZeroRatioIsIdentity) {
+  Dataset ds = MakeData(50, 2);
+  const std::vector<int> before = ds.y();
+  Pcg32 rng(4);
+  EXPECT_TRUE(InjectClassNoise(&ds, 0.0, &rng).empty());
+  EXPECT_EQ(ds.y(), before);
+}
+
+TEST(NoiseTest, Deterministic) {
+  const Dataset clean = MakeData(200, 3);
+  Dataset a = clean;
+  Dataset b = clean;
+  Pcg32 rng_a(9);
+  Pcg32 rng_b(9);
+  InjectClassNoise(&a, 0.2, &rng_a);
+  InjectClassNoise(&b, 0.2, &rng_b);
+  EXPECT_EQ(a.y(), b.y());
+}
+
+TEST(NoiseTest, WithClassNoiseLeavesOriginal) {
+  const Dataset clean = MakeData(100, 2);
+  Pcg32 rng(6);
+  const Dataset noisy = WithClassNoise(clean, 0.4, &rng);
+  int changed = 0;
+  for (int i = 0; i < clean.size(); ++i) {
+    if (clean.label(i) != noisy.label(i)) ++changed;
+  }
+  EXPECT_EQ(changed, 40);
+}
+
+TEST(NoiseDeathTest, SingleClassWithPositiveRatioAborts) {
+  Dataset ds(Matrix::FromRows({{0.0}, {1.0}, {2.0}}), {0, 0, 0});
+  Pcg32 rng(1);
+  EXPECT_DEATH(InjectClassNoise(&ds, 0.5, &rng), "GBX_CHECK");
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,134 @@
+#include "sampling/purity_gbg.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+Dataset Blobs(int n, int classes, std::uint64_t seed) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = 2;
+  cfg.center_spread = 5.0;
+  cfg.cluster_std = 0.8;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+TEST(PurityGbgTest, MembershipPartitionsDataset) {
+  const Dataset ds = Blobs(300, 3, 1);
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  std::set<int> covered;
+  for (const GranularBall& ball : result.balls.balls()) {
+    for (int idx : ball.members) {
+      EXPECT_TRUE(covered.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), ds.size());
+}
+
+class PurityThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PurityThresholdTest, EveryBallPureEnoughOrSmall) {
+  const double threshold = GetParam();
+  Dataset ds = Blobs(400, 3, 2);
+  Pcg32 noise_rng(3);
+  InjectClassNoise(&ds, 0.1, &noise_rng);
+  PurityGbgConfig cfg;
+  cfg.purity_threshold = threshold;
+  const PurityGbgResult result = GeneratePurityGbg(ds, cfg);
+  ASSERT_EQ(result.purities.size(),
+            static_cast<std::size_t>(result.balls.size()));
+  for (int i = 0; i < result.balls.size(); ++i) {
+    const GranularBall& ball = result.balls.ball(i);
+    const bool small = IsSmallBall(ball, ds.num_features());
+    EXPECT_TRUE(result.purities[i] >= threshold || small)
+        << "ball " << i << " purity " << result.purities[i] << " size "
+        << ball.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PurityThresholdTest,
+                         ::testing::Values(0.8, 0.9, 0.95, 1.0));
+
+TEST(PurityGbgTest, ReportedPurityMatchesMembers) {
+  const Dataset ds = Blobs(200, 2, 4);
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  for (int i = 0; i < result.balls.size(); ++i) {
+    const GranularBall& ball = result.balls.ball(i);
+    int matching = 0;
+    for (int idx : ball.members) {
+      if (ds.label(idx) == ball.label) ++matching;
+    }
+    EXPECT_NEAR(result.purities[i],
+                static_cast<double>(matching) / ball.size(), 1e-12);
+  }
+}
+
+TEST(PurityGbgTest, ClassicRadiusIsAverageDistance) {
+  const Dataset ds = Blobs(150, 2, 5);
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  const Matrix& x = result.balls.scaled_features();
+  for (const GranularBall& ball : result.balls.balls()) {
+    double sum = 0.0;
+    for (int idx : ball.members) {
+      sum += EuclideanDistance(x.Row(idx), ball.center.data(), x.cols());
+    }
+    EXPECT_NEAR(ball.radius, sum / ball.size(), 1e-9);
+    EXPECT_EQ(ball.center_index, -1);  // centroid, not a sample
+  }
+}
+
+TEST(PurityGbgTest, ClassicBallsOverlapOnNoisyData) {
+  // The motivating deficiency (§III): average-radius balls from k-division
+  // overlap, while RD-GBG balls never do. On noisy data the overlap depth
+  // over heterogeneous pairs is typically positive.
+  Dataset ds = Blobs(400, 2, 6);
+  Pcg32 noise_rng(7);
+  InjectClassNoise(&ds, 0.2, &noise_rng);
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  EXPECT_GT(result.balls.size(), 1);
+  EXPECT_GE(result.balls.HeterogeneousOverlapDepth(), 0.0);
+}
+
+TEST(PurityGbgTest, DuplicatePointsTerminate) {
+  // All-identical features with mixed labels can never be purified by
+  // splitting; the degenerate-split guard must finalize instead of looping.
+  Matrix x(20, 2, 1.0);
+  std::vector<int> y(20);
+  for (int i = 0; i < 20; ++i) y[i] = i % 2;
+  const Dataset ds(std::move(x), std::move(y));
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  EXPECT_GE(result.balls.size(), 1);
+  EXPECT_EQ(result.balls.TotalCoveredSamples(), 20);
+}
+
+TEST(PurityGbgTest, Deterministic) {
+  const Dataset ds = Blobs(250, 3, 8);
+  PurityGbgConfig cfg;
+  cfg.seed = 77;
+  const PurityGbgResult a = GeneratePurityGbg(ds, cfg);
+  const PurityGbgResult b = GeneratePurityGbg(ds, cfg);
+  ASSERT_EQ(a.balls.size(), b.balls.size());
+  for (int i = 0; i < a.balls.size(); ++i) {
+    EXPECT_EQ(a.balls.ball(i).members, b.balls.ball(i).members);
+  }
+}
+
+TEST(PurityGbgTest, SmallBallStopRule) {
+  // A tiny dataset (n <= 2p) is never split regardless of purity.
+  const Dataset ds(Matrix::FromRows({{0, 0}, {1, 1}, {2, 2}, {3, 3}}),
+                   {0, 1, 0, 1});
+  const PurityGbgResult result = GeneratePurityGbg(ds, PurityGbgConfig{});
+  EXPECT_EQ(result.balls.size(), 1);
+  EXPECT_EQ(result.balls.ball(0).size(), 4);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,110 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+
+namespace gbx {
+namespace {
+
+Dataset Blobs(int n, int classes, int features, std::uint64_t seed,
+              double spread = 6.0, double std_dev = 1.0) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = features;
+  cfg.center_spread = spread;
+  cfg.cluster_std = std_dev;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+TEST(RandomForestTest, GeneralizesOnBlobs) {
+  const Dataset all = Blobs(600, 3, 6, 1);
+  Pcg32 split_rng(2);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  RandomForestConfig cfg;
+  cfg.num_trees = 30;
+  RandomForestClassifier rf(cfg);
+  Pcg32 rng(3);
+  rf.Fit(split.train, &rng);
+  EXPECT_GT(Accuracy(split.test.y(), rf.PredictBatch(split.test.x())), 0.93);
+}
+
+TEST(RandomForestTest, DeterministicAcrossThreadCounts) {
+  const Dataset ds = Blobs(200, 2, 4, 4);
+  RandomForestConfig cfg1;
+  cfg1.num_trees = 16;
+  cfg1.num_threads = 1;
+  RandomForestConfig cfg8 = cfg1;
+  cfg8.num_threads = 8;
+  RandomForestClassifier rf1(cfg1);
+  RandomForestClassifier rf8(cfg8);
+  Pcg32 rng1(5);
+  Pcg32 rng8(5);
+  rf1.Fit(ds, &rng1);
+  rf8.Fit(ds, &rng8);
+  EXPECT_EQ(rf1.PredictBatch(ds.x()), rf8.PredictBatch(ds.x()));
+}
+
+TEST(RandomForestTest, MoreTreesAtLeastAsGoodOnNoisyData) {
+  // Weak sanity property: a 50-tree forest should not be much worse than a
+  // 2-tree forest on overlapping data.
+  const Dataset all = Blobs(800, 2, 5, 6, /*spread=*/2.0, /*std_dev=*/1.5);
+  Pcg32 split_rng(7);
+  const TrainTestSplitResult split = TrainTestSplit(all, 0.3, &split_rng);
+  RandomForestConfig small_cfg;
+  small_cfg.num_trees = 2;
+  RandomForestConfig big_cfg;
+  big_cfg.num_trees = 50;
+  RandomForestClassifier small_rf(small_cfg);
+  RandomForestClassifier big_rf(big_cfg);
+  Pcg32 rng_a(8);
+  Pcg32 rng_b(8);
+  small_rf.Fit(split.train, &rng_a);
+  big_rf.Fit(split.train, &rng_b);
+  const double small_acc =
+      Accuracy(split.test.y(), small_rf.PredictBatch(split.test.x()));
+  const double big_acc =
+      Accuracy(split.test.y(), big_rf.PredictBatch(split.test.x()));
+  EXPECT_GE(big_acc, small_acc - 0.03);
+}
+
+TEST(RandomForestTest, ReportsTreeCount) {
+  const Dataset ds = Blobs(100, 2, 3, 9);
+  RandomForestConfig cfg;
+  cfg.num_trees = 7;
+  RandomForestClassifier rf(cfg);
+  Pcg32 rng(10);
+  rf.Fit(ds, &rng);
+  EXPECT_EQ(rf.num_trees(), 7);
+}
+
+TEST(RandomForestTest, WithoutBootstrapStillWorks) {
+  const Dataset ds = Blobs(200, 2, 4, 11);
+  RandomForestConfig cfg;
+  cfg.num_trees = 10;
+  cfg.bootstrap = false;
+  RandomForestClassifier rf(cfg);
+  Pcg32 rng(12);
+  rf.Fit(ds, &rng);
+  EXPECT_GT(Accuracy(ds.y(), rf.PredictBatch(ds.x())), 0.97);
+}
+
+TEST(RandomForestTest, PredictionsInLabelRange) {
+  const Dataset ds = Blobs(150, 4, 3, 13);
+  RandomForestConfig cfg;
+  cfg.num_trees = 12;
+  RandomForestClassifier rf(cfg);
+  Pcg32 rng(14);
+  rf.Fit(ds, &rng);
+  for (int pred : rf.PredictBatch(ds.x())) {
+    EXPECT_GE(pred, 0);
+    EXPECT_LT(pred, 4);
+  }
+}
+
+}  // namespace
+}  // namespace gbx

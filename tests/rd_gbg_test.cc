@@ -1,0 +1,229 @@
+#include "core/rd_gbg.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/paper_suite.h"
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+Dataset Blobs(int n, int classes, std::uint64_t seed, double spread = 5.0,
+              double std_dev = 0.8) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = 2;
+  cfg.center_spread = spread;
+  cfg.cluster_std = std_dev;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+// Core invariants of RD-GBG (§IV-B): purity 1.0, geometric containment,
+// no overlap, disjoint membership, and completeness (every sample is
+// either covered or eliminated as noise). Swept across datasets, seeds
+// and density tolerances.
+class RdGbgInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RdGbgInvariantTest, AllInvariantsHold) {
+  const auto [n, rho, seed] = GetParam();
+  const Dataset ds = Blobs(n, 3, seed);
+  RdGbgConfig cfg;
+  cfg.density_tolerance = rho;
+  cfg.seed = seed * 1000 + 7;
+  const RdGbgResult result = GenerateRdGbg(ds, cfg);
+
+  EXPECT_TRUE(result.balls.CheckPurity(ds.y()));
+  EXPECT_TRUE(result.balls.CheckContainment());
+  EXPECT_TRUE(result.balls.CheckNonOverlap(1e-9));
+  EXPECT_TRUE(result.balls.CheckDisjointMembership(ds.size()));
+  EXPECT_DOUBLE_EQ(result.balls.HeterogeneousOverlapDepth(), 0.0);
+
+  // Completeness: covered + noise partitions the dataset.
+  std::set<int> covered;
+  for (const GranularBall& ball : result.balls.balls()) {
+    covered.insert(ball.members.begin(), ball.members.end());
+  }
+  for (int idx : result.noise_indices) {
+    EXPECT_EQ(covered.count(idx), 0u);
+    covered.insert(idx);
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), ds.size());
+}
+
+TEST_P(RdGbgInvariantTest, CentersAreSamplesWithBallLabel) {
+  const auto [n, rho, seed] = GetParam();
+  const Dataset ds = Blobs(n, 3, seed + 100);
+  RdGbgConfig cfg;
+  cfg.density_tolerance = rho;
+  const RdGbgResult result = GenerateRdGbg(ds, cfg);
+  for (const GranularBall& ball : result.balls.balls()) {
+    ASSERT_GE(ball.center_index, 0);
+    EXPECT_EQ(ds.label(ball.center_index), ball.label);
+    // Center coordinates equal the (scaled) sample coordinates.
+    const double* sx = result.balls.scaled_features().Row(ball.center_index);
+    for (int j = 0; j < ds.num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(ball.center[j], sx[j]);
+    }
+    // The center is a member of its own ball.
+    EXPECT_TRUE(std::binary_search(ball.members.begin(), ball.members.end(),
+                                   ball.center_index));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RdGbgInvariantTest,
+    ::testing::Combine(::testing::Values(60, 200, 500),
+                       ::testing::Values(3, 5, 9),
+                       ::testing::Values(1, 2)));
+
+// The same invariants must hold on every generator family of the paper
+// suite (banana, overlapping blobs, extreme-imbalance blobs, high-dim
+// informative, many-class high-dim).
+class RdGbgPaperSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdGbgPaperSuiteTest, InvariantsOnPaperDatasets) {
+  const int index = GetParam();
+  const Dataset ds = MakePaperDataset(index, /*max_samples=*/220,
+                                      /*seed=*/55 + index);
+  const RdGbgResult result = GenerateRdGbg(ds, RdGbgConfig{});
+  EXPECT_TRUE(result.balls.CheckPurity(ds.y()));
+  EXPECT_TRUE(result.balls.CheckContainment());
+  EXPECT_TRUE(result.balls.CheckNonOverlap(1e-9));
+  EXPECT_TRUE(result.balls.CheckDisjointMembership(ds.size()));
+  EXPECT_EQ(result.balls.TotalCoveredSamples() +
+                static_cast<int>(result.noise_indices.size()),
+            ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperDatasets, RdGbgPaperSuiteTest,
+                         ::testing::Range(0, 13));
+
+TEST(RdGbgTest, Deterministic) {
+  const Dataset ds = Blobs(200, 2, 5);
+  RdGbgConfig cfg;
+  cfg.seed = 99;
+  const RdGbgResult a = GenerateRdGbg(ds, cfg);
+  const RdGbgResult b = GenerateRdGbg(ds, cfg);
+  ASSERT_EQ(a.balls.size(), b.balls.size());
+  for (int i = 0; i < a.balls.size(); ++i) {
+    EXPECT_EQ(a.balls.ball(i).members, b.balls.ball(i).members);
+    EXPECT_DOUBLE_EQ(a.balls.ball(i).radius, b.balls.ball(i).radius);
+  }
+  EXPECT_EQ(a.noise_indices, b.noise_indices);
+}
+
+TEST(RdGbgTest, DifferentSeedsUsuallyDiffer) {
+  const Dataset ds = Blobs(300, 2, 6);
+  RdGbgConfig cfg_a;
+  cfg_a.seed = 1;
+  RdGbgConfig cfg_b;
+  cfg_b.seed = 2;
+  const RdGbgResult a = GenerateRdGbg(ds, cfg_a);
+  const RdGbgResult b = GenerateRdGbg(ds, cfg_b);
+  const bool same_count = a.balls.size() == b.balls.size();
+  bool identical = same_count;
+  if (same_count) {
+    for (int i = 0; i < a.balls.size() && identical; ++i) {
+      identical = a.balls.ball(i).members == b.balls.ball(i).members;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(RdGbgTest, SingleClassProducesOneBigBallEventually) {
+  // With one class there is no heterogeneous sample: the first center's
+  // locally consistent radius spans the whole undivided set.
+  BlobsConfig cfg;
+  cfg.num_samples = 100;
+  cfg.num_classes = 1;
+  Pcg32 rng(7);
+  const Dataset ds = MakeGaussianBlobs(cfg, &rng);
+  const RdGbgResult result = GenerateRdGbg(ds, RdGbgConfig{});
+  EXPECT_TRUE(result.noise_indices.empty());
+  EXPECT_EQ(result.balls.TotalCoveredSamples(), 100);
+  // Few balls: the diffusion covers nearly everything in one or two rounds.
+  EXPECT_LE(result.balls.size(), 5);
+}
+
+TEST(RdGbgTest, DetectsPlantedNoise) {
+  // Two far-apart compact blobs; flip a handful of labels deep inside each
+  // blob. RD-GBG's center detection should eliminate a good share of them.
+  const Dataset clean = Blobs(400, 2, 8, /*spread=*/10.0, /*std_dev=*/0.5);
+  Dataset noisy = clean;
+  Pcg32 noise_rng(9);
+  const std::vector<int> flipped = InjectClassNoise(&noisy, 0.05, &noise_rng);
+  ASSERT_FALSE(flipped.empty());
+
+  const RdGbgResult result = GenerateRdGbg(noisy, RdGbgConfig{});
+  // All detected noise must be genuinely flipped samples (no false
+  // positives on this clean geometry)...
+  int true_hits = 0;
+  for (int idx : result.noise_indices) {
+    if (std::binary_search(flipped.begin(), flipped.end(), idx)) ++true_hits;
+  }
+  EXPECT_EQ(true_hits, static_cast<int>(result.noise_indices.size()));
+  // ...and a decent share of the planted noise is caught.
+  EXPECT_GE(true_hits, static_cast<int>(flipped.size()) / 4);
+}
+
+TEST(RdGbgTest, BallsHoldManySamplesOnSeparableData) {
+  const Dataset ds = Blobs(500, 2, 10, /*spread=*/10.0, /*std_dev=*/0.5);
+  const RdGbgResult result = GenerateRdGbg(ds, RdGbgConfig{});
+  // Representativeness: the granulation compresses the dataset.
+  EXPECT_LT(result.balls.size(), ds.size() / 4);
+}
+
+TEST(RdGbgTest, OrphansAreRadiusZeroSingletons) {
+  const Dataset ds = Blobs(300, 3, 11, /*spread=*/2.0, /*std_dev=*/1.5);
+  const RdGbgResult result = GenerateRdGbg(ds, RdGbgConfig{});
+  std::set<int> orphan_set(result.orphan_indices.begin(),
+                           result.orphan_indices.end());
+  int orphan_balls = 0;
+  for (const GranularBall& ball : result.balls.balls()) {
+    if (orphan_set.count(ball.center_index) > 0 && ball.size() == 1) {
+      EXPECT_DOUBLE_EQ(ball.radius, 0.0);
+      ++orphan_balls;
+    }
+  }
+  EXPECT_EQ(orphan_balls, static_cast<int>(result.orphan_indices.size()));
+}
+
+TEST(RdGbgTest, RhoIsValidated) {
+  const Dataset ds = Blobs(20, 2, 12);
+  RdGbgConfig cfg;
+  cfg.density_tolerance = 1;
+  EXPECT_DEATH(GenerateRdGbg(ds, cfg), "GBX_CHECK");
+}
+
+TEST(RdGbgTest, TinyDataset) {
+  const Dataset ds(Matrix::FromRows({{0, 0}, {0.1, 0}, {5, 5}, {5.1, 5}}),
+                   {0, 0, 1, 1});
+  const RdGbgResult result = GenerateRdGbg(ds, RdGbgConfig{});
+  EXPECT_TRUE(result.balls.CheckPurity(ds.y()));
+  EXPECT_EQ(result.balls.TotalCoveredSamples() +
+                static_cast<int>(result.noise_indices.size()),
+            4);
+}
+
+TEST(RdGbgTest, UnscaledModeKeepsOriginalCoordinates) {
+  const Dataset ds = Blobs(100, 2, 13);
+  RdGbgConfig cfg;
+  cfg.scale_features = false;
+  const RdGbgResult result = GenerateRdGbg(ds, cfg);
+  EXPECT_TRUE(result.balls.CheckPurity(ds.y()));
+  const GranularBall& ball = result.balls.ball(0);
+  for (int j = 0; j < ds.num_features(); ++j) {
+    EXPECT_DOUBLE_EQ(ball.center[j], ds.feature(ball.center_index, j));
+  }
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,66 @@
+#include "exp/result_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+EvalResult MakeResult() {
+  EvalResult r;
+  r.request.dataset_index = 4;  // S5
+  r.request.noise_ratio = 0.2;
+  r.request.sampler = SamplerKind::kGbabs;
+  r.request.classifier = ClassifierKind::kDecisionTree;
+  r.mean_accuracy = 0.875;
+  r.mean_gmean = 0.81;
+  r.mean_sampling_ratio = 0.3;
+  r.fold_accuracies = {0.85, 0.9};
+  return r;
+}
+
+TEST(ResultIoTest, CsvContainsHeaderAndRow) {
+  const std::string csv = ResultsToCsv({MakeResult()});
+  std::stringstream ss(csv);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(ss, header));
+  ASSERT_TRUE(std::getline(ss, row));
+  EXPECT_NE(header.find("mean_accuracy"), std::string::npos);
+  EXPECT_NE(row.find("S5,0.2,GBABS,DT,0.875,0.81,0.3,0.85;0.9"),
+            std::string::npos);
+}
+
+TEST(ResultIoTest, EmptyResultsHeaderOnly) {
+  const std::string csv = ResultsToCsv({});
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);  // exactly one line
+}
+
+TEST(ResultIoTest, UnknownDatasetIndexFallsBackToNumber) {
+  EvalResult r = MakeResult();
+  r.request.dataset_index = 99;
+  const std::string csv = ResultsToCsv({r});
+  EXPECT_NE(csv.find("\n99,"), std::string::npos);
+}
+
+TEST(ResultIoTest, SaveWritesFile) {
+  const std::string path = ::testing::TempDir() + "/gbx_results.csv";
+  ASSERT_TRUE(SaveResultsCsv({MakeResult(), MakeResult()}, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, SaveToBadPathFails) {
+  EXPECT_FALSE(SaveResultsCsv({}, "/no/such/dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInRange) {
+  Pcg32 rng(9);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 4294967295u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, NextBoundedIsRoughlyUniform) {
+  Pcg32 rng(11);
+  const int kBound = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBound, kDraws / kBound * 0.1);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, NextIntCoversInclusiveRange) {
+  Pcg32 rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Pcg32Test, NextIntSingleton) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextInt(7, 7), 7);
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(17);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Pcg32Test, SampleWithoutReplacementDistinct) {
+  Pcg32 rng(29);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int idx : sample) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 50);
+  }
+}
+
+TEST(Pcg32Test, SampleWithoutReplacementFull) {
+  Pcg32 rng(31);
+  std::vector<int> sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Pcg32Test, SampleWithoutReplacementEmpty) {
+  Pcg32 rng(37);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 0).empty());
+}
+
+// Each draw count must hit each index with roughly uniform probability.
+TEST(Pcg32Test, SampleWithoutReplacementUnbiased) {
+  Pcg32 rng(41);
+  std::vector<int> hits(10, 0);
+  const int kRounds = 20000;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int idx : rng.SampleWithoutReplacement(10, 3)) ++hits[idx];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h, kRounds * 3 / 10, kRounds * 3 / 10 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,78 @@
+// Randomized round-trip properties for the persistence layers: arbitrary
+// datasets through CSV, arbitrary granulations through the granular-ball
+// format. TEST_P over seeds gives independent random instances.
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/gb_io.h"
+#include "core/rd_gbg.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+class RoundTripFuzzTest : public ::testing::TestWithParam<int> {};
+
+Dataset RandomDataset(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  const int n = 20 + static_cast<int>(rng.NextBounded(200));
+  const int p = 1 + static_cast<int>(rng.NextBounded(12));
+  const int q = 2 + static_cast<int>(rng.NextBounded(4));
+  Matrix x(n, p);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < p; ++j) {
+      // Mix of scales and signs, including exact zeros and tiny values.
+      const double magnitude =
+          std::pow(10.0, rng.NextInt(-8, 8)) * rng.NextGaussian();
+      x.At(i, j) = rng.NextBounded(20) == 0 ? 0.0 : magnitude;
+    }
+    y[i] = static_cast<int>(rng.NextBounded(q));
+  }
+  // Ensure at least two classes so downstream code paths stay generic.
+  y[0] = 0;
+  y[1] = 1;
+  return Dataset(std::move(x), std::move(y));
+}
+
+TEST_P(RoundTripFuzzTest, CsvRoundTripIsExact) {
+  const Dataset original = RandomDataset(1000 + GetParam());
+  const std::string path = ::testing::TempDir() + "/gbx_fuzz_" +
+                           std::to_string(GetParam()) + ".csv";
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+  const StatusOr<Dataset> loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->num_features(), original.num_features());
+  for (int i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded->label(i), original.label(i));
+    for (int j = 0; j < original.num_features(); ++j) {
+      // %.17g text is lossless for doubles.
+      ASSERT_DOUBLE_EQ(loaded->feature(i, j), original.feature(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(RoundTripFuzzTest, GranularBallRoundTripPreservesInvariants) {
+  const Dataset ds = RandomDataset(2000 + GetParam());
+  RdGbgConfig cfg;
+  cfg.seed = 3000 + GetParam();
+  const RdGbgResult generated = GenerateRdGbg(ds, cfg);
+  const StatusOr<GranularBallSet> loaded =
+      GranularBallsFromString(GranularBallsToString(generated.balls));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), generated.balls.size());
+  EXPECT_TRUE(loaded->CheckPurity(ds.y()));
+  EXPECT_TRUE(loaded->CheckContainment());
+  EXPECT_TRUE(loaded->CheckNonOverlap(1e-9));
+  EXPECT_TRUE(loaded->CheckDisjointMembership(ds.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gbx

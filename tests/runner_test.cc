@@ -1,0 +1,134 @@
+#include "exp/runner.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.max_samples = 300;
+  cfg.cv_folds = 3;
+  cfg.cv_repeats = 1;
+  cfg.fast_classifiers = true;
+  cfg.seed = 5;
+  cfg.num_threads = 4;
+  return cfg;
+}
+
+TEST(ExperimentConfigTest, FullModeExpands) {
+  char prog[] = "test";
+  char full[] = "--full";
+  char* argv[] = {prog, full};
+  const ExperimentConfig cfg = ExperimentConfig::FromArgs(2, argv);
+  EXPECT_TRUE(cfg.full);
+  EXPECT_LE(cfg.max_samples, 0);
+  EXPECT_EQ(cfg.cv_repeats, 5);
+  EXPECT_FALSE(cfg.fast_classifiers);
+}
+
+TEST(ExperimentConfigTest, FlagParsing) {
+  char prog[] = "test";
+  char seed_flag[] = "--seed";
+  char seed_val[] = "42";
+  char threads_flag[] = "--threads";
+  char threads_val[] = "3";
+  char* argv[] = {prog, seed_flag, seed_val, threads_flag, threads_val};
+  const ExperimentConfig cfg = ExperimentConfig::FromArgs(5, argv);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.num_threads, 3);
+  EXPECT_FALSE(cfg.full);
+}
+
+TEST(RunnerTest, LoadDatasetHonorsCap) {
+  const ExperimentRunner runner(SmallConfig());
+  const Dataset ds = runner.LoadDataset(4);  // S5 banana (5300 full)
+  EXPECT_EQ(ds.size(), 300);
+  EXPECT_EQ(ds.num_features(), 2);
+}
+
+TEST(RunnerTest, EvaluateProducesSaneMetrics) {
+  const ExperimentRunner runner(SmallConfig());
+  EvalRequest request;
+  request.dataset_index = 4;  // S5: easy 2-D banana
+  request.sampler = SamplerKind::kNone;
+  request.classifier = ClassifierKind::kDecisionTree;
+  const EvalResult result = runner.Evaluate(request);
+  EXPECT_EQ(result.fold_accuracies.size(), 3u);
+  EXPECT_GT(result.mean_accuracy, 0.7);
+  EXPECT_LE(result.mean_accuracy, 1.0);
+  EXPECT_GT(result.mean_gmean, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_sampling_ratio, 1.0);  // no sampling
+}
+
+TEST(RunnerTest, GbabsSamplerCompresses) {
+  const ExperimentRunner runner(SmallConfig());
+  EvalRequest request;
+  request.dataset_index = 4;
+  request.sampler = SamplerKind::kGbabs;
+  request.classifier = ClassifierKind::kDecisionTree;
+  const EvalResult result = runner.Evaluate(request);
+  EXPECT_LT(result.mean_sampling_ratio, 1.0);
+  EXPECT_GT(result.mean_sampling_ratio, 0.0);
+  EXPECT_GT(result.mean_accuracy, 0.6);
+}
+
+TEST(RunnerTest, SrsRatioTracksGbabs) {
+  const ExperimentRunner runner(SmallConfig());
+  EvalRequest gbabs_req;
+  gbabs_req.dataset_index = 4;
+  gbabs_req.sampler = SamplerKind::kGbabs;
+  EvalRequest srs_req = gbabs_req;
+  srs_req.sampler = SamplerKind::kSrs;
+  const EvalResult gbabs = runner.Evaluate(gbabs_req);
+  const EvalResult srs = runner.Evaluate(srs_req);
+  EXPECT_NEAR(srs.mean_sampling_ratio, gbabs.mean_sampling_ratio, 0.15);
+}
+
+TEST(RunnerTest, NoiseInjectionLowersAccuracy) {
+  const ExperimentRunner runner(SmallConfig());
+  EvalRequest clean_req;
+  clean_req.dataset_index = 4;
+  clean_req.classifier = ClassifierKind::kKnn;
+  EvalRequest noisy_req = clean_req;
+  noisy_req.noise_ratio = 0.4;
+  const double clean_acc = runner.Evaluate(clean_req).mean_accuracy;
+  const double noisy_acc = runner.Evaluate(noisy_req).mean_accuracy;
+  EXPECT_GT(clean_acc, noisy_acc + 0.1);
+}
+
+TEST(RunnerTest, EvaluateAllMatchesSequentialEvaluate) {
+  const ExperimentRunner runner(SmallConfig());
+  std::vector<EvalRequest> requests;
+  for (SamplerKind s : {SamplerKind::kNone, SamplerKind::kGbabs}) {
+    EvalRequest r;
+    r.dataset_index = 4;
+    r.sampler = s;
+    requests.push_back(r);
+  }
+  const std::vector<EvalResult> batch = runner.EvaluateAll(requests);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const EvalResult solo = runner.Evaluate(requests[i]);
+    EXPECT_EQ(batch[i].fold_accuracies, solo.fold_accuracies);
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> counts(100);
+  for (auto& c : counts) c = 0;
+  ParallelFor(100, 8, [&](int i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroAndSingleThread) {
+  ParallelFor(0, 4, [](int) { FAIL(); });
+  int sum = 0;
+  ParallelFor(5, 1, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,100 @@
+// Cross-cutting property tests: laws every sampler must satisfy, swept
+// over (sampler kind x dataset) with TEST_P.
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_suite.h"
+#include "data/validate.h"
+#include "sampling/sampler.h"
+
+namespace gbx {
+namespace {
+
+using ParamType = std::tuple<SamplerKind, int>;
+
+class SamplerLawsTest : public ::testing::TestWithParam<ParamType> {
+ protected:
+  Dataset MakeData() const {
+    const int dataset_index = std::get<1>(GetParam());
+    // Small caps keep the sweep fast; every generator family is covered.
+    return MakePaperDataset(dataset_index, /*max_samples=*/250,
+                            /*seed=*/101 + dataset_index);
+  }
+};
+
+TEST_P(SamplerLawsTest, OutputIsValidDataset) {
+  const Dataset ds = MakeData();
+  const std::unique_ptr<Sampler> sampler = MakeSampler(std::get<0>(GetParam()));
+  Pcg32 rng(7);
+  const Dataset out = sampler->Sample(ds, &rng);
+  EXPECT_GT(out.size(), 0) << sampler->name();
+  EXPECT_EQ(out.num_features(), ds.num_features()) << sampler->name();
+  ValidateOptions options;
+  options.require_two_classes = false;
+  EXPECT_TRUE(ValidateDataset(out, options).ok()) << sampler->name();
+  // Labels never exceed the input label space.
+  EXPECT_LE(out.num_classes(), ds.num_classes()) << sampler->name();
+}
+
+TEST_P(SamplerLawsTest, DeterministicGivenRngSeed) {
+  const Dataset ds = MakeData();
+  const std::unique_ptr<Sampler> sampler = MakeSampler(std::get<0>(GetParam()));
+  Pcg32 rng_a(11);
+  Pcg32 rng_b(11);
+  const Dataset a = sampler->Sample(ds, &rng_a);
+  const Dataset b = sampler->Sample(ds, &rng_b);
+  ASSERT_EQ(a.size(), b.size()) << sampler->name();
+  for (int i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.label(i), b.label(i)) << sampler->name();
+    for (int j = 0; j < a.num_features(); ++j) {
+      ASSERT_DOUBLE_EQ(a.feature(i, j), b.feature(i, j)) << sampler->name();
+    }
+  }
+}
+
+TEST_P(SamplerLawsTest, UndersamplersReturnSubsets) {
+  const SamplerKind kind = std::get<0>(GetParam());
+  // Oversamplers synthesize new points; skip them here.
+  if (kind == SamplerKind::kSmote || kind == SamplerKind::kBorderlineSmote ||
+      kind == SamplerKind::kSmotenc || kind == SamplerKind::kIgbs) {
+    GTEST_SKIP() << "oversampling/balancing method";
+  }
+  const Dataset ds = MakeData();
+  const std::unique_ptr<Sampler> sampler = MakeSampler(kind);
+  Pcg32 rng(13);
+  const Dataset out = sampler->Sample(ds, &rng);
+  EXPECT_LE(out.size(), ds.size()) << sampler->name();
+  // Every output row must literally exist in the input.
+  std::set<std::pair<double, double>> input_rows;
+  for (int i = 0; i < ds.size(); ++i) {
+    input_rows.emplace(ds.feature(i, 0),
+                       ds.num_features() > 1 ? ds.feature(i, 1) : 0.0);
+  }
+  for (int i = 0; i < out.size(); ++i) {
+    const auto key = std::make_pair(
+        out.feature(i, 0),
+        out.num_features() > 1 ? out.feature(i, 1) : 0.0);
+    EXPECT_EQ(input_rows.count(key), 1u) << sampler->name() << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplersAllFamilies, SamplerLawsTest,
+    ::testing::Combine(
+        ::testing::Values(SamplerKind::kNone, SamplerKind::kGbabs,
+                          SamplerKind::kGgbs, SamplerKind::kIgbs,
+                          SamplerKind::kSrs, SamplerKind::kSmote,
+                          SamplerKind::kBorderlineSmote,
+                          SamplerKind::kSmotenc, SamplerKind::kTomek),
+        // One dataset per generator family: banana (S5), blobs (S3),
+        // extreme-IR blobs (S6), high-dim (S1), many-class high-dim (S8).
+        ::testing::Values(4, 2, 5, 0, 7)),
+    [](const ::testing::TestParamInfo<ParamType>& info) {
+      return SamplerKindName(std::get<0>(info.param)) + "_S" +
+             std::to_string(std::get<1>(info.param) + 1);
+    });
+
+}  // namespace
+}  // namespace gbx

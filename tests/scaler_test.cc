@@ -1,0 +1,78 @@
+#include "data/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(MinMaxScalerTest, ScalesToUnitInterval) {
+  const Matrix x = Matrix::FromRows({{0, 10}, {5, 20}, {10, 30}});
+  MinMaxScaler scaler;
+  const Matrix scaled = scaler.FitTransform(x);
+  EXPECT_DOUBLE_EQ(scaled.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.At(2, 1), 1.0);
+}
+
+TEST(MinMaxScalerTest, ConstantFeatureMapsToZero) {
+  const Matrix x = Matrix::FromRows({{3, 1}, {3, 2}});
+  MinMaxScaler scaler;
+  const Matrix scaled = scaler.FitTransform(x);
+  EXPECT_DOUBLE_EQ(scaled.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.At(1, 0), 0.0);
+}
+
+TEST(MinMaxScalerTest, TransformUsesFittedRange) {
+  MinMaxScaler scaler;
+  scaler.Fit(Matrix::FromRows({{0.0}, {10.0}}));
+  const Matrix out = scaler.Transform(Matrix::FromRows({{20.0}, {-10.0}}));
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 2.0);   // extrapolated, not clipped
+  EXPECT_DOUBLE_EQ(out.At(1, 0), -1.0);
+}
+
+TEST(MinMaxScalerTest, FittedFlag) {
+  MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  scaler.Fit(Matrix::FromRows({{1.0}}));
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_EQ(scaler.mins().size(), 1u);
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  const Matrix x = Matrix::FromRows({{1, 100}, {2, 200}, {3, 300}});
+  StandardScaler scaler;
+  const Matrix scaled = scaler.FitTransform(x);
+  for (int j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int i = 0; i < 3; ++i) mean += scaled.At(i, j);
+    mean /= 3;
+    for (int i = 0; i < 3; ++i) {
+      var += (scaled.At(i, j) - mean) * (scaled.At(i, j) - mean);
+    }
+    var /= 3;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureMapsToZero) {
+  StandardScaler scaler;
+  const Matrix scaled = scaler.FitTransform(Matrix::FromRows({{5.0}, {5.0}}));
+  EXPECT_DOUBLE_EQ(scaled.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.At(1, 0), 0.0);
+}
+
+TEST(MinMaxScaledDatasetTest, PreservesLabelsAndShape) {
+  const Dataset ds(Matrix::FromRows({{0, 5}, {10, 15}}), {1, 0});
+  const Dataset scaled = MinMaxScaled(ds);
+  EXPECT_EQ(scaled.size(), 2);
+  EXPECT_EQ(scaled.label(0), 1);
+  EXPECT_DOUBLE_EQ(scaled.feature(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.feature(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace gbx

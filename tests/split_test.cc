@@ -1,0 +1,116 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+Dataset MakeData(int n, int classes, std::uint64_t seed) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = classes;
+  cfg.num_features = 3;
+  Pcg32 rng(seed);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+TEST(TrainTestSplitTest, SizesAndDisjointness) {
+  const Dataset ds = MakeData(100, 2, 1);
+  Pcg32 rng(2);
+  const TrainTestSplitResult split = TrainTestSplit(ds, 0.25, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 100);
+  EXPECT_NEAR(split.test.size(), 25, 2);
+  std::set<int> seen(split.train_indices.begin(), split.train_indices.end());
+  for (int idx : split.test_indices) {
+    EXPECT_EQ(seen.count(idx), 0u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, StratificationPreservesProportions) {
+  BlobsConfig cfg;
+  cfg.num_samples = 300;
+  cfg.num_classes = 3;
+  cfg.class_weights = {6, 3, 1};
+  Pcg32 gen_rng(3);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen_rng);
+  Pcg32 rng(4);
+  const TrainTestSplitResult split = TrainTestSplit(ds, 0.3, &rng);
+  const std::vector<int> full = ds.ClassCounts();
+  const std::vector<int> test = split.test.ClassCounts();
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(static_cast<double>(test[c]) / split.test.size(),
+                static_cast<double>(full[c]) / ds.size(), 0.03);
+  }
+}
+
+class StratifiedKFoldParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StratifiedKFoldParamTest, FoldsPartitionTheDataset) {
+  const int k = GetParam();
+  const Dataset ds = MakeData(103, 3, 7);  // deliberately not divisible
+  Pcg32 rng(8);
+  const std::vector<std::vector<int>> folds = StratifiedKFold(ds, k, &rng);
+  ASSERT_EQ(static_cast<int>(folds.size()), k);
+  std::set<int> all;
+  for (const auto& fold : folds) {
+    for (int idx : fold) {
+      EXPECT_TRUE(all.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), ds.size());
+  // Fold sizes within 1 of each other per class implies totals within q.
+  int min_size = ds.size();
+  int max_size = 0;
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, static_cast<int>(fold.size()));
+    max_size = std::max(max_size, static_cast<int>(fold.size()));
+  }
+  EXPECT_LE(max_size - min_size, ds.num_classes());
+}
+
+TEST_P(StratifiedKFoldParamTest, EachFoldIsStratified) {
+  const int k = GetParam();
+  const Dataset ds = MakeData(200, 2, 9);
+  Pcg32 rng(10);
+  const std::vector<std::vector<int>> folds = StratifiedKFold(ds, k, &rng);
+  const std::vector<int> totals = ds.ClassCounts();
+  for (const auto& fold : folds) {
+    std::vector<int> counts(ds.num_classes(), 0);
+    for (int idx : fold) ++counts[ds.label(idx)];
+    for (int c = 0; c < ds.num_classes(); ++c) {
+      // Per-class fold share can deviate from totals/k by at most 1.
+      EXPECT_NEAR(counts[c], static_cast<double>(totals[c]) / k, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, StratifiedKFoldParamTest,
+                         ::testing::Values(2, 3, 5, 10));
+
+TEST(FoldComplementTest, ComplementCoversRest) {
+  const std::vector<int> fold = {1, 3, 5};
+  const std::vector<int> rest = FoldComplement(fold, 7);
+  EXPECT_EQ(rest, (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(FoldComplementTest, EmptyFold) {
+  const std::vector<int> rest = FoldComplement({}, 3);
+  EXPECT_EQ(rest, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SplitDeterminismTest, SameSeedSameFolds) {
+  const Dataset ds = MakeData(60, 2, 11);
+  Pcg32 rng1(12);
+  Pcg32 rng2(12);
+  EXPECT_EQ(StratifiedKFold(ds, 5, &rng1), StratifiedKFold(ds, 5, &rng2));
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/kde.h"
+#include "stats/ranking.h"
+#include "stats/wilcoxon.h"
+
+namespace gbx {
+namespace {
+
+TEST(DescriptiveTest, MeanStd) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, Quantiles) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3}, 1.0), 3.0);
+}
+
+TEST(WilcoxonTest, ExactTieFreeExample) {
+  // Differences {6, -1, 2, 3, 4}: ranks of |d| are {5, 1, 2, 3, 4}, so
+  // W- = 1 and the exact two-sided p = 2 * P(W <= 1) = 2 * 2/32 = 0.125
+  // (matches scipy.stats.wilcoxon(..., mode='exact')).
+  const std::vector<double> a = {16, 9, 12, 13, 14};
+  const std::vector<double> b = {10, 10, 10, 10, 10};
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.n_effective, 5);
+  EXPECT_DOUBLE_EQ(result.w_minus, 1.0);
+  EXPECT_DOUBLE_EQ(result.w_plus, 14.0);
+  EXPECT_NEAR(result.p_value, 0.125, 1e-12);
+}
+
+TEST(WilcoxonTest, TiedExampleMatchesNormalApproximation) {
+  // Classic blood-pressure example with one zero difference and a tied
+  // pair of |d| = 5: W = 18, n = 9; the tie-corrected normal
+  // approximation with continuity correction gives p ~ 0.6353.
+  const std::vector<double> a = {125, 115, 130, 140, 140, 115, 140, 125,
+                                 140, 135};
+  const std::vector<double> b = {110, 122, 125, 120, 140, 124, 123, 137,
+                                 135, 145};
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_FALSE(result.exact);  // ties force the approximation
+  EXPECT_EQ(result.n_effective, 9);
+  EXPECT_DOUBLE_EQ(std::min(result.w_plus, result.w_minus), 18.0);
+  EXPECT_NEAR(result.p_value, 0.6353, 0.001);
+}
+
+TEST(WilcoxonTest, StronglyOneSidedIsSignificant) {
+  std::vector<double> a(13);
+  std::vector<double> b(13);
+  for (int i = 0; i < 13; ++i) {
+    a[i] = 0.9 + 0.001 * i;
+    b[i] = 0.8 + 0.0015 * i;  // a > b everywhere
+  }
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.n_effective, 13);
+  EXPECT_DOUBLE_EQ(result.w_minus, 0.0);
+  // All 13 positive: p = 2 * 2^-13 = 0.000244 — the value in Table III.
+  EXPECT_NEAR(result.p_value, 0.000244, 1e-5);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesPValueOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const WilcoxonResult result = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(result.n_effective, 0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, SymmetricDifferencesNotSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> b = {2, 1, 4, 3, 6, 5};  // alternating +-1
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(WilcoxonTest, TiesFallBackToNormalApproximation) {
+  // All |differences| equal: maximal ties.
+  std::vector<double> a(30, 1.0);
+  std::vector<double> b(30, 0.0);
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_FALSE(result.exact);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(KdeTest, IntegratesToRoughlyOne) {
+  const std::vector<double> samples = {0.1, 0.2, 0.25, 0.4, 0.5, 0.55, 0.7};
+  const int kPoints = 2001;
+  const double lo = -1.0;
+  const double hi = 2.0;
+  const std::vector<double> curve = KdeCurve(samples, lo, hi, kPoints);
+  double integral = 0.0;
+  const double step = (hi - lo) / (kPoints - 1);
+  for (double v : curve) integral += v * step;
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, PeaksNearData) {
+  const std::vector<double> samples = {0.5, 0.5, 0.51, 0.49};
+  EXPECT_GT(KdeDensity(samples, 0.5), KdeDensity(samples, 0.9));
+}
+
+TEST(KdeTest, BandwidthPositiveEvenForConstantData) {
+  EXPECT_GT(SilvermanBandwidth({1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(RankingTest, DescendingCompetitionRanks) {
+  EXPECT_EQ(CompetitionRankDescending({0.9, 0.7, 0.8}),
+            (std::vector<int>{1, 3, 2}));
+}
+
+TEST(RankingTest, TiesShareRankAndSkip) {
+  EXPECT_EQ(CompetitionRankDescending({0.9, 0.9, 0.8, 0.7}),
+            (std::vector<int>{1, 1, 3, 4}));
+}
+
+TEST(RankingTest, MeanRanks) {
+  const std::vector<std::vector<double>> scores = {{0.9, 0.8}, {0.7, 0.95}};
+  const std::vector<double> mean = MeanRanks(scores);
+  EXPECT_DOUBLE_EQ(mean[0], 1.5);
+  EXPECT_DOUBLE_EQ(mean[1], 1.5);
+}
+
+}  // namespace
+}  // namespace gbx

@@ -1,0 +1,215 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_suite.h"
+
+namespace gbx {
+namespace {
+
+TEST(ClassCountsFromWeightsTest, BalancedByDefault) {
+  const std::vector<int> counts = ClassCountsFromWeights(100, 4, {});
+  int total = 0;
+  for (int c : counts) {
+    EXPECT_NEAR(c, 25, 1);
+    total += c;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ClassCountsFromWeightsTest, WeightsRespected) {
+  const std::vector<int> counts = ClassCountsFromWeights(100, 2, {3, 1});
+  EXPECT_EQ(counts[0] + counts[1], 100);
+  EXPECT_NEAR(counts[0], 75, 1);
+}
+
+TEST(ClassCountsFromWeightsTest, EveryClassGetsAtLeastOne) {
+  const std::vector<int> counts =
+      ClassCountsFromWeights(50, 3, {1000, 1, 1});
+  EXPECT_GE(counts[1], 1);
+  EXPECT_GE(counts[2], 1);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 50);
+}
+
+TEST(GeometricWeightsTest, EndpointsMatchImbalanceRatio) {
+  for (double ir : {1.5, 10.0, 175.46, 4558.6}) {
+    for (int q : {2, 5, 7}) {
+      const std::vector<double> w = GeometricWeights(q, ir);
+      EXPECT_NEAR(w.front() / w.back(), ir, ir * 1e-9);
+      for (std::size_t i = 1; i < w.size(); ++i) {
+        EXPECT_LE(w[i], w[i - 1]);  // monotone ladder
+      }
+    }
+  }
+}
+
+TEST(BlobsTest, ShapeAndLabels) {
+  BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_features = 5;
+  cfg.num_classes = 3;
+  Pcg32 rng(1);
+  const Dataset ds = MakeGaussianBlobs(cfg, &rng);
+  EXPECT_EQ(ds.size(), 200);
+  EXPECT_EQ(ds.num_features(), 5);
+  EXPECT_EQ(ds.num_classes(), 3);
+  for (int c : ds.ClassCounts()) EXPECT_GT(c, 0);
+}
+
+TEST(BlobsTest, Deterministic) {
+  BlobsConfig cfg;
+  cfg.num_samples = 50;
+  Pcg32 rng1(2);
+  Pcg32 rng2(2);
+  const Dataset a = MakeGaussianBlobs(cfg, &rng1);
+  const Dataset b = MakeGaussianBlobs(cfg, &rng2);
+  EXPECT_EQ(a.y(), b.y());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.feature(i, 0), b.feature(i, 0));
+  }
+}
+
+TEST(BlobsTest, WellSeparatedBlobsAreCompact) {
+  BlobsConfig cfg;
+  cfg.num_samples = 300;
+  cfg.num_classes = 2;
+  cfg.center_spread = 20.0;
+  cfg.cluster_std = 0.5;
+  Pcg32 rng(3);
+  const Dataset ds = MakeGaussianBlobs(cfg, &rng);
+  // Mean intra-class distance should be far below inter-class distance.
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (int i = 0; i < ds.size(); i += 7) {
+    for (int j = i + 1; j < ds.size(); j += 7) {
+      const double d =
+          EuclideanDistance(ds.row(i), ds.row(j), ds.num_features());
+      if (ds.label(i) == ds.label(j)) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+TEST(BananaTest, TwoDimensionalTwoClasses) {
+  BananaConfig cfg;
+  cfg.num_samples = 500;
+  Pcg32 rng(4);
+  const Dataset ds = MakeBanana(cfg, &rng);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.size(), 500);
+}
+
+TEST(BananaTest, ImbalanceRespected) {
+  BananaConfig cfg;
+  cfg.num_samples = 400;
+  cfg.class_weights = {3, 1};
+  Pcg32 rng(5);
+  const Dataset ds = MakeBanana(cfg, &rng);
+  EXPECT_NEAR(ds.ImbalanceRatio(), 3.0, 0.1);
+}
+
+TEST(RingsTest, RadiiIncreaseWithClass) {
+  RingsConfig cfg;
+  cfg.num_samples = 600;
+  cfg.num_classes = 3;
+  cfg.noise_std = 0.05;
+  Pcg32 rng(6);
+  const Dataset ds = MakeConcentricRings(cfg, &rng);
+  std::vector<double> mean_radius(3, 0.0);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < ds.size(); ++i) {
+    const double r = std::hypot(ds.feature(i, 0), ds.feature(i, 1));
+    mean_radius[ds.label(i)] += r;
+    ++counts[ds.label(i)];
+  }
+  for (int c = 0; c < 3; ++c) mean_radius[c] /= counts[c];
+  EXPECT_LT(mean_radius[0], mean_radius[1]);
+  EXPECT_LT(mean_radius[1], mean_radius[2]);
+}
+
+TEST(HighDimTest, NoiseDimensionsCarryNoSignal) {
+  HighDimConfig cfg;
+  cfg.num_samples = 400;
+  cfg.num_features = 20;
+  cfg.num_informative = 4;
+  cfg.class_sep = 3.0;
+  Pcg32 rng(7);
+  const Dataset ds = MakeInformativeHighDim(cfg, &rng);
+  // Class-mean gap in informative dims should dwarf the gap in noise dims.
+  auto mean_gap = [&](int j) {
+    double m0 = 0.0;
+    double m1 = 0.0;
+    int n0 = 0;
+    int n1 = 0;
+    for (int i = 0; i < ds.size(); ++i) {
+      if (ds.label(i) == 0) {
+        m0 += ds.feature(i, j);
+        ++n0;
+      } else {
+        m1 += ds.feature(i, j);
+        ++n1;
+      }
+    }
+    return std::fabs(m0 / n0 - m1 / n1);
+  };
+  double info_gap = 0.0;
+  for (int j = 0; j < 4; ++j) info_gap = std::max(info_gap, mean_gap(j));
+  double noise_gap = 0.0;
+  for (int j = 4; j < 20; ++j) noise_gap = std::max(noise_gap, mean_gap(j));
+  EXPECT_GT(info_gap, 3 * noise_gap);
+}
+
+TEST(PaperSuiteTest, ThirteenSpecsMatchTableOne) {
+  const auto& specs = PaperDatasetSpecs();
+  ASSERT_EQ(specs.size(), 13u);
+  EXPECT_EQ(specs[0].name, "Credit Approval");
+  EXPECT_EQ(specs[4].id, "S5");
+  EXPECT_EQ(specs[4].features, 2);
+  EXPECT_EQ(specs[10].samples, 58000);
+  EXPECT_NEAR(specs[10].imbalance_ratio, 4558.6, 1e-9);
+  EXPECT_EQ(specs[12].classes, 10);
+}
+
+class PaperDatasetParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperDatasetParamTest, GeneratedDatasetMatchesSpec) {
+  const int index = GetParam();
+  const PaperDatasetSpec& spec = PaperDatasetSpecs()[index];
+  const int cap = 800;
+  const Dataset ds = MakePaperDataset(index, cap, /*seed=*/13);
+  EXPECT_EQ(ds.size(), std::min(spec.samples, cap));
+  EXPECT_EQ(ds.num_features(), spec.features);
+  EXPECT_EQ(ds.num_classes(), spec.classes);
+  for (int c : ds.ClassCounts()) EXPECT_GT(c, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PaperDatasetParamTest,
+                         ::testing::Range(0, 13));
+
+TEST(PaperSuiteTest, LookupById) {
+  EXPECT_EQ(PaperSpecById("S7").features, 85);
+  const Dataset ds = MakePaperDataset("S5", 300, 1);
+  EXPECT_EQ(ds.num_features(), 2);
+}
+
+TEST(PaperSuiteTest, ImbalanceRoughlyMatchesSpecAtFullScale) {
+  // S3: IR 18.62 with 4 classes at paper scale.
+  const Dataset ds = MakePaperDataset(2, -1, 3);
+  EXPECT_NEAR(ds.ImbalanceRatio(), 18.62, 4.0);
+}
+
+}  // namespace
+}  // namespace gbx

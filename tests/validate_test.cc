@@ -1,0 +1,65 @@
+#include "data/validate.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace gbx {
+namespace {
+
+TEST(ValidateTest, AcceptsWellFormedDataset) {
+  const Dataset ds(Matrix::FromRows({{1, 2}, {3, 4}}), {0, 1});
+  EXPECT_TRUE(ValidateDataset(ds).ok());
+}
+
+TEST(ValidateTest, RejectsNanFeature) {
+  Matrix x = Matrix::FromRows({{1.0, 2.0}});
+  x.At(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  const Dataset ds(std::move(x), {0});
+  const Status s = ValidateDataset(ds);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsInfFeature) {
+  Matrix x = Matrix::FromRows({{1.0}});
+  x.At(0, 0) = std::numeric_limits<double>::infinity();
+  const Dataset ds(std::move(x), {0});
+  EXPECT_FALSE(ValidateDataset(ds).ok());
+}
+
+TEST(ValidateTest, RejectsTooFewSamples) {
+  const Dataset ds(Matrix::FromRows({{1.0}}), {0});
+  ValidateOptions options;
+  options.min_samples = 10;
+  const Status s = ValidateDataset(ds, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateTest, RequireTwoClasses) {
+  const Dataset single(Matrix::FromRows({{1.0}, {2.0}}), {0, 0});
+  ValidateOptions options;
+  options.require_two_classes = true;
+  EXPECT_FALSE(ValidateDataset(single, options).ok());
+
+  const Dataset two(Matrix::FromRows({{1.0}, {2.0}}), {0, 1});
+  EXPECT_TRUE(ValidateDataset(two, options).ok());
+}
+
+TEST(ValidateTest, RequireTwoPopulatedClasses) {
+  // num_classes = 3 but only one populated.
+  const Dataset ds(Matrix::FromRows({{1.0}, {2.0}}), {2, 2}, 3);
+  ValidateOptions options;
+  options.require_two_classes = true;
+  EXPECT_FALSE(ValidateDataset(ds, options).ok());
+}
+
+TEST(ValidateTest, EmptyDatasetFailsMinSamples) {
+  const Dataset ds;
+  EXPECT_FALSE(ValidateDataset(ds).ok());
+}
+
+}  // namespace
+}  // namespace gbx

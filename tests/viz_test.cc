@@ -1,0 +1,145 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "viz/pca.h"
+#include "viz/tsne.h"
+
+namespace gbx {
+namespace {
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data stretched along (1, 1)/sqrt(2): the first component must align.
+  Pcg32 gen(1);
+  Matrix x(300, 2);
+  for (int i = 0; i < 300; ++i) {
+    const double t = gen.NextGaussian() * 5.0;
+    const double noise = gen.NextGaussian() * 0.1;
+    x.At(i, 0) = t + noise;
+    x.At(i, 1) = t - noise;
+  }
+  Pcg32 rng(2);
+  const PcaResult pca = FitPca(x, 2, &rng);
+  const double* axis = pca.components.Row(0);
+  EXPECT_NEAR(std::fabs(axis[0]), std::sqrt(0.5), 0.01);
+  EXPECT_NEAR(std::fabs(axis[1]), std::sqrt(0.5), 0.01);
+  EXPECT_GT(pca.explained_variance[0], pca.explained_variance[1] * 100);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Pcg32 gen(3);
+  Matrix x(200, 5);
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 5; ++j) x.At(i, j) = gen.NextGaussian() * (j + 1);
+  }
+  Pcg32 rng(4);
+  const PcaResult pca = FitPca(x, 3, &rng);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double dot = 0.0;
+      for (int j = 0; j < 5; ++j) {
+        dot += pca.components.At(a, j) * pca.components.At(b, j);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(PcaTest, VarianceDecreases) {
+  Pcg32 gen(5);
+  Matrix x(150, 4);
+  for (int i = 0; i < 150; ++i) {
+    for (int j = 0; j < 4; ++j) x.At(i, j) = gen.NextGaussian() * (4 - j);
+  }
+  Pcg32 rng(6);
+  const PcaResult pca = FitPca(x, 4, &rng);
+  for (std::size_t i = 1; i < pca.explained_variance.size(); ++i) {
+    EXPECT_GE(pca.explained_variance[i - 1],
+              pca.explained_variance[i] - 1e-9);
+  }
+}
+
+TEST(PcaTest, TransformShape) {
+  Pcg32 gen(7);
+  Matrix x(50, 6);
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 6; ++j) x.At(i, j) = gen.NextGaussian();
+  }
+  Pcg32 rng(8);
+  const PcaResult pca = FitPca(x, 2, &rng);
+  const Matrix projected = PcaTransform(pca, x);
+  EXPECT_EQ(projected.rows(), 50);
+  EXPECT_EQ(projected.cols(), 2);
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  BlobsConfig cfg;
+  cfg.num_samples = 60;
+  cfg.num_classes = 2;
+  cfg.num_features = 5;
+  Pcg32 gen(9);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  TsneConfig tsne_cfg;
+  tsne_cfg.iterations = 150;
+  const Matrix y = RunTsne(ds.x(), tsne_cfg);
+  ASSERT_EQ(y.rows(), 60);
+  ASSERT_EQ(y.cols(), 2);
+  for (int i = 0; i < y.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.At(i, 0)));
+    EXPECT_TRUE(std::isfinite(y.At(i, 1)));
+  }
+}
+
+TEST(TsneTest, SeparatesWellSeparatedClusters) {
+  BlobsConfig cfg;
+  cfg.num_samples = 80;
+  cfg.num_classes = 2;
+  cfg.num_features = 10;
+  cfg.center_spread = 20.0;
+  cfg.cluster_std = 0.5;
+  Pcg32 gen(10);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  TsneConfig tsne_cfg;
+  tsne_cfg.iterations = 300;
+  tsne_cfg.perplexity = 15.0;
+  const Matrix y = RunTsne(ds.x(), tsne_cfg);
+  // Mean intra-class embedding distance far below inter-class distance.
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int j = i + 1; j < y.rows(); ++j) {
+      const double d = EuclideanDistance(y.Row(i), y.Row(j), 2);
+      if (ds.label(i) == ds.label(j)) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_n, 0.5 * inter / inter_n);
+}
+
+TEST(TsneTest, Deterministic) {
+  BlobsConfig cfg;
+  cfg.num_samples = 40;
+  cfg.num_classes = 2;
+  Pcg32 gen(11);
+  const Dataset ds = MakeGaussianBlobs(cfg, &gen);
+  TsneConfig tsne_cfg;
+  tsne_cfg.iterations = 100;
+  tsne_cfg.seed = 5;
+  const Matrix a = RunTsne(ds.x(), tsne_cfg);
+  const Matrix b = RunTsne(ds.x(), tsne_cfg);
+  for (int i = 0; i < a.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.At(i, 0), b.At(i, 0));
+    EXPECT_DOUBLE_EQ(a.At(i, 1), b.At(i, 1));
+  }
+}
+
+}  // namespace
+}  // namespace gbx
