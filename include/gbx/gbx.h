@@ -16,12 +16,17 @@
 #ifndef GBX_GBX_H_
 #define GBX_GBX_H_
 
+// common/ — foundations: dense Matrix, PCG32 RNG, Status/StatusOr, CHECK
+// macros, wall-clock Stopwatch.
 #include "common/check.h"       // IWYU pragma: export
 #include "common/matrix.h"      // IWYU pragma: export
 #include "common/rng.h"         // IWYU pragma: export
 #include "common/status.h"      // IWYU pragma: export
 #include "common/stopwatch.h"   // IWYU pragma: export
 
+// data/ — dataset currency and I/O: Dataset, CSV/ARFF loaders, min-max
+// scaling, stratified splits, synthetic generators, noise injection,
+// validation, and the Table I paper suite registry.
 #include "data/arff.h"          // IWYU pragma: export
 #include "data/csv.h"           // IWYU pragma: export
 #include "data/dataset.h"       // IWYU pragma: export
@@ -32,14 +37,20 @@
 #include "data/synthetic.h"     // IWYU pragma: export
 #include "data/validate.h"      // IWYU pragma: export
 
+// index/ — exact nearest-neighbor search behind every distance-based
+// component: brute-force scan and KD-tree, one NeighborIndex interface.
 #include "index/brute_force.h"  // IWYU pragma: export
 #include "index/kd_tree.h"      // IWYU pragma: export
 
+// core/ — the paper's algorithms: granular balls, RD-GBG generation
+// (Alg. 1), GBABS borderline sampling (Alg. 2), and ball-set persistence.
 #include "core/gb_io.h"         // IWYU pragma: export
 #include "core/gbabs.h"         // IWYU pragma: export
 #include "core/granular_ball.h" // IWYU pragma: export
 #include "core/rd_gbg.h"        // IWYU pragma: export
 
+// sampling/ — the comparison samplers of §V (SRS, SMOTE family, Tomek,
+// GGBS/IGBS, purity-threshold GBG, k-means) behind one Sampler interface.
 #include "sampling/borderline_smote.h"  // IWYU pragma: export
 #include "sampling/gbabs_sampler.h"     // IWYU pragma: export
 #include "sampling/ggbs.h"              // IWYU pragma: export
@@ -52,6 +63,8 @@
 #include "sampling/srs.h"               // IWYU pragma: export
 #include "sampling/tomek.h"             // IWYU pragma: export
 
+// ml/ — downstream classifiers (kNN, CART, RF, XGB/LGBM-style boosting,
+// SVM, naive Bayes, GB-kNN), metrics, and classification reports.
 #include "ml/classifier.h"      // IWYU pragma: export
 #include "ml/decision_tree.h"   // IWYU pragma: export
 #include "ml/gb_knn.h"          // IWYU pragma: export
@@ -64,17 +77,24 @@
 #include "ml/random_forest.h"   // IWYU pragma: export
 #include "ml/xgb.h"             // IWYU pragma: export
 
+// stats/ — evaluation statistics: descriptive summaries, Gaussian KDE,
+// competition ranking, Wilcoxon signed-rank (Table III).
 #include "stats/descriptive.h"  // IWYU pragma: export
 #include "stats/kde.h"          // IWYU pragma: export
 #include "stats/ranking.h"      // IWYU pragma: export
 #include "stats/wilcoxon.h"     // IWYU pragma: export
 
+// viz/ — 2-D embeddings for the figures: PCA and exact t-SNE.
 #include "viz/pca.h"            // IWYU pragma: export
 #include "viz/tsne.h"           // IWYU pragma: export
 
+// cluster/ — clustering workloads: density-peaks clustering and its
+// granular-ball acceleration, plus unsupervised (label-free) GBG.
 #include "cluster/dpc.h"              // IWYU pragma: export
 #include "cluster/unsupervised_gbg.h" // IWYU pragma: export
 
+// exp/ — the experiment harness: scaling config, cross-validated
+// sampler x classifier runner, CSV result export, table printing.
 #include "exp/experiment_config.h"  // IWYU pragma: export
 #include "exp/result_io.h"          // IWYU pragma: export
 #include "exp/runner.h"             // IWYU pragma: export
