@@ -1,0 +1,99 @@
+// Granulation hot-path microbenchmark (google-benchmark): wall-clock for
+// GenerateRdGbg across dataset size x thread count x geometry, backing the
+// parallel RD-GBG rewrite. Two regimes:
+//   overlap:0 — well-separated blobs: few rounds, cost dominated by the
+//               per-candidate distance scans;
+//   overlap:1 — heavily overlapping blobs: thousands of rounds and balls,
+//               the seed implementation's worst case (full O(n log n)
+//               neighbor sort per candidate).
+// threads:0 resolves to GBX_THREADS / hardware concurrency; threads:1 is
+// the serial baseline. Granulation output is bit-identical across thread
+// counts, so the rows differ only in wall time.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/gbabs.h"
+#include "core/rd_gbg.h"
+#include "data/synthetic.h"
+
+namespace gbx {
+namespace {
+
+const Dataset& CachedBlobs(int n, bool overlapping) {
+  static std::map<std::pair<int, bool>, Dataset> cache;
+  const auto key = std::make_pair(n, overlapping);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    BlobsConfig cfg;
+    cfg.num_samples = n;
+    if (overlapping) {
+      cfg.num_classes = 4;
+      cfg.num_features = 10;
+      cfg.clusters_per_class = 3;
+      cfg.center_spread = 4.0;
+      cfg.cluster_std = 1.2;
+    } else {
+      cfg.num_classes = 3;
+      cfg.num_features = 8;
+      cfg.clusters_per_class = 2;
+      cfg.center_spread = 6.0;
+      cfg.cluster_std = 1.0;
+    }
+    Pcg32 rng(123);
+    it = cache.emplace(key, MakeGaussianBlobs(cfg, &rng)).first;
+  }
+  return it->second;
+}
+
+void BM_RdGbg(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool overlapping = state.range(2) != 0;
+  const Dataset& ds = CachedBlobs(n, overlapping);
+  RdGbgConfig cfg;
+  cfg.seed = 42;
+  cfg.num_threads = threads;
+  int balls = 0;
+  for (auto _ : state) {
+    RdGbgResult result = GenerateRdGbg(ds, cfg);
+    balls = result.balls.size();
+    benchmark::DoNotOptimize(balls);
+  }
+  state.counters["balls"] = balls;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_RdGbg)
+    ->ArgNames({"n", "threads", "overlap"})
+    ->ArgsProduct({{1000, 5000, 20000}, {1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end GBABS (granulation + borderline sampling) for the pipeline
+// view; sampling is O(p*m log m) over balls, so granulation dominates.
+void BM_Gbabs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Dataset& ds = CachedBlobs(n, /*overlapping=*/true);
+  GbabsConfig cfg;
+  cfg.gbg.seed = 42;
+  cfg.gbg.num_threads = threads;
+  for (auto _ : state) {
+    GbabsResult result = RunGbabs(ds, cfg);
+    benchmark::DoNotOptimize(result.sampled_indices.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_Gbabs)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{1000, 5000}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// main() comes from benchmark::benchmark_main, as for bench_micro.
+}  // namespace
+}  // namespace gbx

@@ -17,9 +17,11 @@
 #define GBX_GBX_H_
 
 // common/ — foundations: dense Matrix, PCG32 RNG, Status/StatusOr, CHECK
-// macros, wall-clock Stopwatch.
+// macros, wall-clock Stopwatch, and the shared thread pool behind every
+// parallel loop in the library.
 #include "common/check.h"       // IWYU pragma: export
 #include "common/matrix.h"      // IWYU pragma: export
+#include "common/parallel.h"    // IWYU pragma: export
 #include "common/rng.h"         // IWYU pragma: export
 #include "common/status.h"      // IWYU pragma: export
 #include "common/stopwatch.h"   // IWYU pragma: export

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace gbx {
 
 namespace {
@@ -22,16 +24,30 @@ DpcResult DpcCore(const Matrix& points, const std::vector<double>& weights,
   result.delta.assign(n, 0.0);
   result.assignments.assign(n, -1);
 
-  // Pairwise distances.
+  const int threads = ResolveNumThreads(config.num_threads);
+  // Every pass costs O(n) per row (d-dim distances, exp() kernel, or a
+  // row min), so gate on n rows of ~n-unit work.
+  const int row_threads =
+      ParallelThreads(n, static_cast<std::int64_t>(n), threads);
+
+  // Pairwise distances. Parallel over rows: iteration i writes dist[i][j]
+  // and the mirror dist[j][i] for j > i only, and no other iteration
+  // touches either cell, so rows can be filled concurrently.
   std::vector<double> dist(static_cast<std::size_t>(n) * n, 0.0);
+  ParallelForRange(n, /*grain=*/1, row_threads, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double v = EuclideanDistance(points.Row(i), points.Row(j), d);
+        dist[static_cast<std::size_t>(i) * n + j] = v;
+        dist[static_cast<std::size_t>(j) * n + i] = v;
+      }
+    }
+  });
   std::vector<double> all;
   all.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      const double v = EuclideanDistance(points.Row(i), points.Row(j), d);
-      dist[static_cast<std::size_t>(i) * n + j] = v;
-      dist[static_cast<std::size_t>(j) * n + i] = v;
-      all.push_back(v);
+      all.push_back(dist[static_cast<std::size_t>(i) * n + j]);
     }
   }
 
@@ -44,39 +60,45 @@ DpcResult DpcCore(const Matrix& points, const std::vector<double>& weights,
     dc = std::max(all[pos], 1e-9);
   }
 
-  // Gaussian-kernel density, weighted by point mass.
-  for (int i = 0; i < n; ++i) {
-    double rho = weights[i];  // self-mass
-    for (int j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const double r = dist[static_cast<std::size_t>(i) * n + j] / dc;
-      rho += weights[j] * std::exp(-r * r);
+  // Gaussian-kernel density, weighted by point mass. Row-parallel; the
+  // inner summation order per row is unchanged, so densities are
+  // bit-identical at every thread count.
+  ParallelForRange(n, /*grain=*/1, row_threads, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      double rho = weights[i];  // self-mass
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double r = dist[static_cast<std::size_t>(i) * n + j] / dc;
+        rho += weights[j] * std::exp(-r * r);
+      }
+      result.density[i] = rho;
     }
-    result.density[i] = rho;
-  }
+  });
 
   // delta: distance to the nearest point of strictly higher density
   // (ties broken by index so delta is well defined on plateaus).
   std::vector<int> nearest_denser(n, -1);
-  double max_delta = 0.0;
-  for (int i = 0; i < n; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    int best_j = -1;
-    for (int j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const bool denser = result.density[j] > result.density[i] ||
-                          (result.density[j] == result.density[i] && j < i);
-      if (!denser) continue;
-      const double v = dist[static_cast<std::size_t>(i) * n + j];
-      if (v < best) {
-        best = v;
-        best_j = j;
+  ParallelForRange(n, /*grain=*/1, row_threads, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = -1;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const bool denser = result.density[j] > result.density[i] ||
+                            (result.density[j] == result.density[i] && j < i);
+        if (!denser) continue;
+        const double v = dist[static_cast<std::size_t>(i) * n + j];
+        if (v < best) {
+          best = v;
+          best_j = j;
+        }
       }
+      nearest_denser[i] = best_j;
+      result.delta[i] = best_j < 0 ? 0.0 : best;
     }
-    nearest_denser[i] = best_j;
-    result.delta[i] = best_j < 0 ? 0.0 : best;
-    max_delta = std::max(max_delta, result.delta[i]);
-  }
+  });
+  double max_delta = 0.0;
+  for (int i = 0; i < n; ++i) max_delta = std::max(max_delta, result.delta[i]);
   // The global density maximum gets the largest delta by convention.
   for (int i = 0; i < n; ++i) {
     if (nearest_denser[i] < 0) result.delta[i] = std::max(max_delta, 1.0);

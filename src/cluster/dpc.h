@@ -23,6 +23,11 @@ struct DpcConfig {
   /// Cutoff distance d_c as a quantile of pairwise distances (the paper's
   /// 1-2% rule of thumb).
   double dc_quantile = 0.02;
+  /// Worker threads for the O(n^2) distance/density/delta passes (<= 0 =
+  /// GBX_THREADS or hardware concurrency; see common/parallel.h). Each
+  /// row's reductions keep their sequential summation order, so results
+  /// are bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 struct DpcResult {

@@ -1,7 +1,5 @@
 #include "common/matrix.h"
 
-#include <cmath>
-
 namespace gbx {
 
 Matrix Matrix::FromRows(
@@ -41,19 +39,6 @@ void Matrix::AppendRow(const double* row, int n) {
   GBX_CHECK_EQ(cols_, n);
   data_.insert(data_.end(), row, row + n);
   ++rows_;
-}
-
-double SquaredDistance(const double* a, const double* b, int d) {
-  double s = 0.0;
-  for (int i = 0; i < d; ++i) {
-    const double diff = a[i] - b[i];
-    s += diff * diff;
-  }
-  return s;
-}
-
-double EuclideanDistance(const double* a, const double* b, int d) {
-  return std::sqrt(SquaredDistance(a, b, d));
 }
 
 }  // namespace gbx

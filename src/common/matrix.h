@@ -5,6 +5,7 @@
 #ifndef GBX_COMMON_MATRIX_H_
 #define GBX_COMMON_MATRIX_H_
 
+#include <cmath>
 #include <cstddef>
 #include <initializer_list>
 #include <vector>
@@ -68,11 +69,24 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Squared Euclidean distance between two length-d vectors.
-double SquaredDistance(const double* a, const double* b, int d);
+/// Squared Euclidean distance between two length-d vectors. Defined
+/// inline so the per-element loop can vectorize at every call site
+/// instead of paying a cross-TU call per pair; distance-heavy hot loops
+/// (granulation, k-means, DPC) compare squared values and defer the
+/// sqrt to the moment an actual radius is needed.
+inline double SquaredDistance(const double* a, const double* b, int d) {
+  double s = 0.0;
+  for (int i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
 
 /// Euclidean distance between two length-d vectors.
-double EuclideanDistance(const double* a, const double* b, int d);
+inline double EuclideanDistance(const double* a, const double* b, int d) {
+  return std::sqrt(SquaredDistance(a, b, d));
+}
 
 }  // namespace gbx
 

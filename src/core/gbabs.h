@@ -18,6 +18,8 @@
 namespace gbx {
 
 struct GbabsConfig {
+  /// Granulation settings, including RdGbgConfig::num_threads — the whole
+  /// GBABS pipeline inherits the granulation thread pool through it.
   RdGbgConfig gbg;
   /// Future-work extension (§VI of the paper: "the time complexity of the
   /// GBABS is not ideal when facing high-dimensional feature spaces").

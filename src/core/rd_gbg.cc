@@ -1,8 +1,10 @@
 #include "core/rd_gbg.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/scaler.h"
 
@@ -22,13 +24,55 @@ bool InU(SampleState s) {
   return s == SampleState::kUndivided || s == SampleState::kLowDensity;
 }
 
+// Squared distance to a neighbor candidate. The (dist2, index) pair is a
+// strict total order, so any selection schedule realizes the same sorted
+// sequence.
 struct DistEntry {
-  double dist;
+  double dist2;
   int index;
   friend bool operator<(const DistEntry& a, const DistEntry& b) {
-    if (a.dist != b.dist) return a.dist < b.dist;
+    if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
     return a.index < b.index;
   }
+};
+
+// Lazily sorted prefix over a DistEntry array. The granulation scans
+// neighbors from nearest outward and almost always stops early — at the
+// first heterogeneous neighbor or at the r_conf bound — so sorting all n
+// entries (the seed implementation's std::sort) wastes nearly all of its
+// O(n log n) work. Instead, operator[] materializes the globally sorted
+// prefix on demand: each growth step selects the next block with
+// nth_element (O(remaining)) and sorts just that block, with the block
+// size growing geometrically so a full scan still costs O(n log n) total.
+class LazySortedPrefix {
+ public:
+  LazySortedPrefix(std::vector<DistEntry>* entries, std::size_t initial_block)
+      : entries_(entries),
+        initial_block_(std::max<std::size_t>(initial_block, 1)) {}
+
+  std::size_t size() const { return entries_->size(); }
+
+  /// The i-th nearest entry; sorts further prefix blocks as needed.
+  const DistEntry& operator[](std::size_t i) {
+    if (i >= sorted_) Grow(i + 1);
+    return (*entries_)[i];
+  }
+
+ private:
+  void Grow(std::size_t need) {
+    std::vector<DistEntry>& e = *entries_;
+    std::size_t target = std::max({need, sorted_ * 2, initial_block_});
+    target = std::min(target, e.size());
+    if (target < e.size()) {
+      std::nth_element(e.begin() + sorted_, e.begin() + target, e.end());
+    }
+    std::sort(e.begin() + sorted_, e.begin() + target);
+    sorted_ = target;
+  }
+
+  std::vector<DistEntry>* entries_;
+  std::size_t initial_block_;
+  std::size_t sorted_ = 0;  // [0, sorted_) is the globally sorted prefix
 };
 
 }  // namespace
@@ -40,6 +84,8 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   const int p = dataset.num_features();
   const int q = dataset.num_classes();
   const int rho = config.density_tolerance;
+  const int threads = ResolveNumThreads(config.num_threads);
+  const int grain = ParallelGrain(p);
 
   Matrix x = config.scale_features ? MinMaxScaler().FitTransform(dataset.x())
                                    : dataset.x();
@@ -50,8 +96,10 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   RdGbgResult result;
   Pcg32 rng(config.seed);
 
-  std::vector<DistEntry> neighbors;
-  neighbors.reserve(n);
+  std::vector<int> active;  // samples still in U, rebuilt per candidate
+  active.reserve(n);
+  std::vector<DistEntry> entries;
+  std::vector<double> gaps;  // per-ball surface gaps for r_conf
 
   for (;;) {
     // --- Step 1 per round: build T = U - L grouped by class. ---
@@ -86,24 +134,39 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
       const int label = labels[c];
       const double* cx = x.Row(c);
 
-      // Distances from c to every other sample still in U.
-      neighbors.clear();
+      // Squared distances from c to every other sample still in U. The
+      // scan parallelizes over disjoint slots of `entries`, so its content
+      // does not depend on the thread count; sqrt is deferred until a
+      // radius is actually assigned.
+      active.clear();
       for (int i = 0; i < n; ++i) {
-        if (i == c || !InU(state[i])) continue;
-        neighbors.push_back(
-            DistEntry{EuclideanDistance(cx, x.Row(i), p), i});
+        if (i != c && InU(state[i])) active.push_back(i);
       }
-      if (neighbors.empty()) {
+      const int m = static_cast<int>(active.size());
+      if (m == 0) {
         state[c] = SampleState::kLowDensity;  // last sample standing
         continue;
       }
-      std::sort(neighbors.begin(), neighbors.end());
+      entries.resize(m);
+      {
+        const int* act = active.data();
+        DistEntry* out = entries.data();
+        ParallelForRange(m, grain, ParallelThreads(m, p, threads),
+                         [&](int begin, int end) {
+                           for (int j = begin; j < end; ++j) {
+                             out[j] = DistEntry{
+                                 SquaredDistance(cx, x.Row(act[j]), p),
+                                 act[j]};
+                           }
+                         });
+      }
+      LazySortedPrefix neighbors(
+          &entries, std::max<std::size_t>(static_cast<std::size_t>(rho), 32));
 
       // --- Local-density center detection (§IV-B1). ---
       std::size_t scan_begin = 0;  // skip a removed noisy nearest neighbor
       if (labels[neighbors[0].index] != label) {
-        const int rho_eff =
-            std::min<int>(rho, static_cast<int>(neighbors.size()));
+        const int rho_eff = std::min(rho, m);
         int h = 0;
         for (int i = 0; i < rho_eff; ++i) {
           if (labels[neighbors[i].index] != label) ++h;
@@ -131,34 +194,48 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
       // Locally consistent radius CR(c): farthest of the leading
       // homogeneous neighbors (Eq.3). If no heterogeneous sample remains
       // in U, the whole neighbor list is consistent.
-      double cr = 0.0;
+      double cr2 = 0.0;
       for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
         if (labels[neighbors[i].index] != label) break;
-        cr = neighbors[i].dist;
+        cr2 = neighbors[i].dist2;
       }
 
-      // Conflict radius r_conf(c): gap to the nearest existing ball (Eq.4).
+      // Conflict radius r_conf(c): gap to the nearest existing ball
+      // (Eq.4). min() over doubles is exact, so reducing the
+      // parallel-filled gap buffer in ball order stays deterministic.
       double r_conf = std::numeric_limits<double>::infinity();
-      for (const GranularBall& ball : balls) {
-        const double gap =
-            EuclideanDistance(cx, ball.center.data(), p) - ball.radius;
-        r_conf = std::min(r_conf, gap);
+      const int nballs = static_cast<int>(balls.size());
+      if (nballs > 0) {
+        gaps.resize(nballs);
+        const GranularBall* ball_data = balls.data();
+        double* gap_out = gaps.data();
+        ParallelForRange(nballs, grain, ParallelThreads(nballs, p, threads),
+                         [&](int begin, int end) {
+                           for (int i = begin; i < end; ++i) {
+                             gap_out[i] =
+                                 EuclideanDistance(
+                                     cx, ball_data[i].center.data(), p) -
+                                 ball_data[i].radius;
+                           }
+                         });
+        for (int i = 0; i < nballs; ++i) r_conf = std::min(r_conf, gaps[i]);
       }
       r_conf = std::max(r_conf, 0.0);
+      const double r_conf2 = r_conf * r_conf;
 
-      double r = cr;
-      if (cr > r_conf) {
+      double r2 = cr2;
+      if (cr2 > r_conf2) {
         // Restricted maximum consistent radius r_max(c) (Eq.6): the
         // farthest neighbor not crossing into a previous ball. Neighbors
         // within r_conf < CR are automatically homogeneous.
-        r = 0.0;
+        r2 = 0.0;
         for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
-          if (neighbors[i].dist > r_conf) break;
-          r = neighbors[i].dist;
+          if (neighbors[i].dist2 > r_conf2) break;
+          r2 = neighbors[i].dist2;
         }
       }
 
-      if (r <= 0.0) {
+      if (r2 <= 0.0) {
         // Center sits on the edge of U; leave it for later absorption.
         state[c] = SampleState::kLowDensity;
         continue;
@@ -168,12 +245,12 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
       GranularBall ball;
       ball.center.assign(cx, cx + p);
       ball.center_index = c;
-      ball.radius = r;
+      ball.radius = std::sqrt(r2);
       ball.label = label;
       ball.members.push_back(c);
       state[c] = SampleState::kCovered;
       for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
-        if (neighbors[i].dist > r) break;
+        if (neighbors[i].dist2 > r2) break;
         const int idx = neighbors[i].index;
         GBX_DCHECK(labels[idx] == label);
         ball.members.push_back(idx);

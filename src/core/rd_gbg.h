@@ -36,6 +36,13 @@ struct RdGbgConfig {
   /// rho are then comparable across features). Balls always live in the
   /// scaled space reported by GranularBallSet::scaled_features().
   bool scale_features = true;
+  /// Worker threads for the per-candidate distance scans. <= 0 resolves to
+  /// the GBX_THREADS environment variable or the hardware concurrency
+  /// (see common/parallel.h); 1 forces a fully serial run. Candidate
+  /// selection and all state mutation stay sequential, so the granulation
+  /// is bit-identical at every thread count. Reaches GBABS through
+  /// GbabsConfig::gbg.
+  int num_threads = 0;
 };
 
 struct RdGbgResult {

@@ -19,6 +19,10 @@ ExperimentConfig ExperimentConfig::FromArgs(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--full") == 0) {
       config.full = true;
+    } else if (std::strcmp(arg, "--scaled") == 0) {
+      // Pin the scaled protocol even when GBX_FULL is set — used by the
+      // BENCH-label ctest smoke entries.
+      config.full = false;
     } else if (std::strcmp(arg, "--seed") == 0) {
       config.seed = static_cast<std::uint64_t>(next_int(7));
     } else if (std::strcmp(arg, "--threads") == 0) {

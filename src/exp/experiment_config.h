@@ -23,8 +23,8 @@ struct ExperimentConfig {
   /// Runner worker threads; -1 = hardware concurrency.
   int num_threads = -1;
 
-  /// Parses --full / --seed N / --threads N / --max-samples N and the
-  /// GBX_FULL environment variable.
+  /// Parses --full / --scaled / --seed N / --threads N / --max-samples N
+  /// and the GBX_FULL environment variable (--scaled wins over GBX_FULL).
   static ExperimentConfig FromArgs(int argc, char** argv);
 };
 

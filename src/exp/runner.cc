@@ -1,8 +1,6 @@
 #include "exp/runner.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "core/gbabs.h"
 #include "data/noise.h"
@@ -13,32 +11,6 @@
 #include "stats/descriptive.h"
 
 namespace gbx {
-
-void ParallelFor(int count, int num_threads,
-                 const std::function<void(int)>& fn) {
-  if (count <= 0) return;
-  int threads = num_threads > 0
-                    ? num_threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min(threads, count));
-  if (threads == 1) {
-    for (int i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<int> next(0);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int w = 0; w < threads; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-}
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config) {}

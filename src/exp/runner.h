@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/dataset.h"
 #include "exp/experiment_config.h"
 #include "ml/classifier.h"
@@ -58,11 +59,6 @@ class ExperimentRunner {
  private:
   ExperimentConfig config_;
 };
-
-/// Generic deterministic parallel map used by the runner and benches:
-/// applies fn(i) for i in [0, count) across worker threads.
-void ParallelFor(int count, int num_threads,
-                 const std::function<void(int)>& fn);
 
 }  // namespace gbx
 

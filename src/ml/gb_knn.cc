@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace gbx {
 
 GbKnnClassifier::GbKnnClassifier(RdGbgConfig gbg, int k)
@@ -65,6 +67,13 @@ int GbKnnClassifier::Predict(const double* x) const {
     if (votes[cls] == votes[best]) return cls;
   }
   return best;
+}
+
+std::vector<int> GbKnnClassifier::PredictBatch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  ParallelFor(x.rows(), gbg_config_.num_threads,
+              [&](int i) { out[i] = Predict(x.Row(i)); });
+  return out;
 }
 
 }  // namespace gbx

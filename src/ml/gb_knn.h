@@ -23,6 +23,10 @@ class GbKnnClassifier : public Classifier {
 
   void Fit(const Dataset& train, Pcg32* rng) override;
   int Predict(const double* x) const override;
+  /// Queries are independent, so batch prediction fans out over the
+  /// shared thread pool (RdGbgConfig::num_threads; <= 0 = GBX_THREADS or
+  /// hardware). Output is identical to the serial per-query loop.
+  std::vector<int> PredictBatch(const Matrix& x) const override;
   std::string name() const override { return "GB-kNN"; }
 
   /// Number of balls in the fitted model (0 before Fit).

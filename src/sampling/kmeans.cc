@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace gbx {
 
 KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config,
@@ -35,23 +37,31 @@ KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& config,
   result.assignments.assign(n, 0);
   std::vector<int> counts(k, 0);
   Matrix sums(k, d);
+  const int threads = ResolveNumThreads(config.num_threads);
+  const std::int64_t unit_cost = static_cast<std::int64_t>(k) * d;
+  const int grain = ParallelGrain(unit_cost);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    for (int i = 0; i < n; ++i) {
-      const double* x = points.Row(i);
-      double best = std::numeric_limits<double>::infinity();
-      int best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        const double d2 = SquaredDistance(x, result.centers.Row(c), d);
-        if (d2 < best) {
-          best = d2;
-          best_c = c;
-        }
-      }
-      result.assignments[i] = best_c;
-    }
+    // Assignment step: rows are independent and write disjoint slots, so
+    // the result is identical at any thread count.
+    ParallelForRange(
+        n, grain, ParallelThreads(n, unit_cost, threads),
+        [&](int begin, int end) {
+          for (int i = begin; i < end; ++i) {
+            const double* x = points.Row(i);
+            double best = std::numeric_limits<double>::infinity();
+            int best_c = 0;
+            for (int c = 0; c < k; ++c) {
+              const double d2 = SquaredDistance(x, result.centers.Row(c), d);
+              if (d2 < best) {
+                best = d2;
+                best_c = c;
+              }
+            }
+            result.assignments[i] = best_c;
+          }
+        });
     // Update step.
     std::fill(counts.begin(), counts.end(), 0);
     std::fill(sums.mutable_data().begin(), sums.mutable_data().end(), 0.0);

@@ -17,6 +17,11 @@ struct KMeansConfig {
   int max_iterations = 20;
   /// Convergence threshold on total center movement.
   double tolerance = 1e-6;
+  /// Worker threads for the assignment step (<= 0 = GBX_THREADS or
+  /// hardware concurrency; see common/parallel.h). The center update
+  /// stays sequential so accumulation order — and thus the result — is
+  /// bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 struct KMeansResult {

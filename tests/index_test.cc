@@ -119,9 +119,40 @@ TEST_P(KdTreeEquivalenceTest, MatchesBruteForceRadius) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, KdTreeEquivalenceTest,
-    ::testing::Combine(::testing::Values(1, 5, 64, 257),
-                       ::testing::Values(1, 2, 8),
-                       ::testing::Values(1, 16)));
+    ::testing::Combine(::testing::Values(1, 5, 64, 257, 1500),
+                       ::testing::Values(1, 2, 8, 16),
+                       ::testing::Values(1, 16, 64)));
+
+// Queries at the stored points themselves (distance-0 hits and heavy ties
+// on duplicated rows) must also agree exactly with brute force.
+TEST(KdTreeEquivalenceTest, MatchesBruteForceOnDataPointQueries) {
+  Matrix pts = RandomPoints(400, 3, 17);
+  // Duplicate a block of rows so ties-by-index are exercised. (Copy out
+  // first: AppendRow from a pointer into pts itself could reallocate.)
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row(pts.Row(i), pts.Row(i) + pts.cols());
+    pts.AppendRow(row.data(), pts.cols());
+  }
+  BruteForceIndex brute(&pts);
+  KdTree tree(&pts, /*leaf_size=*/8);
+  for (int i = 0; i < pts.rows(); i += 7) {
+    const std::vector<Neighbor> expected = brute.KNearest(pts.Row(i), 12);
+    const std::vector<Neighbor> actual = tree.KNearest(pts.Row(i), 12);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      ASSERT_EQ(actual[j].index, expected[j].index) << "query " << i;
+      ASSERT_NEAR(actual[j].distance, expected[j].distance, 1e-12);
+    }
+    const std::vector<Neighbor> rad_expected =
+        brute.RadiusSearch(pts.Row(i), 0.75);
+    const std::vector<Neighbor> rad_actual =
+        tree.RadiusSearch(pts.Row(i), 0.75);
+    ASSERT_EQ(rad_actual.size(), rad_expected.size()) << "query " << i;
+    for (std::size_t j = 0; j < rad_expected.size(); ++j) {
+      ASSERT_EQ(rad_actual[j].index, rad_expected[j].index);
+    }
+  }
+}
 
 TEST(KdTreeTest, SelfQueryReturnsSelfFirst) {
   const Matrix pts = RandomPoints(64, 4, 11);

@@ -1,0 +1,165 @@
+// Thread-count invariance: every parallelized algorithm must produce
+// bit-identical output for any num_threads. Parallel loops only write to
+// disjoint per-index slots and all reductions keep their sequential
+// order, so 1 thread, 2 threads, and hardware concurrency must agree
+// exactly — not approximately.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/dpc.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/rd_gbg.h"
+#include "data/synthetic.h"
+#include "ml/gb_knn.h"
+#include "sampling/kmeans.h"
+
+namespace gbx {
+namespace {
+
+std::vector<int> ThreadCountsUnderTest() {
+  // 0 resolves to GBX_THREADS / hardware concurrency; the explicit counts
+  // force real multi-threaded execution even on a single-core machine
+  // (the pool grows on demand).
+  return {1, 2, 0, HardwareThreads() + 3};
+}
+
+Dataset OverlappingBlobs(int n) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = 4;
+  cfg.num_features = 6;
+  cfg.clusters_per_class = 2;
+  cfg.center_spread = 4.0;
+  cfg.cluster_std = 1.1;
+  Pcg32 rng(321);
+  return MakeGaussianBlobs(cfg, &rng);
+}
+
+Dataset Banana(int n) {
+  BananaConfig cfg;
+  cfg.num_samples = n;
+  cfg.noise_std = 0.2;
+  Pcg32 rng(322);
+  return MakeBanana(cfg, &rng);
+}
+
+Dataset Rings(int n) {
+  RingsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_classes = 3;
+  cfg.noise_std = 0.15;
+  Pcg32 rng(323);
+  return MakeConcentricRings(cfg, &rng);
+}
+
+Dataset HighDim(int n) {
+  HighDimConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_features = 24;
+  cfg.num_informative = 6;
+  cfg.num_classes = 3;
+  cfg.class_sep = 0.8;
+  Pcg32 rng(324);
+  return MakeInformativeHighDim(cfg, &rng);
+}
+
+// Every field of the granulation must match bit-for-bit: balls (members,
+// centers, radii, labels), noise, orphans, and the iteration count.
+void ExpectIdenticalGranulation(const RdGbgResult& a, const RdGbgResult& b,
+                                int threads) {
+  ASSERT_EQ(a.balls.size(), b.balls.size()) << "threads=" << threads;
+  for (int i = 0; i < a.balls.size(); ++i) {
+    const GranularBall& ba = a.balls.ball(i);
+    const GranularBall& bb = b.balls.ball(i);
+    ASSERT_EQ(ba.members, bb.members) << "ball " << i << " threads=" << threads;
+    ASSERT_EQ(ba.label, bb.label);
+    ASSERT_EQ(ba.center_index, bb.center_index);
+    ASSERT_EQ(ba.center, bb.center);  // exact double equality
+    const double ra = ba.radius, rb = bb.radius;
+    ASSERT_EQ(ra, rb) << "ball " << i << " threads=" << threads;
+  }
+  ASSERT_EQ(a.noise_indices, b.noise_indices) << "threads=" << threads;
+  ASSERT_EQ(a.orphan_indices, b.orphan_indices) << "threads=" << threads;
+  ASSERT_EQ(a.iterations, b.iterations) << "threads=" << threads;
+}
+
+class RdGbgThreadDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdGbgThreadDeterminismTest, OutputIdenticalAcrossThreadCounts) {
+  const int which = GetParam();
+  Dataset ds = which == 0   ? OverlappingBlobs(900)
+               : which == 1 ? Banana(800)
+               : which == 2 ? Rings(800)
+                            : HighDim(700);
+  RdGbgConfig cfg;
+  cfg.seed = 77 + which;
+  cfg.num_threads = 1;
+  const RdGbgResult reference = GenerateRdGbg(ds, cfg);
+  for (int threads : ThreadCountsUnderTest()) {
+    cfg.num_threads = threads;
+    const RdGbgResult run = GenerateRdGbg(ds, cfg);
+    ExpectIdenticalGranulation(reference, run, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticDatasets, RdGbgThreadDeterminismTest,
+                         ::testing::Range(0, 4));
+
+TEST(KMeansThreadDeterminismTest, AssignmentsAndCentersIdentical) {
+  const Dataset ds = OverlappingBlobs(1200);
+  KMeansConfig cfg;
+  cfg.num_clusters = 7;
+  cfg.max_iterations = 25;
+  cfg.num_threads = 1;
+  Pcg32 rng_ref(9);
+  const KMeansResult reference = RunKMeans(ds.x(), cfg, &rng_ref);
+  for (int threads : ThreadCountsUnderTest()) {
+    cfg.num_threads = threads;
+    Pcg32 rng(9);
+    const KMeansResult run = RunKMeans(ds.x(), cfg, &rng);
+    ASSERT_EQ(reference.assignments, run.assignments) << "threads=" << threads;
+    ASSERT_EQ(reference.iterations, run.iterations);
+    ASSERT_EQ(reference.centers.data(), run.centers.data())
+        << "threads=" << threads;
+  }
+}
+
+TEST(DpcThreadDeterminismTest, DensityDeltaPeaksAssignmentsIdentical) {
+  const Dataset ds = Rings(500);
+  DpcConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.num_threads = 1;
+  const DpcResult reference = RunDpc(ds.x(), cfg);
+  for (int threads : ThreadCountsUnderTest()) {
+    cfg.num_threads = threads;
+    const DpcResult run = RunDpc(ds.x(), cfg);
+    ASSERT_EQ(reference.density, run.density) << "threads=" << threads;
+    ASSERT_EQ(reference.delta, run.delta) << "threads=" << threads;
+    ASSERT_EQ(reference.peaks, run.peaks);
+    ASSERT_EQ(reference.assignments, run.assignments);
+  }
+}
+
+TEST(GbKnnThreadDeterminismTest, BatchPredictionsIdentical) {
+  const Dataset train = OverlappingBlobs(700);
+  const Dataset test = OverlappingBlobs(300);
+  RdGbgConfig gbg;
+  gbg.seed = 5;
+  gbg.num_threads = 1;
+  GbKnnClassifier reference(gbg, /*k=*/3);
+  Pcg32 rng_ref(4);
+  reference.Fit(train, &rng_ref);
+  const std::vector<int> expected = reference.PredictBatch(test.x());
+  for (int threads : ThreadCountsUnderTest()) {
+    gbg.num_threads = threads;
+    GbKnnClassifier clf(gbg, /*k=*/3);
+    Pcg32 rng(4);
+    clf.Fit(train, &rng);
+    ASSERT_EQ(clf.PredictBatch(test.x()), expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gbx
