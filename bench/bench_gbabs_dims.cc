@@ -1,0 +1,69 @@
+// Sweep of GbabsConfig::max_scan_dimensions (ROADMAP open item, the
+// paper's §VI future-work direction): n × d × k on S-suite-shaped
+// synthetic data (imbalanced informative-subspace blobs in the style of
+// the high-dimensional Table I entries). For each (n, d) the granulation
+// is generated once and timed; then the borderline scan runs per
+// dimension budget k, reporting scan time and the sampling ratio — the
+// quantity to watch is how quickly scan_ms falls with k while the ratio
+// (and therefore the boundary coverage) stays put.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/gbabs.h"
+#include "data/synthetic.h"
+#include "exp/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace gbx;
+  const ExperimentConfig config = ExperimentConfig::FromArgs(argc, argv);
+  PrintRunMode("GBABS scan-dimension budget sweep (n x d x k)", config);
+
+  const std::vector<int> sizes =
+      config.full ? std::vector<int>{2000, 8000} : std::vector<int>{600, 1200};
+  const std::vector<int> dims = {16, 64, 256};
+  const std::vector<int> budgets = {0, 4, 8, 16, 32};  // 0 = all dims
+
+  TablePrinter table({8, 6, 6, 10, 10, 8});
+  table.PrintRow({"n", "d", "k", "gran_ms", "scan_ms", "ratio"});
+  table.PrintSeparator();
+  for (int size : sizes) {
+    const int n = config.max_samples > 0 ? std::min(size, config.max_samples)
+                                         : size;
+    for (int d : dims) {
+      HighDimConfig data_cfg;
+      data_cfg.num_samples = n;
+      data_cfg.num_features = d;
+      data_cfg.num_informative = std::min(d, 12);
+      data_cfg.num_classes = 2;
+      data_cfg.class_weights = GeometricWeights(2, 5.0);
+      data_cfg.clusters_per_class = 2;
+      data_cfg.class_sep = 1.5;
+      Pcg32 data_rng(config.seed + d);
+      const Dataset ds = MakeInformativeHighDim(data_cfg, &data_rng);
+
+      RdGbgConfig gbg_cfg;
+      gbg_cfg.seed = config.seed;
+      Stopwatch gran_watch;
+      const RdGbgResult gbg = GenerateRdGbg(ds, gbg_cfg);
+      const double gran_ms = gran_watch.ElapsedMillis();
+
+      for (int k : budgets) {
+        Stopwatch scan_watch;
+        const std::vector<int> sampled =
+            SampleBorderlineIndices(gbg.balls, nullptr, k);
+        const double scan_ms = scan_watch.ElapsedMillis();
+        table.PrintRow(
+            {std::to_string(n), std::to_string(d),
+             k == 0 ? "all" : std::to_string(k),
+             TablePrinter::Num(gran_ms, 1), TablePrinter::Num(scan_ms, 2),
+             TablePrinter::Num(static_cast<double>(sampled.size()) / ds.size(),
+                               2)});
+      }
+      table.PrintSeparator();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,385 @@
+// gbx_serve: the serving front-end over the train-once / serve-forever
+// boundary (src/serve/). Three subcommands exercise the full
+// save -> load -> serve path offline:
+//
+//   train    fit GB-kNN (or kNN) on a dataset and write a gbx-model
+//            artifact:
+//              gbx_serve train --dataset S5 --out model.gbx
+//              gbx_serve train --csv data.csv --model knn --k 5 --out m.gbx
+//            --dump-queries/--dump-predictions write the holdout features
+//            and the fitted model's labels for them, so a fresh process
+//            can verify the artifact reproduces them bit-for-bit.
+//
+//   predict  load an artifact and serve a streaming line protocol:
+//            one query per stdin line (comma- or space-separated
+//            features), one predicted label per stdout line:
+//              gbx_serve predict --model-file model.gbx < queries.csv
+//            With --csv FILE, scores a labeled CSV in one batch and
+//            reports accuracy to stderr instead.
+//
+//   bench    sustained-load self-test: N caller threads fire random
+//            in-distribution queries through the batching engine for a
+//            few seconds, then the engine stats (requests, batches,
+//            p50/p99 latency, QPS) are printed:
+//              gbx_serve bench --model-file model.gbx --callers 8
+//
+//   info     print an artifact's metadata line.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "serve/engine.h"
+#include "serve/model_io.h"
+
+namespace {
+
+using namespace gbx;
+
+struct Args {
+  std::string model = "gb-knn";
+  std::string out;
+  std::string model_file;
+  std::string csv;
+  std::string dataset = "S5";
+  std::string dump_queries;
+  std::string dump_predictions;
+  int max_samples = 1200;
+  int k = -1;  // -1 = per-model default (1 for gb-knn, 5 for knn)
+  int rho = 5;
+  std::uint64_t seed = 7;
+  double holdout = 0.3;
+  int batch = 64;
+  double delay_ms = 0.2;
+  double seconds = 2.0;
+  int callers = 8;
+  bool stats = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gbx_serve train   --out FILE [--model gb-knn|knn] [--dataset S1..S13]\n"
+      "                    [--csv FILE] [--max-samples N] [--k N] [--rho N]\n"
+      "                    [--seed N] [--holdout F] [--dump-queries FILE]\n"
+      "                    [--dump-predictions FILE]\n"
+      "  gbx_serve predict --model-file FILE [--csv FILE] [--batch N]\n"
+      "                    [--delay-ms X] [--stats]   (queries on stdin)\n"
+      "  gbx_serve bench   --model-file FILE [--seconds X] [--callers N]\n"
+      "                    [--batch N] [--delay-ms X] [--seed N]\n"
+      "  gbx_serve info    --model-file FILE\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--stats") {
+      args->stats = true;
+    } else if (!(v = next())) {
+      std::fprintf(stderr, "gbx_serve: %s needs a value\n", flag.c_str());
+      return false;
+    } else if (flag == "--model") {
+      args->model = v;
+    } else if (flag == "--out") {
+      args->out = v;
+    } else if (flag == "--model-file") {
+      args->model_file = v;
+    } else if (flag == "--csv") {
+      args->csv = v;
+    } else if (flag == "--dataset") {
+      args->dataset = v;
+    } else if (flag == "--dump-queries") {
+      args->dump_queries = v;
+    } else if (flag == "--dump-predictions") {
+      args->dump_predictions = v;
+    } else if (flag == "--max-samples") {
+      args->max_samples = std::atoi(v);
+    } else if (flag == "--k") {
+      args->k = std::atoi(v);
+    } else if (flag == "--rho") {
+      args->rho = std::atoi(v);
+    } else if (flag == "--seed") {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--holdout") {
+      args->holdout = std::atof(v);
+    } else if (flag == "--batch") {
+      args->batch = std::atoi(v);
+    } else if (flag == "--delay-ms") {
+      args->delay_ms = std::atof(v);
+    } else if (flag == "--seconds") {
+      args->seconds = std::atof(v);
+    } else if (flag == "--callers") {
+      args->callers = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "gbx_serve: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<Dataset> LoadTrainingData(const Args& args) {
+  if (!args.csv.empty()) return LoadCsv(args.csv);
+  return MakePaperDataset(args.dataset, args.max_samples, args.seed);
+}
+
+int RunTrain(const Args& args) {
+  if (args.out.empty()) {
+    std::fprintf(stderr, "gbx_serve train: --out is required\n");
+    return 2;
+  }
+  StatusOr<Dataset> data = LoadTrainingData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "gbx_serve train: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Pcg32 split_rng(args.seed);
+  const TrainTestSplitResult split =
+      TrainTestSplit(*data, args.holdout, &split_rng);
+  std::printf("train: %d samples, holdout: %d samples, %d features, "
+              "%d classes\n",
+              split.train.size(), split.test.size(), data->num_features(),
+              data->num_classes());
+
+  std::unique_ptr<Classifier> model;
+  Pcg32 fit_rng(args.seed + 1);
+  if (args.model == "gb-knn") {
+    RdGbgConfig gbg;
+    gbg.density_tolerance = args.rho;
+    gbg.seed = args.seed;
+    auto gbknn = std::make_unique<GbKnnClassifier>(
+        gbg, args.k > 0 ? args.k : 1);
+    gbknn->Fit(split.train, &fit_rng);
+    std::printf("fitted GB-kNN: %d balls over %d training samples\n",
+                gbknn->num_balls(), split.train.size());
+    model = std::move(gbknn);
+  } else if (args.model == "knn") {
+    auto knn = std::make_unique<KnnClassifier>(args.k > 0 ? args.k : 5);
+    knn->Fit(split.train, &fit_rng);
+    std::printf("fitted kNN: k=%d over %d training samples\n", knn->k(),
+                split.train.size());
+    model = std::move(knn);
+  } else {
+    std::fprintf(stderr, "gbx_serve train: unknown --model '%s'\n",
+                 args.model.c_str());
+    return 2;
+  }
+
+  const std::vector<int> holdout_pred = model->PredictBatch(split.test.x());
+  std::printf("holdout accuracy: %.4f\n",
+              Accuracy(split.test.y(), holdout_pred));
+
+  const Status saved = SaveModel(*model, args.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "gbx_serve train: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved gbx-model artifact: %s\n", args.out.c_str());
+
+  if (!args.dump_queries.empty()) {
+    std::FILE* f = std::fopen(args.dump_queries.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "gbx_serve train: cannot write %s\n",
+                   args.dump_queries.c_str());
+      return 1;
+    }
+    for (int i = 0; i < split.test.size(); ++i) {
+      for (int j = 0; j < split.test.num_features(); ++j) {
+        std::fprintf(f, "%s%.17g", j > 0 ? "," : "",
+                     split.test.feature(i, j));
+      }
+      std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+  }
+  if (!args.dump_predictions.empty()) {
+    std::FILE* f = std::fopen(args.dump_predictions.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "gbx_serve train: cannot write %s\n",
+                   args.dump_predictions.c_str());
+      return 1;
+    }
+    for (int label : holdout_pred) std::fprintf(f, "%d\n", label);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+void PrintStats(const InferenceEngine& engine, std::FILE* to) {
+  const InferenceEngineStats s = engine.Stats();
+  std::fprintf(to,
+               "engine stats: %lld requests in %lld batches "
+               "(%.1f mean batch)\n"
+               "latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"
+               "throughput: %.0f predictions/s\n",
+               static_cast<long long>(s.requests),
+               static_cast<long long>(s.batches), s.mean_batch_size,
+               s.p50_ms, s.p99_ms, s.max_ms, s.qps);
+}
+
+StatusOr<LoadedModel> LoadModelArg(const Args& args, const char* cmd) {
+  if (args.model_file.empty()) {
+    return Status::InvalidArgument(std::string("gbx_serve ") + cmd +
+                                   ": --model-file is required");
+  }
+  return LoadModel(args.model_file);
+}
+
+int RunPredict(const Args& args) {
+  StatusOr<LoadedModel> model = LoadModelArg(args, "predict");
+  if (!model.ok()) {
+    std::fprintf(stderr, "gbx_serve predict: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  InferenceEngineOptions opts;
+  opts.max_batch_size = args.batch;
+  // The stdin line protocol has exactly one synchronous caller, so no
+  // follower can ever join a batch — waiting out the coalescing window
+  // would only add idle latency per line.
+  opts.max_batch_delay_ms = args.csv.empty() ? 0.0 : args.delay_ms;
+  InferenceEngine engine(std::move(model).value(), opts);
+
+  if (!args.csv.empty()) {
+    const StatusOr<Dataset> data = LoadCsv(args.csv);
+    if (!data.ok()) {
+      std::fprintf(stderr, "gbx_serve predict: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const StatusOr<std::vector<int>> labels = engine.PredictBatch(data->x());
+    if (!labels.ok()) {
+      std::fprintf(stderr, "gbx_serve predict: %s\n",
+                   labels.status().ToString().c_str());
+      return 1;
+    }
+    for (int label : *labels) std::printf("%d\n", label);
+    std::fprintf(stderr, "accuracy vs CSV labels: %.4f\n",
+                 Accuracy(data->y(), *labels));
+    if (args.stats) PrintStats(engine, stderr);
+    return 0;
+  }
+
+  // Streaming line protocol: one query per line, one label per line.
+  std::string line;
+  std::vector<double> query;
+  int lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    for (char& c : line) {
+      if (c == ',' || c == '\t') c = ' ';
+    }
+    query.clear();
+    std::istringstream fields(line);
+    double v = 0.0;
+    while (fields >> v) query.push_back(v);
+    std::string rest;
+    if (fields.bad() || (fields.clear(), fields >> rest)) {
+      std::fprintf(stderr, "gbx_serve predict: unparseable line %d\n",
+                   lineno);
+      return 1;
+    }
+    const StatusOr<int> label = engine.Predict(query);
+    if (!label.ok()) {
+      std::fprintf(stderr, "gbx_serve predict: line %d: %s\n", lineno,
+                   label.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%d\n", *label);
+  }
+  if (args.stats) PrintStats(engine, stderr);
+  return 0;
+}
+
+int RunBench(const Args& args) {
+  StatusOr<LoadedModel> model = LoadModelArg(args, "bench");
+  if (!model.ok()) {
+    std::fprintf(stderr, "gbx_serve bench: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  InferenceEngineOptions opts;
+  opts.max_batch_size = args.batch;
+  opts.max_batch_delay_ms = args.delay_ms;
+  InferenceEngine engine(std::move(model).value(), opts);
+
+  const int dims = engine.dims();
+  std::vector<double> lo(dims, 0.0), hi(dims, 1.0);
+  if (static_cast<int>(engine.model().feature_mins.size()) == dims) {
+    lo = engine.model().feature_mins;
+    hi = engine.model().feature_maxs;
+  }
+  std::printf("bench: %s model, %d features, %d classes, %d callers, "
+              "%.1f s, batch %d / %.2f ms window\n",
+              engine.model().kind.c_str(), dims, engine.num_classes(),
+              args.callers, args.seconds, opts.max_batch_size,
+              opts.max_batch_delay_ms);
+
+  std::atomic<long long> errors{0};
+  std::vector<std::thread> callers;
+  callers.reserve(args.callers);
+  for (int t = 0; t < args.callers; ++t) {
+    callers.emplace_back([&, t] {
+      Pcg32 rng(args.seed + 1000 + t);
+      std::vector<double> q(dims);
+      Stopwatch watch;
+      while (watch.ElapsedSeconds() < args.seconds) {
+        for (int j = 0; j < dims; ++j) {
+          q[j] = lo[j] + (hi[j] - lo[j]) * rng.NextDouble();
+        }
+        if (!engine.Predict(q).ok()) ++errors;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "gbx_serve bench: %lld failed predictions\n",
+                 errors.load());
+    return 1;
+  }
+  PrintStats(engine, stdout);
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  const StatusOr<LoadedModel> model = LoadModelArg(args, "info");
+  if (!model.ok()) {
+    std::fprintf(stderr, "gbx_serve info: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("gbx-model v1: classifier %s, %d features, %d classes\n%s\n",
+              model->kind.c_str(), model->dims, model->num_classes,
+              model->config.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "train") return RunTrain(args);
+  if (cmd == "predict") return RunPredict(args);
+  if (cmd == "bench") return RunBench(args);
+  if (cmd == "info") return RunInfo(args);
+  return Usage();
+}

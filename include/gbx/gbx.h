@@ -102,4 +102,10 @@
 #include "exp/runner.h"             // IWYU pragma: export
 #include "exp/table_printer.h"      // IWYU pragma: export
 
+// serve/ — model serving: versioned trained-model artifacts (gbx-model
+// v1 save/load with bit-identical predictions) and the micro-batching
+// InferenceEngine behind the gbx_serve CLI.
+#include "serve/engine.h"     // IWYU pragma: export
+#include "serve/model_io.h"   // IWYU pragma: export
+
 #endif  // GBX_GBX_H_

@@ -1,8 +1,10 @@
 // Lightweight CHECK macros in the spirit of glog/absl, used for internal
 // invariants. A failed check prints the condition and location and aborts.
 //
-// GBX_CHECK(cond)    — always evaluated.
-// GBX_DCHECK(cond)   — evaluated only in debug builds (NDEBUG off).
+// GBX_CHECK(cond)           — always evaluated.
+// GBX_CHECK_MSG(cond, msg)  — like GBX_CHECK, with an explanation for the
+//                             human reading the abort (API-contract checks).
+// GBX_DCHECK(cond)          — evaluated only in debug builds (NDEBUG off).
 #ifndef GBX_COMMON_CHECK_H_
 #define GBX_COMMON_CHECK_H_
 
@@ -17,6 +19,13 @@ namespace gbx::internal {
   std::abort();
 }
 
+[[noreturn]] inline void CheckFailedMsg(const char* cond, const char* msg,
+                                        const char* file, int line) {
+  std::fprintf(stderr, "GBX_CHECK failed: %s (%s) at %s:%d\n", cond, msg,
+               file, line);
+  std::abort();
+}
+
 }  // namespace gbx::internal
 
 #define GBX_CHECK(cond)                                       \
@@ -24,6 +33,13 @@ namespace gbx::internal {
     if (!(cond)) {                                            \
       ::gbx::internal::CheckFailed(#cond, __FILE__, __LINE__); \
     }                                                         \
+  } while (0)
+
+#define GBX_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gbx::internal::CheckFailedMsg(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                    \
   } while (0)
 
 #define GBX_CHECK_OP(a, op, b) GBX_CHECK((a)op(b))

@@ -1,5 +1,6 @@
 #include "core/gb_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -54,6 +55,15 @@ StatusOr<GranularBallSet> GranularBallsFromString(const std::string& text) {
   if (dims <= 0 || classes <= 0 || num_balls < 0 || samples < 0) {
     return Status::InvalidArgument("non-positive header values");
   }
+  // Every declared number needs at least two input bytes ("0 "), so a
+  // header promising more data than the input holds is corrupt — reject
+  // it before allocating (a crafted header must not trigger a
+  // multi-gigabyte allocation).
+  const long long budget = static_cast<long long>(text.size()) / 2;
+  if (static_cast<long long>(samples) * dims > budget ||
+      static_cast<long long>(num_balls) * dims > budget) {
+    return Status::InvalidArgument("header declares more data than input");
+  }
 
   std::vector<GranularBall> balls;
   balls.reserve(num_balls);
@@ -66,15 +76,30 @@ StatusOr<GranularBallSet> GranularBallsFromString(const std::string& text) {
     if (!(in >> ball.label >> ball.radius >> ball.center_index)) {
       return Status::InvalidArgument("truncated ball header");
     }
+    if (!std::isfinite(ball.radius) || ball.radius < 0.0) {
+      return Status::InvalidArgument("ball " + std::to_string(b) +
+                                     " has a negative or non-finite radius");
+    }
+    if (ball.center_index < -1 || ball.center_index >= samples) {
+      return Status::OutOfRange("ball " + std::to_string(b) +
+                                " center index out of range");
+    }
     ball.center.resize(dims);
     for (int j = 0; j < dims; ++j) {
       if (!(in >> ball.center[j])) {
         return Status::InvalidArgument("truncated ball center");
       }
+      if (!std::isfinite(ball.center[j])) {
+        return Status::InvalidArgument("ball " + std::to_string(b) +
+                                       " has a non-finite center coordinate");
+      }
     }
     std::size_t member_count = 0;
     if (!(in >> tok >> member_count) || tok != "members") {
       return Status::InvalidArgument("expected member list");
+    }
+    if (member_count > static_cast<std::size_t>(budget)) {
+      return Status::InvalidArgument("member count exceeds input size");
     }
     ball.members.resize(member_count);
     for (std::size_t m = 0; m < member_count; ++m) {
@@ -100,7 +125,14 @@ StatusOr<GranularBallSet> GranularBallsFromString(const std::string& text) {
       if (!(in >> x.At(i, j))) {
         return Status::InvalidArgument("truncated feature matrix");
       }
+      if (!std::isfinite(x.At(i, j))) {
+        return Status::InvalidArgument("non-finite feature at row " +
+                                       std::to_string(i));
+      }
     }
+  }
+  if (in >> tok) {
+    return Status::InvalidArgument("trailing data after feature matrix");
   }
   return GranularBallSet(std::move(balls), std::move(x), classes);
 }

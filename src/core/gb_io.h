@@ -22,7 +22,10 @@ namespace gbx {
 Status SaveGranularBalls(const GranularBallSet& balls,
                          const std::string& path);
 
-/// Reads a ball set written by SaveGranularBalls.
+/// Reads a ball set written by SaveGranularBalls. Input is untrusted:
+/// truncation, non-finite radii/centers/features, negative radii, and
+/// member/center indices outside [0, samples) all yield a descriptive
+/// error Status (never UB).
 StatusOr<GranularBallSet> LoadGranularBalls(const std::string& path);
 
 /// Serializes to / parses from a string (used by the file functions and

@@ -19,6 +19,17 @@ void MinMaxScaler::Fit(const Matrix& x) {
   }
 }
 
+void MinMaxScaler::Restore(std::vector<double> mins,
+                           std::vector<double> maxs) {
+  GBX_CHECK(!mins.empty());
+  GBX_CHECK_EQ(mins.size(), maxs.size());
+  for (std::size_t j = 0; j < mins.size(); ++j) {
+    GBX_CHECK_LE(mins[j], maxs[j]);
+  }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+}
+
 Matrix MinMaxScaler::Transform(const Matrix& x) const {
   GBX_CHECK(fitted());
   GBX_CHECK_EQ(x.cols(), static_cast<int>(mins_.size()));

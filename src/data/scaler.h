@@ -25,6 +25,10 @@ class MinMaxScaler {
     return Transform(x);
   }
 
+  /// Restores a previously fitted state (model deserialization). `mins`
+  /// and `maxs` must have equal, nonzero length with mins[j] <= maxs[j].
+  void Restore(std::vector<double> mins, std::vector<double> maxs);
+
   bool fitted() const { return !mins_.empty(); }
   const std::vector<double>& mins() const { return mins_; }
   const std::vector<double>& maxs() const { return maxs_; }

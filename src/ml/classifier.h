@@ -23,9 +23,15 @@ class Classifier {
   virtual void Fit(const Dataset& train, Pcg32* rng) = 0;
 
   /// Predicts the class of a single feature vector (num_features doubles).
+  ///
+  /// Contract: Fit (or a classifier's Restore) must have been called
+  /// first. Calling Predict/PredictBatch on an unfitted classifier is a
+  /// programming error and fails a GBX_CHECK with a "called before Fit"
+  /// message — uniformly across every implementation, never UB.
   virtual int Predict(const double* x) const = 0;
 
-  /// Batch prediction; the default loops over Predict.
+  /// Batch prediction; the default loops over Predict. Same
+  /// fit-before-predict contract as Predict.
   virtual std::vector<int> PredictBatch(const Matrix& x) const;
 
   virtual std::string name() const = 0;

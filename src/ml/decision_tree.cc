@@ -139,7 +139,7 @@ int DecisionTreeClassifier::Build(const Dataset& train,
 }
 
 int DecisionTreeClassifier::Predict(const double* x) const {
-  GBX_CHECK(!nodes_.empty());
+  GBX_CHECK_MSG(!nodes_.empty(), "DT: Predict called before Fit (no tree)");
   int node = 0;
   while (nodes_[node].feature >= 0) {
     node = x[nodes_[node].feature] <= nodes_[node].threshold

@@ -7,7 +7,7 @@
 namespace gbx {
 
 GbKnnClassifier::GbKnnClassifier(RdGbgConfig gbg, int k)
-    : gbg_config_(gbg), k_(k) {
+    : gbg_config_(gbg), k_(k), effective_seed_(gbg.seed) {
   GBX_CHECK_GE(k, 1);
 }
 
@@ -18,6 +18,9 @@ void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
     cfg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
                rng->NextU32();
   }
+  // Provenance for model artifacts; gbg_config_ itself stays the
+  // caller's immutable input.
+  effective_seed_ = cfg.seed;
   // The balls live in min-max-scaled space; remember the transform so
   // queries are scaled consistently.
   scaler_ = MinMaxScaler();
@@ -28,8 +31,24 @@ void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
   num_classes_ = train.num_classes();
 }
 
+void GbKnnClassifier::Restore(GranularBallSet balls, MinMaxScaler scaler,
+                              int num_classes) {
+  GBX_CHECK(!balls.empty());
+  GBX_CHECK(scaler.fitted());
+  GBX_CHECK_EQ(static_cast<int>(scaler.mins().size()),
+               balls.scaled_features().cols());
+  GBX_CHECK_GE(num_classes, balls.num_classes());
+  for (const GranularBall& ball : balls.balls()) {
+    GBX_CHECK(ball.label >= 0 && ball.label < num_classes);
+  }
+  balls_ = std::move(balls);
+  scaler_ = std::move(scaler);
+  num_classes_ = num_classes;
+}
+
 int GbKnnClassifier::Predict(const double* x) const {
-  GBX_CHECK_GT(balls_.size(), 0);
+  GBX_CHECK_MSG(fitted(),
+                "GB-kNN: Predict called before Fit/Restore (empty ball set)");
   const int p = balls_.scaled_features().cols();
   // Scale the query like the training features.
   std::vector<double> q(p);

@@ -29,6 +29,23 @@ class GbKnnClassifier : public Classifier {
   std::vector<int> PredictBatch(const Matrix& x) const override;
   std::string name() const override { return "GB-kNN"; }
 
+  /// Restores a fitted state without re-granulating (model
+  /// deserialization; see serve/model_io.h). `balls` must be non-empty,
+  /// `scaler` fitted over the same dimensionality, and `num_classes`
+  /// must cover every ball label. Predictions after Restore are
+  /// bit-identical to the classifier the state was captured from.
+  void Restore(GranularBallSet balls, MinMaxScaler scaler, int num_classes);
+
+  bool fitted() const { return !balls_.empty(); }
+  int k() const { return k_; }
+  int num_classes() const { return num_classes_; }
+  const RdGbgConfig& config() const { return gbg_config_; }
+  /// The seed the last granulation actually ran with: the configured
+  /// seed, or the rng-derived one when Fit received a non-null rng.
+  /// Model artifacts persist it as provenance (serve/model_io.h).
+  std::uint64_t effective_seed() const { return effective_seed_; }
+  const MinMaxScaler& scaler() const { return scaler_; }
+
   /// Number of balls in the fitted model (0 before Fit).
   int num_balls() const { return balls_.size(); }
   const GranularBallSet& balls() const { return balls_; }
@@ -36,6 +53,7 @@ class GbKnnClassifier : public Classifier {
  private:
   RdGbgConfig gbg_config_;
   int k_;
+  std::uint64_t effective_seed_;
   GranularBallSet balls_;
   MinMaxScaler scaler_;
   int num_classes_ = 0;

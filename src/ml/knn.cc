@@ -13,8 +13,15 @@ void KnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
   tree_ = std::make_unique<KdTree>(&train_.x());
 }
 
+void KnnClassifier::Restore(Dataset train) {
+  GBX_CHECK_GT(train.size(), 0);
+  train_ = std::move(train);
+  tree_ = std::make_unique<KdTree>(&train_.x());
+}
+
 int KnnClassifier::Predict(const double* x) const {
-  GBX_CHECK(tree_ != nullptr);
+  GBX_CHECK_MSG(fitted(),
+                "kNN: Predict called before Fit/Restore (no KD-tree)");
   const std::vector<Neighbor> nns = tree_->KNearest(x, k_);
   std::vector<int> votes(train_.num_classes(), 0);
   for (const Neighbor& nb : nns) ++votes[train_.label(nb.index)];

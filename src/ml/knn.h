@@ -18,7 +18,15 @@ class KnnClassifier : public Classifier {
   int Predict(const double* x) const override;
   std::string name() const override { return "kNN"; }
 
+  /// Restores a fitted state from a stored training set (model
+  /// deserialization; see serve/model_io.h). Equivalent to Fit(train)
+  /// — kNN's "model" is the training data plus the rebuilt KD-tree.
+  void Restore(Dataset train);
+
+  bool fitted() const { return tree_ != nullptr; }
   int k() const { return k_; }
+  /// The stored training set (empty before Fit/Restore).
+  const Dataset& train() const { return train_; }
 
  private:
   int k_;

@@ -70,7 +70,8 @@ std::vector<double> LightGbmClassifier::PredictMargin(const double* x) const {
 }
 
 int LightGbmClassifier::Predict(const double* x) const {
-  GBX_CHECK(!trees_.empty());
+  GBX_CHECK_MSG(!trees_.empty(),
+                "LightGBM: Predict called before Fit (no trees)");
   const std::vector<double> margin = PredictMargin(x);
   int best = 0;
   for (int c = 1; c < num_classes_; ++c) {

@@ -73,7 +73,8 @@ double LinearSvmClassifier::DecisionValue(const double* x, int cls) const {
 }
 
 int LinearSvmClassifier::Predict(const double* x) const {
-  GBX_CHECK_GT(num_classes_, 0);
+  GBX_CHECK_MSG(num_classes_ > 0,
+                "LinearSVM: Predict called before Fit (no weights)");
   int best = 0;
   double best_v = DecisionValue(x, 0);
   for (int c = 1; c < num_classes_; ++c) {

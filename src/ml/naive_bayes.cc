@@ -79,7 +79,8 @@ double GaussianNbClassifier::LogPosterior(const double* x, int cls) const {
 }
 
 int GaussianNbClassifier::Predict(const double* x) const {
-  GBX_CHECK_GT(num_classes_, 0);
+  GBX_CHECK_MSG(num_classes_ > 0,
+                "GaussianNB: Predict called before Fit (no class stats)");
   int best = 0;
   double best_v = -std::numeric_limits<double>::infinity();
   for (int c = 0; c < num_classes_; ++c) {

@@ -66,7 +66,7 @@ void RandomForestClassifier::Fit(const Dataset& train, Pcg32* rng) {
 }
 
 int RandomForestClassifier::Predict(const double* x) const {
-  GBX_CHECK(!trees_.empty());
+  GBX_CHECK_MSG(!trees_.empty(), "RF: Predict called before Fit (no trees)");
   std::vector<int> votes(num_classes_, 0);
   for (const auto& tree : trees_) ++votes[tree.Predict(x)];
   int best = 0;

@@ -87,7 +87,8 @@ std::vector<double> XgBoostClassifier::PredictMargin(const double* x) const {
 }
 
 int XgBoostClassifier::Predict(const double* x) const {
-  GBX_CHECK(!trees_.empty());
+  GBX_CHECK_MSG(!trees_.empty(),
+                "XGBoost: Predict called before Fit (no trees)");
   const std::vector<double> margin = PredictMargin(x);
   int best = 0;
   for (int c = 1; c < num_classes_; ++c) {

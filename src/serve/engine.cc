@@ -1,0 +1,173 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace gbx {
+
+InferenceEngine::InferenceEngine(LoadedModel model,
+                                 InferenceEngineOptions options)
+    : model_(std::move(model)), options_(options) {
+  GBX_CHECK_MSG(model_.classifier != nullptr,
+                "InferenceEngine needs a loaded classifier");
+  GBX_CHECK_GT(model_.dims, 0);
+  options_.max_batch_size = std::max(1, options_.max_batch_size);
+  options_.latency_window = std::max(1, options_.latency_window);
+}
+
+Status InferenceEngine::ValidateQuery(const double* x, int dims) const {
+  if (dims != model_.dims) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(dims) + " features, model expects " +
+        std::to_string(model_.dims));
+  }
+  for (int j = 0; j < dims; ++j) {
+    if (!std::isfinite(x[j])) {
+      return Status::InvalidArgument("non-finite query feature " +
+                                     std::to_string(j));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<int> InferenceEngine::Predict(const double* x, int dims) {
+  GBX_RETURN_IF_ERROR(ValidateQuery(x, dims));
+  Stopwatch watch;
+
+  std::shared_ptr<MicroBatch> batch;
+  int slot = 0;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_enqueue_s_ < 0) first_enqueue_s_ = lifetime_.ElapsedSeconds();
+    if (pending_ == nullptr) {
+      pending_ = std::make_shared<MicroBatch>();
+      leader = true;
+    }
+    batch = pending_;
+    slot = batch->count++;
+    batch->queries.insert(batch->queries.end(), x, x + dims);
+    if (batch->count >= options_.max_batch_size) {
+      // Full: detach so the next arrival starts a fresh batch, and wake
+      // the leader if it is still inside its coalescing window.
+      batch->closed = true;
+      pending_.reset();
+      cv_.notify_all();
+    }
+  }
+
+  if (leader) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!batch->closed && options_.max_batch_delay_ms > 0) {
+        cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(
+                options_.max_batch_delay_ms),
+            [&] { return batch->closed; });
+      }
+      if (!batch->closed) {
+        batch->closed = true;
+        if (pending_ == batch) pending_.reset();
+      }
+    }
+    Dispatch(batch);
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return batch->done; });
+  }
+
+  const double ms = watch.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    RecordLatency(ms);
+    last_complete_s_ = lifetime_.ElapsedSeconds();
+  }
+  return batch->labels[slot];
+}
+
+StatusOr<std::vector<int>> InferenceEngine::PredictBatch(const Matrix& x) {
+  if (x.cols() != model_.dims && x.rows() > 0) {
+    return Status::InvalidArgument(
+        "batch has " + std::to_string(x.cols()) +
+        " features per row, model expects " + std::to_string(model_.dims));
+  }
+  for (int i = 0; i < x.rows(); ++i) {
+    GBX_RETURN_IF_ERROR(ValidateQuery(x.Row(i), x.cols()));
+  }
+  if (x.rows() == 0) return std::vector<int>{};
+
+  Stopwatch watch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_enqueue_s_ < 0) first_enqueue_s_ = lifetime_.ElapsedSeconds();
+  }
+  std::vector<int> labels = model_.classifier->PredictBatch(x);
+  const double ms = watch.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_ += x.rows();
+    ++batches_;
+    for (int i = 0; i < x.rows(); ++i) RecordLatency(ms);
+    last_complete_s_ = lifetime_.ElapsedSeconds();
+  }
+  return labels;
+}
+
+void InferenceEngine::Dispatch(const std::shared_ptr<MicroBatch>& batch) {
+  // `batch` is closed: no appender can touch it anymore, so reading the
+  // queries outside the lock is safe.
+  Matrix m(batch->count, model_.dims);
+  std::copy(batch->queries.begin(), batch->queries.end(),
+            m.mutable_data().begin());
+  std::vector<int> labels = model_.classifier->PredictBatch(m);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->labels = std::move(labels);
+    batch->done = true;
+    ++batches_;
+  }
+  cv_.notify_all();
+}
+
+void InferenceEngine::RecordLatency(double ms) {
+  const std::size_t window =
+      static_cast<std::size_t>(options_.latency_window);
+  if (latencies_ms_.size() < window) {
+    latencies_ms_.push_back(ms);
+  } else {
+    latencies_ms_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % window;
+  }
+}
+
+InferenceEngineStats InferenceEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  InferenceEngineStats s;
+  s.requests = requests_;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(requests_) / batches_ : 0.0;
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto nearest_rank = [&](double q) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      return sorted[std::min(sorted.size() - 1, std::max<std::size_t>(rank, 1) - 1)];
+    };
+    s.p50_ms = nearest_rank(0.50);
+    s.p99_ms = nearest_rank(0.99);
+    s.max_ms = sorted.back();
+  }
+  if (requests_ > 0 && first_enqueue_s_ >= 0 &&
+      last_complete_s_ > first_enqueue_s_) {
+    s.qps = static_cast<double>(requests_) /
+            (last_complete_s_ - first_enqueue_s_);
+  }
+  return s;
+}
+
+}  // namespace gbx

@@ -1,0 +1,131 @@
+// Batched inference engine: the online half of the serving subsystem.
+//
+// An InferenceEngine owns one loaded model (serve/model_io.h) and serves
+// Predict() calls from any number of caller threads. Concurrent requests
+// are coalesced into micro-batches: the first caller into an empty batch
+// becomes its *leader* and waits up to `max_batch_delay_ms` for
+// followers (or until the batch holds `max_batch_size` queries), then
+// dispatches the whole batch through Classifier::PredictBatch — which
+// fans the independent queries out over the shared thread pool
+// (common/parallel.h) — and wakes the followers with their labels.
+//
+// Each query's label depends only on the model and the query, never on
+// which micro-batch it landed in, so engine output is identical to a
+// serial Predict() loop at any thread count and any batching window
+// (enforced by tests/serve_test.cc).
+//
+// The engine tracks request count, batch count, request latency
+// percentiles (p50/p99/max over a sliding window), and sustained QPS,
+// exposed as an InferenceEngineStats snapshot.
+#ifndef GBX_SERVE_ENGINE_H_
+#define GBX_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "serve/model_io.h"
+
+namespace gbx {
+
+struct InferenceEngineOptions {
+  /// A micro-batch is dispatched as soon as it holds this many queries.
+  int max_batch_size = 64;
+  /// How long a batch leader waits for followers before dispatching a
+  /// partial batch. 0 disables coalescing (every request dispatches
+  /// immediately).
+  double max_batch_delay_ms = 0.2;
+  /// How many recent request latencies the percentile window keeps.
+  int latency_window = 1 << 14;
+};
+
+/// Point-in-time engine statistics.
+struct InferenceEngineStats {
+  std::int64_t requests = 0;
+  std::int64_t batches = 0;
+  /// Mean queries per dispatched batch.
+  double mean_batch_size = 0.0;
+  /// Request latency (enqueue -> label available), milliseconds, over
+  /// the sliding window.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Completed requests per second between the first enqueue and the
+  /// last completion (0 until the first request finishes).
+  double qps = 0.0;
+};
+
+class InferenceEngine {
+ public:
+  /// Takes ownership of the loaded model. `model.classifier` must be
+  /// non-null and `model.dims` positive.
+  explicit InferenceEngine(LoadedModel model,
+                           InferenceEngineOptions options = {});
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Predicts the label of one query of `dims` doubles. Safe to call
+  /// from any number of threads concurrently; blocks until the query's
+  /// micro-batch has been dispatched. Rejects wrong-arity and
+  /// non-finite queries with InvalidArgument instead of poisoning the
+  /// batch.
+  StatusOr<int> Predict(const double* x, int dims);
+  StatusOr<int> Predict(const std::vector<double>& x) {
+    return Predict(x.data(), static_cast<int>(x.size()));
+  }
+
+  /// Whole-batch entry point for callers that already hold a batch
+  /// (bulk scoring, the CLI's CSV path). Bypasses coalescing — the
+  /// matrix is dispatched as one batch — but is counted in the stats.
+  StatusOr<std::vector<int>> PredictBatch(const Matrix& x);
+
+  InferenceEngineStats Stats() const;
+
+  const Classifier& classifier() const { return *model_.classifier; }
+  const LoadedModel& model() const { return model_; }
+  int dims() const { return model_.dims; }
+  int num_classes() const { return model_.num_classes; }
+  const InferenceEngineOptions& options() const { return options_; }
+
+ private:
+  struct MicroBatch {
+    std::vector<double> queries;  // count x dims, row-major
+    int count = 0;
+    bool closed = false;  // no longer accepting followers
+    bool done = false;    // labels are ready
+    std::vector<int> labels;
+  };
+
+  /// Validates query arity and finiteness.
+  Status ValidateQuery(const double* x, int dims) const;
+
+  /// Runs `batch` through the model and publishes the labels.
+  void Dispatch(const std::shared_ptr<MicroBatch>& batch);
+
+  void RecordLatency(double ms);
+
+  LoadedModel model_;
+  InferenceEngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<MicroBatch> pending_;  // open batch accepting queries
+
+  // Stats (guarded by mu_).
+  std::int64_t requests_ = 0;
+  std::int64_t batches_ = 0;
+  std::vector<double> latencies_ms_;  // ring buffer of latency_window
+  std::size_t latency_next_ = 0;
+  Stopwatch lifetime_;
+  double first_enqueue_s_ = -1.0;
+  double last_complete_s_ = -1.0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_ENGINE_H_

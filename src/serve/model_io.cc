@@ -1,0 +1,362 @@
+#include "serve/model_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "core/gb_io.h"
+
+namespace gbx {
+
+namespace {
+
+constexpr char kMagic[] = "gbx-model v1";
+constexpr char kChecksumPrefix[] = "checksum fnv1a ";
+
+std::string ChecksumLine(const std::string& body) {
+  std::ostringstream out;
+  out << kChecksumPrefix << std::hex << std::setw(16) << std::setfill('0')
+      << Fnv1a64(body) << "\n";
+  return out.str();
+}
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (j > 0) out << " ";
+    out << v[j];
+  }
+  out << "\n";
+}
+
+Status WriteFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << text;
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::Ok();
+}
+
+/// Splits `text` into the checksum-covered body and verifies the final
+/// checksum line. Returns the body on success.
+StatusOr<std::string> VerifyChecksum(const std::string& text) {
+  const std::size_t pos = text.rfind(kChecksumPrefix);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("missing checksum line");
+  }
+  if (pos == 0 || text[pos - 1] != '\n') {
+    return Status::InvalidArgument("checksum not at line start");
+  }
+  // Exactly 16 lowercase hex digits, parsed case-sensitively (istream
+  // hex extraction would silently accept case-flipped digits).
+  const std::size_t hex_begin = pos + sizeof(kChecksumPrefix) - 1;
+  if (text.size() < hex_begin + 16) {
+    return Status::InvalidArgument("truncated checksum value");
+  }
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = text[hex_begin + i];
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::InvalidArgument("malformed checksum value");
+    }
+    stored = stored << 4 | static_cast<std::uint64_t>(digit);
+  }
+  for (std::size_t i = hex_begin + 16; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+      return Status::InvalidArgument("trailing data after checksum");
+    }
+  }
+  const std::string body = text.substr(0, pos);
+  if (Fnv1a64(body) != stored) {
+    return Status::InvalidArgument("checksum mismatch: corrupt artifact");
+  }
+  return body;
+}
+
+Status ReadFiniteVector(std::istream& in, int n, const char* what,
+                        std::vector<double>* out) {
+  out->resize(n);
+  for (int j = 0; j < n; ++j) {
+    if (!(in >> (*out)[j])) {
+      return Status::InvalidArgument(std::string("truncated ") + what);
+    }
+    if (!std::isfinite((*out)[j])) {
+      return Status::InvalidArgument(std::string("non-finite value in ") +
+                                     what);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<LoadedModel> ParseGbKnn(std::istringstream& in,
+                                 const std::string& body,
+                                 const std::string& config_line, int classes,
+                                 int dims) {
+  // The scaler section holds two dims-length vectors of >= 2 bytes per
+  // value; reject headers promising more than the artifact holds before
+  // allocating.
+  if (static_cast<long long>(dims) * 4 > static_cast<long long>(body.size())) {
+    return Status::InvalidArgument("header declares more data than input");
+  }
+  std::string tok, kind;
+  if (!(in >> tok >> kind) || tok != "scaler" || kind != "minmax") {
+    return Status::InvalidArgument("expected 'scaler minmax' section");
+  }
+  std::vector<double> mins, maxs;
+  GBX_RETURN_IF_ERROR(ReadFiniteVector(in, dims, "scaler mins", &mins));
+  GBX_RETURN_IF_ERROR(ReadFiniteVector(in, dims, "scaler maxs", &maxs));
+  for (int j = 0; j < dims; ++j) {
+    if (mins[j] > maxs[j]) {
+      return Status::InvalidArgument("scaler min exceeds max at feature " +
+                                     std::to_string(j));
+    }
+  }
+
+  if (!(in >> tok) || tok != "balls") {
+    return Status::InvalidArgument("expected 'balls' section");
+  }
+  // The remainder of the body (from the next line on) is an embedded
+  // gbx-granular-balls document; hand it to the gb_io parser whole.
+  std::string line_rest;
+  std::getline(in, line_rest);
+  const std::streampos pos = in.tellg();
+  if (pos < 0) return Status::InvalidArgument("truncated balls section");
+  StatusOr<GranularBallSet> balls =
+      GranularBallsFromString(body.substr(static_cast<std::size_t>(pos)));
+  if (!balls.ok()) {
+    return Status(balls.status().code(),
+                  "embedded ball set: " + balls.status().message());
+  }
+  if (balls->empty()) {
+    return Status::InvalidArgument("gb-knn artifact has no balls");
+  }
+  if (balls->scaled_features().cols() != dims) {
+    return Status::InvalidArgument("ball dims disagree with model dims");
+  }
+  if (balls->num_classes() != classes) {
+    return Status::InvalidArgument("ball classes disagree with model classes");
+  }
+
+  int k = 0, rho = 0;
+  std::uint64_t seed = 0;
+  {
+    std::istringstream cfg(config_line);
+    std::string c, kk, kr, ks;
+    if (!(cfg >> c >> kk >> k >> kr >> rho >> ks >> seed) || kk != "k" ||
+        kr != "rho" || ks != "seed" || k < 1 || rho < 1) {
+      return Status::InvalidArgument("bad gb-knn config line");
+    }
+  }
+
+  RdGbgConfig gbg;
+  gbg.density_tolerance = rho;
+  gbg.seed = seed;
+  LoadedModel model;
+  MinMaxScaler scaler;
+  scaler.Restore(mins, maxs);
+  auto classifier = std::make_unique<GbKnnClassifier>(gbg, k);
+  classifier->Restore(std::move(balls).value(), std::move(scaler), classes);
+  model.classifier = std::move(classifier);
+  model.kind = "gb-knn";
+  model.dims = dims;
+  model.num_classes = classes;
+  model.config = config_line;
+  model.feature_mins = std::move(mins);
+  model.feature_maxs = std::move(maxs);
+  return model;
+}
+
+StatusOr<LoadedModel> ParseKnn(std::istringstream& in,
+                               const std::string& body,
+                               const std::string& config_line, int classes,
+                               int dims) {
+  std::string tok;
+  int n = 0;
+  if (!(in >> tok >> n) || tok != "data" || n < 1) {
+    return Status::InvalidArgument("expected 'data <n>' section with n >= 1");
+  }
+  // Every value needs at least two input bytes; reject headers that
+  // promise more data than the artifact holds before allocating.
+  if (static_cast<long long>(n) * (dims + 1) * 2 >
+      static_cast<long long>(body.size())) {
+    return Status::InvalidArgument("header declares more data than input");
+  }
+  Matrix x(n, dims);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dims; ++j) {
+      if (!(in >> x.At(i, j))) {
+        return Status::InvalidArgument("truncated training row " +
+                                       std::to_string(i));
+      }
+      if (!std::isfinite(x.At(i, j))) {
+        return Status::InvalidArgument("non-finite feature in row " +
+                                       std::to_string(i));
+      }
+    }
+    if (!(in >> y[i])) {
+      return Status::InvalidArgument("truncated label in row " +
+                                     std::to_string(i));
+    }
+    if (y[i] < 0 || y[i] >= classes) {
+      return Status::OutOfRange("label out of range in row " +
+                                std::to_string(i));
+    }
+  }
+  if (in >> tok) {
+    return Status::InvalidArgument("trailing data after training rows");
+  }
+
+  int k = 0;
+  {
+    std::istringstream cfg(config_line);
+    std::string c, kk;
+    if (!(cfg >> c >> kk >> k) || kk != "k" || k < 1) {
+      return Status::InvalidArgument("bad knn config line");
+    }
+  }
+
+  LoadedModel model;
+  model.feature_mins.assign(dims, std::numeric_limits<double>::infinity());
+  model.feature_maxs.assign(dims, -std::numeric_limits<double>::infinity());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dims; ++j) {
+      model.feature_mins[j] = std::min(model.feature_mins[j], x.At(i, j));
+      model.feature_maxs[j] = std::max(model.feature_maxs[j], x.At(i, j));
+    }
+  }
+  auto classifier = std::make_unique<KnnClassifier>(k);
+  classifier->Restore(Dataset(std::move(x), std::move(y), classes));
+  model.classifier = std::move(classifier);
+  model.kind = "knn";
+  model.dims = dims;
+  model.num_classes = classes;
+  model.config = config_line;
+  return model;
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ModelToString(const GbKnnClassifier& model) {
+  GBX_CHECK_MSG(model.fitted(),
+                "GB-kNN: ModelToString called before Fit/Restore");
+  std::ostringstream out;
+  out.precision(17);
+  const int dims = model.balls().scaled_features().cols();
+  out << kMagic << "\n";
+  out << "classifier gb-knn\n";
+  out << "config k " << model.k() << " rho "
+      << model.config().density_tolerance << " seed "
+      << model.effective_seed() << "\n";
+  out << "classes " << model.num_classes() << " dims " << dims << "\n";
+  out << "scaler minmax\n";
+  WriteVector(out, model.scaler().mins());
+  WriteVector(out, model.scaler().maxs());
+  out << "balls\n";
+  out << GranularBallsToString(model.balls());
+  std::string body = out.str();
+  return body + ChecksumLine(body);
+}
+
+std::string ModelToString(const KnnClassifier& model) {
+  GBX_CHECK_MSG(model.fitted(),
+                "kNN: ModelToString called before Fit/Restore");
+  std::ostringstream out;
+  out.precision(17);
+  const Dataset& train = model.train();
+  out << kMagic << "\n";
+  out << "classifier knn\n";
+  out << "config k " << model.k() << "\n";
+  out << "classes " << train.num_classes() << " dims "
+      << train.num_features() << "\n";
+  out << "data " << train.size() << "\n";
+  for (int i = 0; i < train.size(); ++i) {
+    for (int j = 0; j < train.num_features(); ++j) {
+      out << train.feature(i, j) << " ";
+    }
+    out << train.label(i) << "\n";
+  }
+  std::string body = out.str();
+  return body + ChecksumLine(body);
+}
+
+Status SaveModel(const GbKnnClassifier& model, const std::string& path) {
+  return WriteFile(ModelToString(model), path);
+}
+
+Status SaveModel(const KnnClassifier& model, const std::string& path) {
+  return WriteFile(ModelToString(model), path);
+}
+
+Status SaveModel(const Classifier& model, const std::string& path) {
+  if (const auto* gbknn = dynamic_cast<const GbKnnClassifier*>(&model)) {
+    return SaveModel(*gbknn, path);
+  }
+  if (const auto* knn = dynamic_cast<const KnnClassifier*>(&model)) {
+    return SaveModel(*knn, path);
+  }
+  return Status::InvalidArgument("no gbx-model serialization for " +
+                                 model.name());
+}
+
+StatusOr<LoadedModel> ModelFromString(const std::string& text) {
+  StatusOr<std::string> body = VerifyChecksum(text);
+  if (!body.ok()) return body.status();
+
+  std::istringstream in(*body);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("bad magic line");
+  }
+  std::string tok, kind;
+  if (!(in >> tok >> kind) || tok != "classifier") {
+    return Status::InvalidArgument("missing classifier line");
+  }
+  std::getline(in, line);  // consume the rest of the classifier line
+
+  std::string config_line;
+  if (!std::getline(in, config_line) ||
+      config_line.rfind("config ", 0) != 0) {
+    return Status::InvalidArgument("missing config line");
+  }
+
+  int classes = 0, dims = 0;
+  {
+    std::string k1, k2;
+    if (!(in >> k1 >> classes >> k2 >> dims) || k1 != "classes" ||
+        k2 != "dims" || classes < 1 || dims < 1) {
+      return Status::InvalidArgument("bad classes/dims line");
+    }
+  }
+  if (kind == "gb-knn") return ParseGbKnn(in, *body, config_line, classes, dims);
+  if (kind == "knn") return ParseKnn(in, *body, config_line, classes, dims);
+  return Status::InvalidArgument("unknown classifier kind '" + kind + "'");
+}
+
+StatusOr<LoadedModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ModelFromString(buffer.str());
+}
+
+}  // namespace gbx

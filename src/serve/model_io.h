@@ -1,0 +1,90 @@
+// Persistence for *trained* classifiers — the train-once / serve-forever
+// boundary of the serving subsystem. A fitted model is captured in a
+// versioned, self-describing text artifact and restored in another
+// process with bit-identical predictions; this module round-trips it
+// through the `gbx-model v1` format:
+//
+//   gbx-model v1
+//   classifier gb-knn                  # or: knn
+//   config k <k> rho <rho> seed <s>    # training-config fingerprint
+//   classes <q> dims <p>
+//   --- gb-knn payload ---
+//   scaler minmax
+//   <p per-feature mins>               # MinMaxScaler state, %.17g
+//   <p per-feature maxs>
+//   balls
+//   gbx-granular-balls v1              # embedded gb_io block (gb_io.h)
+//   ...
+//   --- knn payload ---
+//   config k <k>
+//   data <n>
+//   <p features + label per row>       # the stored training set
+//   --- both ---
+//   checksum fnv1a <16 hex digits>     # FNV-1a 64 over every prior byte
+//
+// All numeric fields are written with 17 significant digits, so doubles
+// round-trip losslessly and a loaded model's PredictBatch output is
+// bit-identical to the fitted model it was saved from (enforced by
+// tests/serve_test.cc).
+//
+// Loading treats the artifact as untrusted input, mirroring gb_io.h:
+// truncation, a corrupted byte (checksum mismatch), non-finite values,
+// negative radii, dimension/class mismatches between sections, and
+// trailing garbage all yield a descriptive error Status — never UB.
+#ifndef GBX_SERVE_MODEL_IO_H_
+#define GBX_SERVE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/gb_knn.h"
+#include "ml/knn.h"
+
+namespace gbx {
+
+/// A classifier restored from a gbx-model artifact, plus the artifact
+/// metadata serving needs without downcasting.
+struct LoadedModel {
+  std::unique_ptr<Classifier> classifier;
+  /// "gb-knn" or "knn".
+  std::string kind;
+  int dims = 0;
+  int num_classes = 0;
+  /// The artifact's `config ...` fingerprint line, verbatim (which
+  /// hyperparameters / granulation seed produced this model).
+  std::string config;
+  /// Per-feature value ranges observed at training time (the scaler
+  /// bounds for gb-knn, the training-data bounds for knn). Used by load
+  /// generators (gbx_serve bench) to synthesize in-distribution queries.
+  std::vector<double> feature_mins;
+  std::vector<double> feature_maxs;
+};
+
+/// Serializes a fitted classifier. The classifier must be fitted.
+std::string ModelToString(const GbKnnClassifier& model);
+std::string ModelToString(const KnnClassifier& model);
+
+/// Writes the artifact to `path`. The const-ref Classifier overload
+/// dispatches on the dynamic type and returns InvalidArgument for
+/// classifier types without a serialization (only GB-kNN and kNN ship
+/// in format v1).
+Status SaveModel(const GbKnnClassifier& model, const std::string& path);
+Status SaveModel(const KnnClassifier& model, const std::string& path);
+Status SaveModel(const Classifier& model, const std::string& path);
+
+/// Parses an artifact produced by ModelToString / SaveModel.
+StatusOr<LoadedModel> ModelFromString(const std::string& text);
+
+/// Reads an artifact written by SaveModel.
+StatusOr<LoadedModel> LoadModel(const std::string& path);
+
+/// FNV-1a 64-bit hash, the artifact checksum primitive (exposed for
+/// tests).
+std::uint64_t Fnv1a64(const std::string& bytes);
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_MODEL_IO_H_

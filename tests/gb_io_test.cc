@@ -95,6 +95,79 @@ TEST(GbIoTest, RejectsOutOfRangeMembers) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(GbIoTest, RejectsNegativeRadius) {
+  const std::string text =
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 -0.25 0 0.5 members 1 0\n"
+      "features\n0.0\n1.0\n";
+  const StatusOr<GranularBallSet> loaded = GranularBallsFromString(text);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("radius"), std::string::npos);
+}
+
+TEST(GbIoTest, RejectsNonFiniteRadiusAndCenter) {
+  EXPECT_FALSE(GranularBallsFromString(
+                   "gbx-granular-balls v1\n"
+                   "dims 1 classes 2 balls 1 samples 2\n"
+                   "ball 0 nan 0 0.5 members 1 0\n"
+                   "features\n0.0\n1.0\n")
+                   .ok());
+  EXPECT_FALSE(GranularBallsFromString(
+                   "gbx-granular-balls v1\n"
+                   "dims 1 classes 2 balls 1 samples 2\n"
+                   "ball 0 0.5 0 nan members 1 0\n"
+                   "features\n0.0\n1.0\n")
+                   .ok());
+  EXPECT_FALSE(GranularBallsFromString(
+                   "gbx-granular-balls v1\n"
+                   "dims 1 classes 2 balls 1 samples 2\n"
+                   "ball 0 0.5 0 inf members 1 0\n"
+                   "features\n0.0\n1.0\n")
+                   .ok());
+}
+
+TEST(GbIoTest, RejectsCenterIndexOutOfRange) {
+  const std::string text =
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 0.5 9 0.5 members 1 0\n"  // center index 9 >= samples 2
+      "features\n0.0\n1.0\n";
+  EXPECT_EQ(GranularBallsFromString(text).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(GbIoTest, RejectsNonFiniteFeature) {
+  const std::string text =
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 0.0 0 0.5 members 1 0\n"
+      "features\nnan\n1.0\n";
+  EXPECT_FALSE(GranularBallsFromString(text).ok());
+}
+
+TEST(GbIoTest, RejectsHugeDeclaredSizesWithoutAllocating) {
+  // A header promising more values than the input could hold must fail
+  // before any allocation sized from it.
+  EXPECT_FALSE(GranularBallsFromString(
+                   "gbx-granular-balls v1\n"
+                   "dims 1000000 classes 2 balls 1 samples 1000000000\n")
+                   .ok());
+  EXPECT_FALSE(GranularBallsFromString(
+                   "gbx-granular-balls v1\n"
+                   "dims 1 classes 2 balls 1 samples 2\n"
+                   "ball 0 0.5 0 0.5 members 99999999999 0\n"
+                   "features\n0.0\n1.0\n")
+                   .ok());
+}
+
+TEST(GbIoTest, RejectsTrailingData) {
+  const std::string text = GranularBallsToString(MakeBalls(5)) + "extra\n";
+  const StatusOr<GranularBallSet> loaded = GranularBallsFromString(text);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos);
+}
+
 TEST(GbIoTest, LoadMissingFileIsNotFound) {
   EXPECT_EQ(LoadGranularBalls("/no/such/file.gb").status().code(),
             StatusCode::kNotFound);

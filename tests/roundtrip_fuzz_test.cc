@@ -1,6 +1,10 @@
 // Randomized round-trip properties for the persistence layers: arbitrary
 // datasets through CSV, arbitrary granulations through the granular-ball
-// format. TEST_P over seeds gives independent random instances.
+// format, and fitted classifiers through the gbx-model format — plus
+// corruption robustness: truncated or bit-flipped artifacts must come
+// back as a clean error Status (or, for the checksum-free ball format, a
+// still-well-formed set), never UB or a crash. TEST_P over seeds gives
+// independent random instances.
 #include <cmath>
 #include <cstdio>
 
@@ -10,6 +14,8 @@
 #include "core/rd_gbg.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
+#include "ml/knn.h"
+#include "serve/model_io.h"
 
 namespace gbx {
 namespace {
@@ -70,6 +76,93 @@ TEST_P(RoundTripFuzzTest, GranularBallRoundTripPreservesInvariants) {
   EXPECT_TRUE(loaded->CheckContainment());
   EXPECT_TRUE(loaded->CheckNonOverlap(1e-9));
   EXPECT_TRUE(loaded->CheckDisjointMembership(ds.size()));
+}
+
+// Flips one character to a different printable character.
+std::string FlipByte(std::string text, std::size_t pos, Pcg32* rng) {
+  char replacement;
+  do {
+    replacement = static_cast<char>('!' + rng->NextBounded(94));
+  } while (replacement == text[pos]);
+  text[pos] = replacement;
+  return text;
+}
+
+TEST_P(RoundTripFuzzTest, CorruptedGranularBallsNeverCrash) {
+  const Dataset ds = RandomDataset(4000 + GetParam());
+  RdGbgConfig cfg;
+  cfg.seed = 4500 + GetParam();
+  const std::string text = GranularBallsToString(GenerateRdGbg(ds, cfg).balls);
+  Pcg32 rng(4600 + GetParam());
+
+  // The ball format carries no checksum, so a corrupted artifact may
+  // still parse; the contract is a descriptive Status or a structurally
+  // sound set (indices in range, finite geometry), never UB.
+  for (int trial = 0; trial < 24; ++trial) {
+    const bool truncate = trial % 2 == 0;
+    const std::string corrupt =
+        truncate ? text.substr(0, rng.NextBounded(
+                                      static_cast<std::uint32_t>(text.size())))
+                 : FlipByte(text, rng.NextBounded(static_cast<std::uint32_t>(
+                                      text.size())),
+                            &rng);
+    const StatusOr<GranularBallSet> loaded = GranularBallsFromString(corrupt);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+      continue;
+    }
+    // Parsed despite corruption: every index the parser admitted must be
+    // safe to traverse.
+    for (const GranularBall& ball : loaded->balls()) {
+      EXPECT_GE(ball.radius, 0.0);
+      for (double c : ball.center) EXPECT_TRUE(std::isfinite(c));
+      for (int m : ball.members) {
+        EXPECT_GE(m, 0);
+        EXPECT_LT(m, loaded->scaled_features().rows());
+      }
+    }
+    loaded->CheckContainment();
+    loaded->CheckNonOverlap();
+    loaded->CheckDisjointMembership(loaded->scaled_features().rows());
+  }
+}
+
+TEST_P(RoundTripFuzzTest, ModelRoundTripIsExactAndCorruptionIsRejected) {
+  const Dataset ds = RandomDataset(5000 + GetParam());
+  KnnClassifier model(1 + GetParam() % 5);
+  Pcg32 fit_rng(1);
+  model.Fit(ds, &fit_rng);
+  const std::string text = ModelToString(model);
+
+  // Clean round trip restores the exact training set.
+  const StatusOr<LoadedModel> loaded = ModelFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->classifier->PredictBatch(ds.x()),
+            model.PredictBatch(ds.x()));
+
+  // The model format is checksummed: any strict truncation or byte flip
+  // must be rejected (not merely tolerated).
+  Pcg32 rng(5600 + GetParam());
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string corrupt;
+    if (trial % 2 == 0) {
+      // Keep at least one byte off the end so the artifact really is
+      // damaged (the final newline is load-bearing for the checksum
+      // line's hex token, cut anywhere before it).
+      corrupt = text.substr(
+          0, rng.NextBounded(static_cast<std::uint32_t>(text.size() - 1)));
+    } else {
+      corrupt = FlipByte(
+          text, rng.NextBounded(static_cast<std::uint32_t>(text.size())),
+          &rng);
+    }
+    const StatusOr<LoadedModel> bad = ModelFromString(corrupt);
+    EXPECT_FALSE(bad.ok()) << "corrupted artifact (trial " << trial
+                           << ") parsed";
+    if (!bad.ok()) {
+      EXPECT_FALSE(bad.status().message().empty());
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest, ::testing::Range(0, 8));

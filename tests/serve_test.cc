@@ -1,0 +1,317 @@
+// The serving subsystem's acceptance gates: a gbx-model artifact
+// round-trips a trained classifier with bit-identical PredictBatch
+// output, the InferenceEngine matches a serial Predict loop under
+// concurrent callers, artifacts are validated strictly on load, and the
+// fit-before-predict contract aborts with a message.
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "ml/decision_tree.h"
+#include "serve/engine.h"
+#include "serve/model_io.h"
+
+namespace gbx {
+namespace {
+
+TrainTestSplitResult SuiteSplit(const std::string& id) {
+  const Dataset ds = MakePaperDataset(id, 400, 9);
+  Pcg32 rng(11);
+  return TrainTestSplit(ds, 0.3, &rng);
+}
+
+GbKnnClassifier FittedGbKnn(const Dataset& train, int k = 3) {
+  RdGbgConfig gbg;
+  gbg.seed = 17;
+  GbKnnClassifier model(gbg, k);
+  Pcg32 rng(5);
+  model.Fit(train, &rng);
+  return model;
+}
+
+std::string WithChecksum(const std::string& body) {
+  char line[64];
+  std::snprintf(line, sizeof(line), "checksum fnv1a %016llx\n",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  return body + line;
+}
+
+// --- model_io: round trips ---
+
+TEST(ModelIoTest, GbKnnRoundTripIsBitIdentical) {
+  // Two paper-suite datasets with different geometry/arity.
+  for (const std::string id : {"S1", "S5"}) {
+    const TrainTestSplitResult split = SuiteSplit(id);
+    const GbKnnClassifier model = FittedGbKnn(split.train);
+    const std::vector<int> expected = model.PredictBatch(split.test.x());
+
+    const StatusOr<LoadedModel> loaded =
+        ModelFromString(ModelToString(model));
+    ASSERT_TRUE(loaded.ok()) << id << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind, "gb-knn");
+    EXPECT_EQ(loaded->dims, split.train.num_features());
+    EXPECT_EQ(loaded->num_classes, split.train.num_classes());
+    EXPECT_EQ(loaded->classifier->PredictBatch(split.test.x()), expected)
+        << id;
+  }
+}
+
+TEST(ModelIoTest, KnnRoundTripIsBitIdentical) {
+  for (const std::string id : {"S2", "S5"}) {
+    const TrainTestSplitResult split = SuiteSplit(id);
+    KnnClassifier model(5);
+    Pcg32 rng(5);
+    model.Fit(split.train, &rng);
+    const std::vector<int> expected = model.PredictBatch(split.test.x());
+
+    const StatusOr<LoadedModel> loaded =
+        ModelFromString(ModelToString(model));
+    ASSERT_TRUE(loaded.ok()) << id << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind, "knn");
+    EXPECT_EQ(loaded->classifier->PredictBatch(split.test.x()), expected)
+        << id;
+  }
+}
+
+TEST(ModelIoTest, FileRoundTripThroughBaseClassDispatch) {
+  const TrainTestSplitResult split = SuiteSplit("S5");
+  const GbKnnClassifier model = FittedGbKnn(split.train);
+  const Classifier& as_base = model;
+  const std::string path = ::testing::TempDir() + "/gbx_model_test.gbx";
+  ASSERT_TRUE(SaveModel(as_base, path).ok());
+  const StatusOr<LoadedModel> loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->classifier->PredictBatch(split.test.x()),
+            model.PredictBatch(split.test.x()));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, UnsupportedClassifierIsInvalidArgument) {
+  const TrainTestSplitResult split = SuiteSplit("S5");
+  DecisionTreeClassifier dt;
+  Pcg32 rng(5);
+  dt.Fit(split.train, &rng);
+  const Status status =
+      SaveModel(static_cast<const Classifier&>(dt), "/tmp/unused.gbx");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelIoTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(LoadModel("/no/such/model.gbx").status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- model_io: strict validation ---
+
+TEST(ModelIoTest, EveryTruncationIsRejected) {
+  const TrainTestSplitResult split = SuiteSplit("S5");
+  const std::string text = ModelToString(FittedGbKnn(split.train));
+  for (int i = 1; i <= 60; ++i) {
+    const std::size_t cut = text.size() * i / 61;
+    EXPECT_FALSE(ModelFromString(text.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(ModelIoTest, EveryBitFlipIsRejectedByChecksum) {
+  const TrainTestSplitResult split = SuiteSplit("S1");
+  KnnClassifier model(5);
+  Pcg32 rng(5);
+  model.Fit(split.train, &rng);
+  const std::string text = ModelToString(model);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t pos = text.size() * i / 60;
+    std::string corrupt = text;
+    corrupt[pos] = corrupt[pos] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(ModelFromString(corrupt).ok())
+        << "flip at byte " << pos << " parsed";
+  }
+}
+
+TEST(ModelIoTest, RejectsNonFiniteTrainingFeature) {
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier knn\n"
+      "config k 1\n"
+      "classes 2 dims 2\n"
+      "data 2\n"
+      "0.0 nan 0\n"
+      "1.0 1.0 1\n";
+  // "nan" either parses to a NaN (libc++) or fails the stream
+  // (libstdc++); both must yield a descriptive error.
+  const StatusOr<LoadedModel> loaded = ModelFromString(WithChecksum(body));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.status().message().empty());
+}
+
+TEST(ModelIoTest, RejectsLabelOutOfRange) {
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier knn\n"
+      "config k 1\n"
+      "classes 2 dims 1\n"
+      "data 2\n"
+      "0.0 0\n"
+      "1.0 7\n";
+  EXPECT_EQ(ModelFromString(WithChecksum(body)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ModelIoTest, RejectsHugeDeclaredSizesWithoutAllocating) {
+  // A crafted header promising petabytes must fail fast, not allocate.
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier knn\n"
+      "config k 1\n"
+      "classes 2 dims 1000000\n"
+      "data 1000000000\n"
+      "0.0 0\n";
+  EXPECT_FALSE(ModelFromString(WithChecksum(body)).ok());
+}
+
+TEST(ModelIoTest, RejectsTrailingGarbageInsidePayload) {
+  // Garbage between the rows and the (correct) checksum line.
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier knn\n"
+      "config k 1\n"
+      "classes 2 dims 1\n"
+      "data 2\n"
+      "0.0 0\n"
+      "1.0 1\n"
+      "GARBAGE\n";
+  EXPECT_FALSE(ModelFromString(WithChecksum(body)).ok());
+}
+
+TEST(ModelIoTest, RejectsNegativeRadiusInEmbeddedBalls) {
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier gb-knn\n"
+      "config k 1 rho 5 seed 1\n"
+      "classes 2 dims 1\n"
+      "scaler minmax\n"
+      "0.0\n"
+      "1.0\n"
+      "balls\n"
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 -0.5 0 0.5 members 1 0\n"
+      "features\n0.0\n1.0\n";
+  const StatusOr<LoadedModel> loaded = ModelFromString(WithChecksum(body));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("radius"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ModelIoTest, RejectsBallDimensionMismatch) {
+  // Header says dims 2 (and the scaler has 2 features) but the embedded
+  // ball set is 1-dimensional.
+  const std::string body =
+      "gbx-model v1\n"
+      "classifier gb-knn\n"
+      "config k 1 rho 5 seed 1\n"
+      "classes 2 dims 2\n"
+      "scaler minmax\n"
+      "0.0 0.0\n"
+      "1.0 1.0\n"
+      "balls\n"
+      "gbx-granular-balls v1\n"
+      "dims 1 classes 2 balls 1 samples 2\n"
+      "ball 0 0.5 0 0.5 members 1 0\n"
+      "features\n0.0\n1.0\n";
+  const StatusOr<LoadedModel> loaded = ModelFromString(WithChecksum(body));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("dims"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// --- InferenceEngine ---
+
+TEST(EngineTest, MatchesSerialPredictUnderConcurrentCallers) {
+  const TrainTestSplitResult split = SuiteSplit("S5");
+  const GbKnnClassifier model = FittedGbKnn(split.train);
+  const std::vector<int> expected = model.PredictBatch(split.test.x());
+
+  StatusOr<LoadedModel> loaded = ModelFromString(ModelToString(model));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  InferenceEngineOptions opts;
+  opts.max_batch_size = 16;
+  opts.max_batch_delay_ms = 0.5;
+  InferenceEngine engine(std::move(loaded).value(), opts);
+
+  const int n = split.test.size();
+  const int kCallers = 8;
+  std::vector<int> got(n, -1);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int i = t; i < n; i += kCallers) {
+        const StatusOr<int> label =
+            engine.Predict(split.test.row(i), split.test.num_features());
+        ASSERT_TRUE(label.ok()) << label.status().ToString();
+        got[i] = *label;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(got, expected);
+
+  const InferenceEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, n);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+  EXPECT_GE(stats.max_ms, stats.p99_ms);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST(EngineTest, DirectBatchPathMatchesAndCounts) {
+  const TrainTestSplitResult split = SuiteSplit("S1");
+  const GbKnnClassifier model = FittedGbKnn(split.train);
+  StatusOr<LoadedModel> loaded = ModelFromString(ModelToString(model));
+  ASSERT_TRUE(loaded.ok());
+  InferenceEngine engine(std::move(loaded).value());
+
+  const StatusOr<std::vector<int>> got = engine.PredictBatch(split.test.x());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, model.PredictBatch(split.test.x()));
+  EXPECT_EQ(engine.Stats().requests, split.test.size());
+  EXPECT_EQ(engine.Stats().batches, 1);
+}
+
+TEST(EngineTest, RejectsMalformedQueriesAndKeepsServing) {
+  const TrainTestSplitResult split = SuiteSplit("S5");
+  StatusOr<LoadedModel> loaded =
+      ModelFromString(ModelToString(FittedGbKnn(split.train)));
+  ASSERT_TRUE(loaded.ok());
+  InferenceEngine engine(std::move(loaded).value());
+
+  const std::vector<double> wrong_arity(engine.dims() + 1, 0.0);
+  EXPECT_EQ(engine.Predict(wrong_arity).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> with_nan(engine.dims(), 0.0);
+  with_nan[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(engine.Predict(with_nan).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Rejected queries never reach a batch; good queries still work.
+  EXPECT_TRUE(
+      engine.Predict(split.test.row(0), split.test.num_features()).ok());
+}
+
+// --- fit-before-predict contract ---
+
+TEST(FitContractTest, PredictBeforeFitAbortsWithMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<double> x(4, 0.0);
+  EXPECT_DEATH(GbKnnClassifier().Predict(x.data()), "before Fit");
+  EXPECT_DEATH(KnnClassifier().Predict(x.data()), "before Fit");
+  EXPECT_DEATH(DecisionTreeClassifier().Predict(x.data()), "before Fit");
+}
+
+}  // namespace
+}  // namespace gbx
