@@ -72,6 +72,61 @@ BENCHMARK(BM_RdGbg)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The IndexStrategy axis: the same granulation under the flat parallel
+// scan vs the DynamicKdTree that follows the shrinking U-set. Output is
+// bit-identical (thread_determinism_test), so the rows differ only in
+// wall time; these curves are the measured crossover behind kAuto's
+// thresholds (index/index_strategy.cc). Dimensionality is the deciding
+// axis — overlapping blobs at n=20k: tree 8.8x ahead at d=2, 3.5x at
+// d=4, 1.6x at d=6, break-even by d=8; at n=2k it is 2.9x ahead at
+// d=2, within noise at d=4 and behind at d=8, which is why kAuto
+// stays flat below 4k points. (The well-separated regime is harsher
+// on the tree — candidates consume whole clusters from the neighbor
+// stream — which is why kAuto's d-threshold is stricter than this
+// regime alone would justify.)
+const Dataset& CachedBlobsDim(int n, int d) {
+  static std::map<std::pair<int, int>, Dataset> cache;
+  const auto key = std::make_pair(n, d);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    BlobsConfig cfg;
+    cfg.num_samples = n;
+    cfg.num_classes = 4;
+    cfg.num_features = d;
+    cfg.clusters_per_class = 3;
+    cfg.center_spread = 4.0;
+    cfg.cluster_std = 1.2;
+    Pcg32 rng(123);
+    it = cache.emplace(key, MakeGaussianBlobs(cfg, &rng)).first;
+  }
+  return it->second;
+}
+
+void BM_RdGbgStrategy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const bool tree = state.range(2) != 0;
+  const Dataset& ds = CachedBlobsDim(n, d);
+  RdGbgConfig cfg;
+  cfg.seed = 42;
+  cfg.num_threads = 0;
+  cfg.index_strategy = tree ? IndexStrategy::kTree : IndexStrategy::kFlat;
+  int balls = 0;
+  for (auto _ : state) {
+    RdGbgResult result = GenerateRdGbg(ds, cfg);
+    balls = result.balls.size();
+    benchmark::DoNotOptimize(balls);
+  }
+  state.counters["balls"] = balls;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_RdGbgStrategy)
+    ->ArgNames({"n", "d", "tree"})
+    ->ArgsProduct({{2000, 20000}, {2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // End-to-end GBABS (granulation + borderline sampling) for the pipeline
 // view; sampling is O(p*m log m) over balls, so granulation dominates.
 void BM_Gbabs(benchmark::State& state) {

@@ -1,0 +1,177 @@
+// Dynamic-index microbenchmark (google-benchmark): the flat-vs-tree
+// crossover behind the IndexStrategy knob, on the two workloads the
+// DynamicKdTree was built for.
+//
+//   BM_DrainKnn        — RD-GBG's shape: k-NN queries against a point set
+//                        that shrinks as queried points are removed
+//                        (strategy:0 flat rescan, strategy:1 tree with
+//                        tombstones + amortized rebuild). Flat is
+//                        O(n·d) per query; the tree pays O(log n)
+//                        amortized, so the gap widens with n.
+//   BM_GbKnnPredict    — GB-kNN inference over ball centers: a fitted
+//                        model serving a query batch with the flat scan
+//                        vs the center KD-tree built at Fit.
+//
+// kAuto's thresholds in index/index_strategy.cc are picked from these
+// curves: within noise at small n, clear tree win from ~8k points
+// (drain) / ~512 balls (centers) in indexable dimensionality.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "index/dynamic_kd_tree.h"
+#include "ml/gb_knn.h"
+
+namespace gbx {
+namespace {
+
+const Matrix& CachedPoints(int n, int d) {
+  static std::map<std::pair<int, int>, Matrix> cache;
+  const auto key = std::make_pair(n, d);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Pcg32 rng(99 + n + d);
+    Matrix m(n, d);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) m.At(i, j) = rng.NextGaussian();
+    }
+    it = cache.emplace(key, std::move(m)).first;
+  }
+  return it->second;
+}
+
+// One drain step under the flat strategy: scan every live point except
+// the query point itself (matching the tree path's `exclude`),
+// partial-select the k nearest by (dist2, index) — the same work
+// RD-GBG's flat per-candidate pass performs (serially, so the two
+// strategies compare algorithmically rather than by thread count).
+void FlatKnnStep(const Matrix& pts, const std::vector<int>& live,
+                 const double* q, int exclude, int k,
+                 std::vector<SquaredNeighbor>* scratch) {
+  scratch->clear();
+  for (int id : live) {
+    if (id == exclude) continue;
+    scratch->push_back(
+        SquaredNeighbor{SquaredDistance(q, pts.Row(id), pts.cols()), id});
+  }
+  const std::size_t kk = std::min<std::size_t>(k, scratch->size());
+  std::nth_element(scratch->begin(), scratch->begin() + kk, scratch->end());
+  std::sort(scratch->begin(), scratch->begin() + kk);
+  benchmark::DoNotOptimize(scratch->data());
+}
+
+void BM_DrainKnn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const bool tree_strategy = state.range(2) != 0;
+  const int kQueries = 2000;  // query+remove steps per iteration
+  const int kNeighbors = 16;
+  const Matrix& pts = CachedPoints(n, d);
+
+  for (auto _ : state) {
+    Pcg32 rng(7);
+    if (tree_strategy) {
+      DynamicKdTree tree(&pts);
+      for (int step = 0; step < kQueries; ++step) {
+        // Query at a random live point, then remove it — the shrinking
+        // U-set access pattern.
+        int id;
+        do {
+          id = static_cast<int>(rng.NextBounded(n));
+        } while (!tree.alive(id));
+        const auto nns =
+            tree.KNearestSquared(pts.Row(id), kNeighbors, /*exclude=*/id);
+        benchmark::DoNotOptimize(nns.data());
+        tree.Remove(id);
+      }
+    } else {
+      std::vector<int> live(n);
+      std::vector<int> pos(n);  // O(1) swap-removal from the live list
+      for (int i = 0; i < n; ++i) live[i] = pos[i] = i;
+      std::vector<char> alive(n, 1);
+      std::vector<SquaredNeighbor> scratch;
+      scratch.reserve(n);
+      for (int step = 0; step < kQueries; ++step) {
+        int id;
+        do {
+          id = static_cast<int>(rng.NextBounded(n));
+        } while (!alive[id]);
+        FlatKnnStep(pts, live, pts.Row(id), id, kNeighbors, &scratch);
+        alive[id] = 0;
+        const int last = live.back();
+        live[pos[id]] = last;
+        pos[last] = pos[id];
+        live.pop_back();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+
+BENCHMARK(BM_DrainKnn)
+    ->ArgNames({"n", "d", "tree"})
+    ->ArgsProduct({{2000, 8000, 20000, 50000}, {8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+const Dataset& CachedBlobs(int n) {
+  static std::map<int, Dataset> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    BlobsConfig cfg;
+    cfg.num_samples = n;
+    cfg.num_classes = 4;
+    cfg.num_features = 10;
+    cfg.clusters_per_class = 3;
+    cfg.center_spread = 4.0;
+    cfg.cluster_std = 1.2;
+    Pcg32 rng(123);
+    it = cache.emplace(n, MakeGaussianBlobs(cfg, &rng)).first;
+  }
+  return it->second;
+}
+
+const GbKnnClassifier& CachedModel(int n, IndexStrategy strategy) {
+  static std::map<std::pair<int, int>, GbKnnClassifier> cache;
+  const auto key = std::make_pair(n, static_cast<int>(strategy));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    RdGbgConfig gbg;
+    gbg.seed = 42;
+    gbg.index_strategy = strategy;
+    GbKnnClassifier model(gbg, /*k=*/3);
+    Pcg32 rng(5);
+    model.Fit(CachedBlobs(n), &rng);
+    it = cache.emplace(key, std::move(model)).first;
+  }
+  return it->second;
+}
+
+void BM_GbKnnPredict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool tree_strategy = state.range(1) != 0;
+  const GbKnnClassifier& model = CachedModel(
+      n, tree_strategy ? IndexStrategy::kTree : IndexStrategy::kFlat);
+  const Dataset& queries = CachedBlobs(2000);
+  for (auto _ : state) {
+    const std::vector<int> out = model.PredictBatch(queries.x());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["balls"] = model.num_balls();
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+
+BENCHMARK(BM_GbKnnPredict)
+    ->ArgNames({"n", "tree"})
+    ->ArgsProduct({{1000, 5000, 20000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// main() comes from benchmark::benchmark_main, as for bench_micro.
+}  // namespace
+}  // namespace gbx

@@ -35,6 +35,7 @@
 
 #include "data/csv.h"
 #include "data/paper_suite.h"
+#include "index/index_strategy.h"
 #include "data/split.h"
 #include "ml/metrics.h"
 #include "serve/engine.h"
@@ -62,6 +63,9 @@ struct Args {
   double seconds = 2.0;
   int callers = 8;
   bool stats = false;
+  // Runtime-only ball-center scan strategy for GB-kNN (never persisted
+  // in the artifact): auto | flat | tree.
+  IndexStrategy index_strategy = IndexStrategy::kAuto;
 };
 
 int Usage() {
@@ -76,7 +80,9 @@ int Usage() {
       "                    [--delay-ms X] [--stats]   (queries on stdin)\n"
       "  gbx_serve bench   --model-file FILE [--seconds X] [--callers N]\n"
       "                    [--batch N] [--delay-ms X] [--seed N]\n"
-      "  gbx_serve info    --model-file FILE\n");
+      "  gbx_serve info    --model-file FILE\n"
+      "common: --index-strategy auto|flat|tree   (GB-kNN center scan;\n"
+      "        runtime-only, artifacts never persist it)\n");
   return 2;
 }
 
@@ -124,6 +130,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seconds = std::atof(v);
     } else if (flag == "--callers") {
       args->callers = std::atoi(v);
+    } else if (flag == "--index-strategy") {
+      if (!ParseIndexStrategy(v, &args->index_strategy)) {
+        std::fprintf(stderr,
+                     "gbx_serve: --index-strategy wants auto|flat|tree, "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "gbx_serve: unknown flag %s\n", flag.c_str());
       return false;
@@ -162,6 +176,7 @@ int RunTrain(const Args& args) {
     RdGbgConfig gbg;
     gbg.density_tolerance = args.rho;
     gbg.seed = args.seed;
+    gbg.index_strategy = args.index_strategy;
     auto gbknn = std::make_unique<GbKnnClassifier>(
         gbg, args.k > 0 ? args.k : 1);
     gbknn->Fit(split.train, &fit_rng);
@@ -237,7 +252,16 @@ StatusOr<LoadedModel> LoadModelArg(const Args& args, const char* cmd) {
     return Status::InvalidArgument(std::string("gbx_serve ") + cmd +
                                    ": --model-file is required");
   }
-  return LoadModel(args.model_file);
+  StatusOr<LoadedModel> model = LoadModel(args.model_file);
+  if (model.ok()) {
+    // The scan strategy is serving-process state, not artifact state:
+    // apply this process's choice to the restored model.
+    if (auto* gbknn =
+            dynamic_cast<GbKnnClassifier*>(model->classifier.get())) {
+      gbknn->set_index_strategy(args.index_strategy);
+    }
+  }
+  return model;
 }
 
 int RunPredict(const Args& args) {

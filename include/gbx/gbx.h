@@ -40,9 +40,13 @@
 #include "data/validate.h"      // IWYU pragma: export
 
 // index/ — exact nearest-neighbor search behind every distance-based
-// component: brute-force scan and KD-tree, one NeighborIndex interface.
-#include "index/brute_force.h"  // IWYU pragma: export
-#include "index/kd_tree.h"      // IWYU pragma: export
+// component: brute-force scan, static KD-tree, and a deletion-capable
+// dynamic KD-tree, one NeighborIndex interface plus the flat/tree
+// strategy knob.
+#include "index/brute_force.h"     // IWYU pragma: export
+#include "index/dynamic_kd_tree.h" // IWYU pragma: export
+#include "index/index_strategy.h"  // IWYU pragma: export
+#include "index/kd_tree.h"         // IWYU pragma: export
 
 // core/ — the paper's algorithms: granular balls, RD-GBG generation
 // (Alg. 1), GBABS borderline sampling (Alg. 2), and ball-set persistence.

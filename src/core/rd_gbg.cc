@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/scaler.h"
+#include "index/dynamic_kd_tree.h"
 
 namespace gbx {
 
@@ -25,16 +27,10 @@ bool InU(SampleState s) {
 }
 
 // Squared distance to a neighbor candidate. The (dist2, index) pair is a
-// strict total order, so any selection schedule realizes the same sorted
-// sequence.
-struct DistEntry {
-  double dist2;
-  int index;
-  friend bool operator<(const DistEntry& a, const DistEntry& b) {
-    if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
-    return a.index < b.index;
-  }
-};
+// strict total order, so any selection schedule — the lazily sorted flat
+// scan or the incremental KD-tree queries — realizes the same sorted
+// sequence, which is what keeps the strategy knob bit-identical.
+using DistEntry = SquaredNeighbor;
 
 // Lazily sorted prefix over a DistEntry array. The granulation scans
 // neighbors from nearest outward and almost always stops early — at the
@@ -75,6 +71,64 @@ class LazySortedPrefix {
   std::size_t sorted_ = 0;  // [0, sorted_) is the globally sorted prefix
 };
 
+// The same lazily-extended sorted-neighbor view, served by incremental
+// DynamicKdTree queries instead of a flat distance fill: operator[]
+// fetches the (i+1)-nearest live neighbors on demand, with the fetch
+// size growing geometrically like LazySortedPrefix's blocks. Each fetch
+// is a fresh k-NN query, so the tree must not change while a stream is
+// live — the granulation defers its tombstone removals to the end of the
+// candidate, which also keeps the view a consistent snapshot of the
+// U-set exactly like the flat path's entries buffer. Because the query
+// returns the (dist2, index)-sorted prefix of the same total order the
+// flat scan sorts by, the two strategies are interchangeable
+// bit-for-bit.
+class TreeNeighborStream {
+ public:
+  TreeNeighborStream(const DynamicKdTree* tree, const double* query,
+                     int exclude, std::vector<DistEntry>* storage,
+                     std::size_t initial_block)
+      : tree_(tree),
+        query_(query),
+        exclude_(exclude),
+        storage_(storage),
+        m_(static_cast<std::size_t>(tree->size() - 1)),
+        initial_block_(std::max<std::size_t>(initial_block, 1)) {
+    storage_->clear();
+  }
+
+  /// Eligible neighbors (live points minus the query point itself).
+  std::size_t size() const { return m_; }
+
+  const DistEntry& operator[](std::size_t i) {
+    if (i >= storage_->size()) Grow(i + 1);
+    return (*storage_)[i];
+  }
+
+ private:
+  void Grow(std::size_t need) {
+    // Each growth step is a fresh k-NN query, so the factor is steeper
+    // than LazySortedPrefix's (×4, not ×2), and once the target is a
+    // sizeable fraction of the live set the fetch jumps straight to all
+    // of it — a deep consumer (a candidate whose consistent region is a
+    // whole cluster) then pays one full traversal instead of a tail of
+    // near-full ones.
+    std::size_t target =
+        std::max({need, storage_->size() * 4, initial_block_});
+    if (target >= m_ / 2) target = m_;
+    target = std::min(target, m_);
+    *storage_ = tree_->KNearestSquared(query_, static_cast<int>(target),
+                                       exclude_);
+    GBX_DCHECK(storage_->size() == target);
+  }
+
+  const DynamicKdTree* tree_;
+  const double* query_;
+  int exclude_;
+  std::vector<DistEntry>* storage_;
+  std::size_t m_;
+  std::size_t initial_block_;
+};
+
 }  // namespace
 
 RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
@@ -100,6 +154,20 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   active.reserve(n);
   std::vector<DistEntry> entries;
   std::vector<double> gaps;  // per-ball surface gaps for r_conf
+
+  // Tree strategy: instead of re-scanning the whole undivided set per
+  // candidate, a DynamicKdTree follows U — every sample that leaves U
+  // (noise, ball member) is tombstoned, and the tree rebuilds itself
+  // once the tombstones outnumber the survivors.
+  const IndexStrategy strategy =
+      ResolveRdGbgIndexStrategy(config.index_strategy, n, p, threads);
+  std::unique_ptr<DynamicKdTree> utree;
+  if (strategy == IndexStrategy::kTree) {
+    utree = std::make_unique<DynamicKdTree>(&x);
+  }
+  std::vector<int> removed_now;  // U-departures of the current candidate
+  const std::size_t initial_block =
+      std::max<std::size_t>(static_cast<std::size_t>(rho), 32);
 
   for (;;) {
     // --- Step 1 per round: build T = U - L grouped by class. ---
@@ -133,11 +201,138 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
       if (state[c] != SampleState::kUndivided) continue;
       const int label = labels[c];
       const double* cx = x.Row(c);
+      removed_now.clear();
 
-      // Squared distances from c to every other sample still in U. The
-      // scan parallelizes over disjoint slots of `entries`, so its content
-      // does not depend on the thread count; sqrt is deferred until a
-      // radius is actually assigned.
+      // Everything from local-density detection to ball assembly,
+      // against a sorted neighbor view — LazySortedPrefix over the flat
+      // distance fill or TreeNeighborStream over incremental KD-tree
+      // queries. Both present the same (dist2, index) total order, so
+      // the two instantiations make identical decisions bit-for-bit.
+      // Tree tombstone removals are deferred (collected in removed_now)
+      // so the stream keeps serving the candidate-start snapshot of U,
+      // exactly like the flat path's entries buffer: a noisy nearest
+      // neighbor removed mid-candidate still occupies position 0, and
+      // scan_begin skips it.
+      auto run_candidate = [&](auto& neighbors) {
+        const int m = static_cast<int>(neighbors.size());
+
+        // --- Local-density center detection (§IV-B1). ---
+        std::size_t scan_begin = 0;  // skip a removed noisy nearest neighbor
+        if (labels[neighbors[0].index] != label) {
+          const int rho_eff = std::min(rho, m);
+          int h = 0;
+          for (int i = 0; i < rho_eff; ++i) {
+            if (labels[neighbors[i].index] != label) ++h;
+          }
+          if (h == rho_eff) {
+            // Surrounded by heterogeneous samples: c is class noise.
+            state[c] = SampleState::kNoise;
+            removed_now.push_back(c);
+            result.noise_indices.push_back(c);
+            return;
+          }
+          if (h == 1) {
+            // The lone heterogeneous nearest neighbor is the noise.
+            const int nn = neighbors[0].index;
+            state[nn] = SampleState::kNoise;
+            removed_now.push_back(nn);
+            result.noise_indices.push_back(nn);
+            scan_begin = 1;
+          } else {
+            // 1 < h < rho: c cannot be cleanly separated — low density.
+            state[c] = SampleState::kLowDensity;
+            return;
+          }
+        }
+
+        // --- Radius determination (§IV-B2). ---
+        // Locally consistent radius CR(c): farthest of the leading
+        // homogeneous neighbors (Eq.3). If no heterogeneous sample
+        // remains in U, the whole neighbor list is consistent.
+        double cr2 = 0.0;
+        for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+          if (labels[neighbors[i].index] != label) break;
+          cr2 = neighbors[i].dist2;
+        }
+
+        // Conflict radius r_conf(c): gap to the nearest existing ball
+        // (Eq.4). min() over doubles is exact, so reducing the
+        // parallel-filled gap buffer in ball order stays deterministic.
+        double r_conf = std::numeric_limits<double>::infinity();
+        const int nballs = static_cast<int>(balls.size());
+        if (nballs > 0) {
+          gaps.resize(nballs);
+          const GranularBall* ball_data = balls.data();
+          double* gap_out = gaps.data();
+          ParallelForRange(nballs, grain, ParallelThreads(nballs, p, threads),
+                           [&](int begin, int end) {
+                             for (int i = begin; i < end; ++i) {
+                               gap_out[i] =
+                                   EuclideanDistance(
+                                       cx, ball_data[i].center.data(), p) -
+                                   ball_data[i].radius;
+                             }
+                           });
+          for (int i = 0; i < nballs; ++i) r_conf = std::min(r_conf, gaps[i]);
+        }
+        r_conf = std::max(r_conf, 0.0);
+        const double r_conf2 = r_conf * r_conf;
+
+        double r2 = cr2;
+        if (cr2 > r_conf2) {
+          // Restricted maximum consistent radius r_max(c) (Eq.6): the
+          // farthest neighbor not crossing into a previous ball. Neighbors
+          // within r_conf < CR are automatically homogeneous.
+          r2 = 0.0;
+          for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+            if (neighbors[i].dist2 > r_conf2) break;
+            r2 = neighbors[i].dist2;
+          }
+        }
+
+        if (r2 <= 0.0) {
+          // Center sits on the edge of U; leave it for later absorption.
+          state[c] = SampleState::kLowDensity;
+          return;
+        }
+
+        // --- Assemble the ball (Eq.7): O = every U-sample within r. ---
+        GranularBall ball;
+        ball.center.assign(cx, cx + p);
+        ball.center_index = c;
+        ball.radius = std::sqrt(r2);
+        ball.label = label;
+        ball.members.push_back(c);
+        state[c] = SampleState::kCovered;
+        removed_now.push_back(c);
+        for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
+          if (neighbors[i].dist2 > r2) break;
+          const int idx = neighbors[i].index;
+          GBX_DCHECK(labels[idx] == label);
+          ball.members.push_back(idx);
+          state[idx] = SampleState::kCovered;
+          removed_now.push_back(idx);
+        }
+        GBX_CHECK_GE(ball.size(), 2);
+        balls.push_back(std::move(ball));
+      };
+
+      if (utree != nullptr) {
+        if (utree->size() <= 1) {
+          state[c] = SampleState::kLowDensity;  // last sample standing
+          continue;
+        }
+        TreeNeighborStream neighbors(utree.get(), cx, /*exclude=*/c,
+                                     &entries, initial_block);
+        run_candidate(neighbors);
+        for (int idx : removed_now) utree->Remove(idx);
+        continue;
+      }
+
+      // Flat strategy: squared distances from c to every other sample
+      // still in U. The scan parallelizes over disjoint slots of
+      // `entries`, so its content does not depend on the thread count;
+      // sqrt is deferred until a radius is actually assigned.
       active.clear();
       for (int i = 0; i < n; ++i) {
         if (i != c && InU(state[i])) active.push_back(i);
@@ -160,104 +355,8 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
                            }
                          });
       }
-      LazySortedPrefix neighbors(
-          &entries, std::max<std::size_t>(static_cast<std::size_t>(rho), 32));
-
-      // --- Local-density center detection (§IV-B1). ---
-      std::size_t scan_begin = 0;  // skip a removed noisy nearest neighbor
-      if (labels[neighbors[0].index] != label) {
-        const int rho_eff = std::min(rho, m);
-        int h = 0;
-        for (int i = 0; i < rho_eff; ++i) {
-          if (labels[neighbors[i].index] != label) ++h;
-        }
-        if (h == rho_eff) {
-          // Surrounded by heterogeneous samples: c is class noise.
-          state[c] = SampleState::kNoise;
-          result.noise_indices.push_back(c);
-          continue;
-        }
-        if (h == 1) {
-          // The lone heterogeneous nearest neighbor is the noise.
-          const int nn = neighbors[0].index;
-          state[nn] = SampleState::kNoise;
-          result.noise_indices.push_back(nn);
-          scan_begin = 1;
-        } else {
-          // 1 < h < rho: c cannot be cleanly separated — low density.
-          state[c] = SampleState::kLowDensity;
-          continue;
-        }
-      }
-
-      // --- Radius determination (§IV-B2). ---
-      // Locally consistent radius CR(c): farthest of the leading
-      // homogeneous neighbors (Eq.3). If no heterogeneous sample remains
-      // in U, the whole neighbor list is consistent.
-      double cr2 = 0.0;
-      for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
-        if (labels[neighbors[i].index] != label) break;
-        cr2 = neighbors[i].dist2;
-      }
-
-      // Conflict radius r_conf(c): gap to the nearest existing ball
-      // (Eq.4). min() over doubles is exact, so reducing the
-      // parallel-filled gap buffer in ball order stays deterministic.
-      double r_conf = std::numeric_limits<double>::infinity();
-      const int nballs = static_cast<int>(balls.size());
-      if (nballs > 0) {
-        gaps.resize(nballs);
-        const GranularBall* ball_data = balls.data();
-        double* gap_out = gaps.data();
-        ParallelForRange(nballs, grain, ParallelThreads(nballs, p, threads),
-                         [&](int begin, int end) {
-                           for (int i = begin; i < end; ++i) {
-                             gap_out[i] =
-                                 EuclideanDistance(
-                                     cx, ball_data[i].center.data(), p) -
-                                 ball_data[i].radius;
-                           }
-                         });
-        for (int i = 0; i < nballs; ++i) r_conf = std::min(r_conf, gaps[i]);
-      }
-      r_conf = std::max(r_conf, 0.0);
-      const double r_conf2 = r_conf * r_conf;
-
-      double r2 = cr2;
-      if (cr2 > r_conf2) {
-        // Restricted maximum consistent radius r_max(c) (Eq.6): the
-        // farthest neighbor not crossing into a previous ball. Neighbors
-        // within r_conf < CR are automatically homogeneous.
-        r2 = 0.0;
-        for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
-          if (neighbors[i].dist2 > r_conf2) break;
-          r2 = neighbors[i].dist2;
-        }
-      }
-
-      if (r2 <= 0.0) {
-        // Center sits on the edge of U; leave it for later absorption.
-        state[c] = SampleState::kLowDensity;
-        continue;
-      }
-
-      // --- Assemble the ball (Eq.7): O = every U-sample within r. ---
-      GranularBall ball;
-      ball.center.assign(cx, cx + p);
-      ball.center_index = c;
-      ball.radius = std::sqrt(r2);
-      ball.label = label;
-      ball.members.push_back(c);
-      state[c] = SampleState::kCovered;
-      for (std::size_t i = scan_begin; i < neighbors.size(); ++i) {
-        if (neighbors[i].dist2 > r2) break;
-        const int idx = neighbors[i].index;
-        GBX_DCHECK(labels[idx] == label);
-        ball.members.push_back(idx);
-        state[idx] = SampleState::kCovered;
-      }
-      GBX_CHECK_GE(ball.size(), 2);
-      balls.push_back(std::move(ball));
+      LazySortedPrefix neighbors(&entries, initial_block);
+      run_candidate(neighbors);
     }
   }
 

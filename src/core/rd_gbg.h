@@ -22,6 +22,7 @@
 
 #include "core/granular_ball.h"
 #include "data/dataset.h"
+#include "index/index_strategy.h"
 
 namespace gbx {
 
@@ -43,6 +44,16 @@ struct RdGbgConfig {
   /// is bit-identical at every thread count. Reaches GBABS through
   /// GbabsConfig::gbg.
   int num_threads = 0;
+  /// How the per-candidate neighbor pass scans the shrinking undivided
+  /// set: kFlat is the parallel exhaustive scan, kTree a DynamicKdTree
+  /// that follows the U-set with tombstone deletions (asymptotically
+  /// cheaper from ~8k samples in indexable dimensionality), kAuto picks
+  /// by n and dims (index/index_strategy.h). Both strategies consume the
+  /// identical (dist2, index)-ordered neighbor sequence, so the
+  /// granulation output is bit-identical whichever is chosen — the knob
+  /// trades wall-clock only. Also selects GB-kNN's ball-center scan
+  /// (ml/gb_knn.h).
+  IndexStrategy index_strategy = IndexStrategy::kAuto;
 };
 
 struct RdGbgResult {

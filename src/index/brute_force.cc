@@ -21,20 +21,12 @@ std::vector<Neighbor> BruteForceIndex::KNearest(const double* query,
   // worst retained candidate.
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
-  auto worse = [](const Neighbor& a, const Neighbor& b) { return a < b; };
   for (int i = 0; i < n; ++i) {
     const double d2 = SquaredDistance(query, points_->Row(i), d);
-    Neighbor cand{i, d2};
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (cand < heap.front()) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end(), worse);
-    }
+    OfferToBoundedHeap(&heap, Neighbor{i, d2}, k);
   }
-  std::sort_heap(heap.begin(), heap.end(), worse);
+  std::sort_heap(heap.begin(), heap.end(),
+                 [](const Neighbor& a, const Neighbor& b) { return a < b; });
   for (Neighbor& nb : heap) nb.distance = std::sqrt(nb.distance);
   return heap;
 }

@@ -1,0 +1,72 @@
+#include "index/index_strategy.h"
+
+namespace gbx {
+
+namespace {
+// RD-GBG thresholds, measured with bench_granulation's strategy axis on
+// Gaussian-blob geometries (1 core, 2.1 GHz). The overlapping regime
+// (many small balls — the paper's hard case) has the tree ahead 8.8× at
+// (n=20k, d=2), 3.5× at d=4 and 1.6× at d=6; the well-separated regime
+// (few huge balls, so candidates consume whole clusters from the
+// stream) only clearly favors the tree at d<=2, and at d<=4 from ~20k
+// points. kAuto must not lose on either regime, so it takes the
+// intersection; callers who know their data is overlap-heavy can force
+// kTree up to d~6. The flat scan also parallelizes over the thread pool
+// while a tree query is serial, so the d<=4 tier (4.2x single-thread
+// margin) only engages up to kRdGbgTreeMaxThreads workers; the d<=2
+// tier's ~9x margin outruns typical thread scaling and stays on.
+constexpr int kRdGbgTreeMaxDimsLow = 2;    // tree from kRdGbgTreeMinPoints
+constexpr int kRdGbgTreeMaxDimsHigh = 4;   // tree from kRdGbgTreeBigPoints
+constexpr int kRdGbgTreeMinPoints = 4096;
+constexpr int kRdGbgTreeBigPoints = 16384;
+constexpr int kRdGbgTreeMaxThreads = 4;  // for the d<=4 tier only
+// GB-kNN center scan (KNearestSurface): crossover measured at ~4k balls
+// for d=10 (1.9× ahead at 15.6k balls), earlier at lower d.
+constexpr int kCenterTreeMinBalls = 4096;
+constexpr int kCenterTreeMaxDims = 16;
+}  // namespace
+
+const char* IndexStrategyName(IndexStrategy strategy) {
+  switch (strategy) {
+    case IndexStrategy::kAuto:
+      return "auto";
+    case IndexStrategy::kFlat:
+      return "flat";
+    case IndexStrategy::kTree:
+      return "tree";
+  }
+  return "auto";
+}
+
+bool ParseIndexStrategy(const std::string& text, IndexStrategy* out) {
+  if (text == "auto") {
+    *out = IndexStrategy::kAuto;
+  } else if (text == "flat") {
+    *out = IndexStrategy::kFlat;
+  } else if (text == "tree") {
+    *out = IndexStrategy::kTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IndexStrategy ResolveRdGbgIndexStrategy(IndexStrategy requested, int n,
+                                        int dims, int num_threads) {
+  if (requested != IndexStrategy::kAuto) return requested;
+  const bool tree =
+      (dims <= kRdGbgTreeMaxDimsLow && n >= kRdGbgTreeMinPoints) ||
+      (dims <= kRdGbgTreeMaxDimsHigh && n >= kRdGbgTreeBigPoints &&
+       num_threads <= kRdGbgTreeMaxThreads);
+  return tree ? IndexStrategy::kTree : IndexStrategy::kFlat;
+}
+
+IndexStrategy ResolveCenterIndexStrategy(IndexStrategy requested,
+                                         int num_balls, int dims) {
+  if (requested != IndexStrategy::kAuto) return requested;
+  return (num_balls >= kCenterTreeMinBalls && dims <= kCenterTreeMaxDims)
+             ? IndexStrategy::kTree
+             : IndexStrategy::kFlat;
+}
+
+}  // namespace gbx

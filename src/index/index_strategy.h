@@ -1,0 +1,54 @@
+// Strategy knob for the neighbor-scan hot paths: a parallel flat scan or
+// a (dynamic) KD-tree. kAuto resolves per workload from the point count
+// and the dimensionality — KD-trees win asymptotically at large n but
+// lose to the cache-friendly flat scan for small n, and degrade toward a
+// linear scan as dimensionality grows (distance concentration), so each
+// call site picks from its own measured crossover. Every strategy
+// produces bit-identical results (enforced by thread_determinism_test);
+// the knob trades wall-clock only, which is why it is runtime state and
+// never persisted into model artifacts.
+#ifndef GBX_INDEX_INDEX_STRATEGY_H_
+#define GBX_INDEX_INDEX_STRATEGY_H_
+
+#include <string>
+
+namespace gbx {
+
+enum class IndexStrategy {
+  kAuto,  // resolve from n and dims at the call site
+  kFlat,  // exhaustive scan (parallelized where the call site supports it)
+  kTree,  // DynamicKdTree
+};
+
+/// "auto", "flat", or "tree".
+const char* IndexStrategyName(IndexStrategy strategy);
+
+/// Parses "auto" / "flat" / "tree" (exact match). Returns false and
+/// leaves `*out` untouched on anything else.
+bool ParseIndexStrategy(const std::string& text, IndexStrategy* out);
+
+/// Resolution for RD-GBG's per-candidate neighbor pass over the shrinking
+/// undivided set: tree at d<=2 from ~4k samples; at d<=4 from ~16k but
+/// only up to 4 worker threads, because the flat scan it replaces
+/// parallelizes over the pool while the tree query is serial, so the
+/// tree's single-thread margin must exceed the flat path's thread
+/// scaling (9x at d=2 does; 4.2x at d=4 does not beyond ~4 workers).
+/// Measured (bench_granulation strategy axis, 1 core): at n=20k the
+/// tree is 8.8x ahead at d=2 and 3.5x at d=4 on overlapping blobs; at
+/// n=2k it is 2.9x ahead at d=2, within noise at d=4, and behind at
+/// d=8 — kAuto stays flat below 4k points. Above d~6 distance
+/// concentration hands the flat parallel scan the win back. Thresholds
+/// in index_strategy.cc. `num_threads` is the resolved worker count
+/// (common/parallel.h).
+IndexStrategy ResolveRdGbgIndexStrategy(IndexStrategy requested, int n,
+                                        int dims, int num_threads);
+
+/// Resolution for GB-kNN's per-query scan over ball centers
+/// (DynamicKdTree::KNearestSurface): tree from ~4k balls up to d=16
+/// (measured 1.9x ahead at 15.6k balls, d=10 — bench_index_dynamic).
+IndexStrategy ResolveCenterIndexStrategy(IndexStrategy requested,
+                                         int num_balls, int dims);
+
+}  // namespace gbx
+
+#endif  // GBX_INDEX_INDEX_STRATEGY_H_

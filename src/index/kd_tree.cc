@@ -81,15 +81,7 @@ void KdTree::SearchKnn(int node_id, const double* query, int k,
     for (int i = node.begin; i < node.end; ++i) {
       const int idx = order_[i];
       const double d2 = SquaredDistance(query, points_->Row(idx), d);
-      Neighbor cand{idx, d2};
-      if (static_cast<int>(heap->size()) < k) {
-        heap->push_back(cand);
-        std::push_heap(heap->begin(), heap->end(), WorseNeighbor);
-      } else if (cand < heap->front()) {
-        std::pop_heap(heap->begin(), heap->end(), WorseNeighbor);
-        heap->back() = cand;
-        std::push_heap(heap->begin(), heap->end(), WorseNeighbor);
-      }
+      OfferToBoundedHeap(heap, Neighbor{idx, d2}, k);
     }
     return;
   }
@@ -107,8 +99,12 @@ void KdTree::SearchKnn(int node_id, const double* query, int k,
 
 std::vector<Neighbor> KdTree::KNearest(const double* query, int k) const {
   GBX_CHECK_GE(k, 0);
+  // Oversized k degrades to "all points", never an assertion — the same
+  // guard DynamicKdTree applies against its live count. The explicit
+  // root check keeps the clamp safe even for an empty tree, where there
+  // is no node 0 to recurse into.
   k = std::min(k, size());
-  if (k == 0) return {};
+  if (k == 0 || root_ < 0) return {};
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
   SearchKnn(root_, query, k, &heap);

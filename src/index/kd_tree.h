@@ -17,6 +17,9 @@ class KdTree : public NeighborIndex {
   /// points in a leaf bucket.
   explicit KdTree(const Matrix* points, int leaf_size = 16);
 
+  /// k larger than the number of stored points returns all points (k is
+  /// clamped, never asserted on), matching BruteForceIndex and
+  /// DynamicKdTree.
   std::vector<Neighbor> KNearest(const double* query, int k) const override;
   std::vector<Neighbor> RadiusSearch(const double* query,
                                      double radius) const override;

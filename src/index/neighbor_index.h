@@ -4,6 +4,7 @@
 #ifndef GBX_INDEX_NEIGHBOR_INDEX_H_
 #define GBX_INDEX_NEIGHBOR_INDEX_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/matrix.h"
@@ -19,6 +20,40 @@ struct Neighbor {
     return a.index < b.index;  // deterministic tie-break
   }
 };
+
+/// A neighbor in squared-distance space. Distance-heavy hot loops
+/// (granulation above all) order candidates by (dist2, index) and defer
+/// the sqrt until a radius is actually assigned; sqrt can merge distinct
+/// squared distances into ties, so the squared order — not the Euclidean
+/// order — is the one those loops must reproduce exactly.
+struct SquaredNeighbor {
+  double dist2 = 0.0;
+  int index = -1;
+
+  friend bool operator<(const SquaredNeighbor& a, const SquaredNeighbor& b) {
+    if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+    return a.index < b.index;  // deterministic tie-break
+  }
+};
+
+/// Offers `cand` to a max-heap holding the k best (smallest by
+/// operator<) candidates seen so far — the selection idiom every index
+/// implementation shares. After all offers, std::sort_heap with the same
+/// order yields the k best ascending. Keeping the one copy here is what
+/// lets the cross-index bit-identity contracts (KdTree/DynamicKdTree vs
+/// BruteForceIndex) rest on a single piece of code.
+template <typename T>
+void OfferToBoundedHeap(std::vector<T>* heap, const T& cand, int k) {
+  const auto worse = [](const T& a, const T& b) { return a < b; };
+  if (static_cast<int>(heap->size()) < k) {
+    heap->push_back(cand);
+    std::push_heap(heap->begin(), heap->end(), worse);
+  } else if (cand < heap->front()) {
+    std::pop_heap(heap->begin(), heap->end(), worse);
+    heap->back() = cand;
+    std::push_heap(heap->begin(), heap->end(), worse);
+  }
+}
 
 class NeighborIndex {
  public:

@@ -1,8 +1,10 @@
 #include "ml/gb_knn.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/parallel.h"
+#include "index/index_strategy.h"
 
 namespace gbx {
 
@@ -29,6 +31,7 @@ void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
   RdGbgResult result = GenerateRdGbg(train, cfg);
   balls_ = std::move(result.balls);
   num_classes_ = train.num_classes();
+  RebuildCenterIndex();
 }
 
 void GbKnnClassifier::Restore(GranularBallSet balls, MinMaxScaler scaler,
@@ -44,6 +47,68 @@ void GbKnnClassifier::Restore(GranularBallSet balls, MinMaxScaler scaler,
   balls_ = std::move(balls);
   scaler_ = std::move(scaler);
   num_classes_ = num_classes;
+  RebuildCenterIndex();
+}
+
+void GbKnnClassifier::set_index_strategy(IndexStrategy strategy) {
+  if (strategy == gbg_config_.index_strategy) return;  // already resolved for this strategy
+  gbg_config_.index_strategy = strategy;
+  RebuildCenterIndex();
+}
+
+IndexStrategy GbKnnClassifier::resolved_index_strategy() const {
+  return center_index_ != nullptr ? IndexStrategy::kTree
+                                  : IndexStrategy::kFlat;
+}
+
+void GbKnnClassifier::RebuildCenterIndex() {
+  center_index_.reset();
+  if (!fitted()) return;
+  const int m = balls_.size();
+  const int p = balls_.scaled_features().cols();
+  if (ResolveCenterIndexStrategy(gbg_config_.index_strategy, m, p) !=
+      IndexStrategy::kTree) {
+    return;
+  }
+  Matrix centers(m, p);
+  std::vector<double> radii(m);
+  for (int i = 0; i < m; ++i) {
+    const GranularBall& ball = balls_.ball(i);
+    for (int j = 0; j < p; ++j) centers.At(i, j) = ball.center[j];
+    radii[i] = ball.radius;
+  }
+  center_index_ = std::make_shared<const CenterIndex>(std::move(centers),
+                                                      std::move(radii));
+}
+
+int GbKnnClassifier::VoteOverNearest(
+    const std::vector<std::pair<double, int>>& dists, int k) const {
+  std::vector<int> votes(num_classes_, 0);
+  for (int i = 0; i < k; ++i) ++votes[balls_.ball(dists[i].second).label];
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  for (int i = 0; i < k; ++i) {
+    const int cls = balls_.ball(dists[i].second).label;
+    if (votes[cls] == votes[best]) return cls;
+  }
+  return best;
+}
+
+int GbKnnClassifier::PredictWithCenterTree(const CenterIndex& index,
+                                           const std::vector<double>& q,
+                                           int k) const {
+  // KNearestSurface ranks balls by the flat scan's exact (score, index)
+  // order — score = dist - r inside, dist outside, computed with the
+  // identical arithmetic — so its top-k IS the flat partial_sort's
+  // top-k, bit for bit.
+  const std::vector<Neighbor> top = index.tree.KNearestSurface(q.data(), k);
+  GBX_DCHECK(static_cast<int>(top.size()) == k);
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(top.size());
+  for (const Neighbor& nb : top) dists.emplace_back(nb.distance, nb.index);
+  return VoteOverNearest(dists, k);
 }
 
 int GbKnnClassifier::Predict(const double* x) const {
@@ -65,6 +130,9 @@ int GbKnnClassifier::Predict(const double* x) const {
   // dist - r for far queries lets large-radius balls dominate under
   // high-dimensional distance concentration.)
   const int k = std::min(k_, balls_.size());
+  const std::shared_ptr<const CenterIndex> index = center_index_;
+  if (index != nullptr) return PredictWithCenterTree(*index, q, k);
+
   std::vector<std::pair<double, int>> dists;
   dists.reserve(balls_.size());
   for (int i = 0; i < balls_.size(); ++i) {
@@ -74,18 +142,7 @@ int GbKnnClassifier::Predict(const double* x) const {
     dists.emplace_back(score, i);
   }
   std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
-
-  std::vector<int> votes(num_classes_, 0);
-  for (int i = 0; i < k; ++i) ++votes[balls_.ball(dists[i].second).label];
-  int best = 0;
-  for (int c = 1; c < num_classes_; ++c) {
-    if (votes[c] > votes[best]) best = c;
-  }
-  for (int i = 0; i < k; ++i) {
-    const int cls = balls_.ball(dists[i].second).label;
-    if (votes[cls] == votes[best]) return cls;
-  }
-  return best;
+  return VoteOverNearest(dists, k);
 }
 
 std::vector<int> GbKnnClassifier::PredictBatch(const Matrix& x) const {

@@ -10,8 +10,11 @@
 #ifndef GBX_ML_GB_KNN_H_
 #define GBX_ML_GB_KNN_H_
 
+#include <memory>
+
 #include "core/rd_gbg.h"
 #include "data/scaler.h"
+#include "index/dynamic_kd_tree.h"
 #include "ml/classifier.h"
 
 namespace gbx {
@@ -50,13 +53,60 @@ class GbKnnClassifier : public Classifier {
   int num_balls() const { return balls_.size(); }
   const GranularBallSet& balls() const { return balls_; }
 
+  /// Chooses how Predict scans the ball centers: kFlat is the exhaustive
+  /// per-query scan, kTree a KD-tree over the centers built once at
+  /// Fit/Restore and shared by Predict / PredictBatch / the serving
+  /// engine, kAuto resolves by ball count and dimensionality. Both
+  /// strategies return bit-identical predictions — the tree ranks balls
+  /// by the flat scan's exact (score, index) order via
+  /// DynamicKdTree::KNearestSurface, whose subtree bound is a
+  /// floating-point-exact score lower bound — so the knob is pure
+  /// runtime state: model artifacts never persist it, and a model saved
+  /// under one strategy predicts identically under the other
+  /// (tests/roundtrip_fuzz_test.cc). Re-resolves and rebuilds/drops the
+  /// tree immediately when fitted; a no-op when `strategy` is already
+  /// set. NOT safe to call concurrently with in-flight
+  /// Predict/PredictBatch — flip the knob before serving starts (as
+  /// gbx_serve does at load).
+  void set_index_strategy(IndexStrategy strategy);
+  IndexStrategy index_strategy() const { return gbg_config_.index_strategy; }
+  /// What Predict will actually use: kTree when a center tree is built,
+  /// kFlat otherwise (always kFlat before Fit/Restore).
+  IndexStrategy resolved_index_strategy() const;
+
  private:
+  // Ball centers as a matrix, radii as per-center weights, and a KD-tree
+  // over them serving the surface-distance query
+  // (DynamicKdTree::KNearestSurface). Heap-allocated as one block so the
+  // tree's pointers into `centers`/`radii` survive moves of the
+  // classifier; shared_ptr keeps the classifier copyable (the index is
+  // immutable after construction, so sharing is safe — queries never
+  // mutate the tree).
+  struct CenterIndex {
+    Matrix centers;
+    std::vector<double> radii;
+    DynamicKdTree tree;
+    CenterIndex(Matrix centers_in, std::vector<double> radii_in)
+        : centers(std::move(centers_in)),
+          radii(std::move(radii_in)),
+          tree(&centers, radii.data()) {}
+  };
+
+  /// (Re)derives the resolved strategy and builds or drops the center
+  /// tree. Called by Fit/Restore/set_index_strategy.
+  void RebuildCenterIndex();
+  int PredictWithCenterTree(const CenterIndex& index,
+                            const std::vector<double>& q, int k) const;
+  int VoteOverNearest(const std::vector<std::pair<double, int>>& dists,
+                      int k) const;
+
   RdGbgConfig gbg_config_;
   int k_;
   std::uint64_t effective_seed_;
   GranularBallSet balls_;
   MinMaxScaler scaler_;
   int num_classes_ = 0;
+  std::shared_ptr<const CenterIndex> center_index_;
 };
 
 }  // namespace gbx

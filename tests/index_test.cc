@@ -154,6 +154,29 @@ TEST(KdTreeEquivalenceTest, MatchesBruteForceOnDataPointQueries) {
   }
 }
 
+// Regression for the oversized-k guard (shared with DynamicKdTree): k
+// beyond the stored point count must degrade to "all points, in order" —
+// never an assertion — including on deep single-point-leaf trees and on
+// the empty tree.
+TEST(KdTreeTest, OversizedKReturnsAllPoints) {
+  const Matrix pts = RandomPoints(37, 3, 23);
+  BruteForceIndex brute(&pts);
+  KdTree tree(&pts, /*leaf_size=*/1);
+  const double q[] = {0.1, -0.4, 0.7};
+  const std::vector<Neighbor> expected = brute.KNearest(q, 37);
+  for (int k : {37, 38, 100, 1 << 20}) {
+    const std::vector<Neighbor> all = tree.KNearest(q, k);
+    ASSERT_EQ(all.size(), 37u) << "k=" << k;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(all[i].index, expected[i].index) << "k=" << k;
+    }
+  }
+
+  const Matrix empty(0, 3);
+  KdTree none(&empty);
+  EXPECT_TRUE(none.KNearest(q, 1 << 20).empty());
+}
+
 TEST(KdTreeTest, SelfQueryReturnsSelfFirst) {
   const Matrix pts = RandomPoints(64, 4, 11);
   KdTree tree(&pts);

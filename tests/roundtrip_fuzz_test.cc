@@ -14,6 +14,7 @@
 #include "core/rd_gbg.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
+#include "ml/gb_knn.h"
 #include "ml/knn.h"
 #include "serve/model_io.h"
 
@@ -163,6 +164,45 @@ TEST_P(RoundTripFuzzTest, ModelRoundTripIsExactAndCorruptionIsRejected) {
       EXPECT_FALSE(bad.status().message().empty());
     }
   }
+}
+
+// The index-strategy knob is runtime state, never persisted: a gbx-model
+// artifact saved from a tree-strategy GB-kNN must be byte-identical to
+// one saved from a flat-strategy fit, and must load and predict
+// bit-identically in a process that serves it with the flat strategy
+// (and vice versa).
+TEST_P(RoundTripFuzzTest, GbKnnArtifactIsIndexStrategyAgnostic) {
+  const Dataset ds = RandomDataset(6000 + GetParam());
+  RdGbgConfig gbg;
+  gbg.seed = 6500 + GetParam();
+  gbg.index_strategy = IndexStrategy::kTree;
+  GbKnnClassifier tree_model(gbg, 1 + GetParam() % 4);
+  Pcg32 fit_rng_tree(2);
+  tree_model.Fit(ds, &fit_rng_tree);
+  ASSERT_EQ(tree_model.resolved_index_strategy(), IndexStrategy::kTree);
+
+  gbg.index_strategy = IndexStrategy::kFlat;
+  GbKnnClassifier flat_model(gbg, 1 + GetParam() % 4);
+  Pcg32 fit_rng_flat(2);
+  flat_model.Fit(ds, &fit_rng_flat);
+
+  // Same granulation, same artifact — the strategy never reaches disk.
+  const std::string text = ModelToString(tree_model);
+  ASSERT_EQ(text, ModelToString(flat_model));
+
+  // Serve the tree-trained artifact with the flat strategy ...
+  const StatusOr<LoadedModel> loaded = ModelFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto* restored = dynamic_cast<GbKnnClassifier*>(loaded->classifier.get());
+  ASSERT_NE(restored, nullptr);
+  restored->set_index_strategy(IndexStrategy::kFlat);
+  const std::vector<int> expected = tree_model.PredictBatch(ds.x());
+  EXPECT_EQ(restored->PredictBatch(ds.x()), expected);
+
+  // ... and with the tree strategy; predictions stay bit-identical.
+  restored->set_index_strategy(IndexStrategy::kTree);
+  ASSERT_EQ(restored->resolved_index_strategy(), IndexStrategy::kTree);
+  EXPECT_EQ(restored->PredictBatch(ds.x()), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest, ::testing::Range(0, 8));

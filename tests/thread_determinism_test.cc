@@ -85,14 +85,18 @@ void ExpectIdenticalGranulation(const RdGbgResult& a, const RdGbgResult& b,
   ASSERT_EQ(a.iterations, b.iterations) << "threads=" << threads;
 }
 
+Dataset PickDataset(int which) {
+  return which == 0   ? OverlappingBlobs(900)
+         : which == 1 ? Banana(800)
+         : which == 2 ? Rings(800)
+                      : HighDim(700);
+}
+
 class RdGbgThreadDeterminismTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RdGbgThreadDeterminismTest, OutputIdenticalAcrossThreadCounts) {
   const int which = GetParam();
-  Dataset ds = which == 0   ? OverlappingBlobs(900)
-               : which == 1 ? Banana(800)
-               : which == 2 ? Rings(800)
-                            : HighDim(700);
+  const Dataset ds = PickDataset(which);
   RdGbgConfig cfg;
   cfg.seed = 77 + which;
   cfg.num_threads = 1;
@@ -106,6 +110,62 @@ TEST_P(RdGbgThreadDeterminismTest, OutputIdenticalAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(SyntheticDatasets, RdGbgThreadDeterminismTest,
                          ::testing::Range(0, 4));
+
+// The index-strategy axis: the DynamicKdTree-backed neighbor pass must
+// reproduce the flat scan's granulation exactly — same balls (centers,
+// radii, members), noise, orphans, iterations — at every thread count.
+// This equality contract is what makes RdGbgConfig::index_strategy a
+// pure wall-clock knob that kAuto may flip freely by problem size.
+class RdGbgStrategyEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RdGbgStrategyEquivalenceTest, TreeStrategyMatchesFlatBitForBit) {
+  const int which = GetParam();
+  const Dataset ds = PickDataset(which);
+  RdGbgConfig cfg;
+  cfg.seed = 177 + which;
+  cfg.num_threads = 1;
+  cfg.index_strategy = IndexStrategy::kFlat;
+  const RdGbgResult reference = GenerateRdGbg(ds, cfg);
+  cfg.index_strategy = IndexStrategy::kTree;
+  for (int threads : ThreadCountsUnderTest()) {
+    cfg.num_threads = threads;
+    const RdGbgResult run = GenerateRdGbg(ds, cfg);
+    ExpectIdenticalGranulation(reference, run, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticDatasets, RdGbgStrategyEquivalenceTest,
+                         ::testing::Range(0, 4));
+
+// GB-kNN's ball-center scan has the same contract: the center KD-tree
+// path and the flat scan must vote out identical labels for every query.
+TEST(GbKnnStrategyEquivalenceTest, CenterTreePredictionsMatchFlat) {
+  const Dataset train = OverlappingBlobs(900);
+  const Dataset test = OverlappingBlobs(400);
+  for (int k : {1, 3, 7}) {
+    RdGbgConfig gbg;
+    gbg.seed = 15 + k;
+    gbg.index_strategy = IndexStrategy::kFlat;
+    GbKnnClassifier flat(gbg, k);
+    Pcg32 rng_flat(8);
+    flat.Fit(train, &rng_flat);
+    ASSERT_EQ(flat.resolved_index_strategy(), IndexStrategy::kFlat);
+
+    gbg.index_strategy = IndexStrategy::kTree;
+    GbKnnClassifier tree(gbg, k);
+    Pcg32 rng_tree(8);
+    tree.Fit(train, &rng_tree);
+    ASSERT_EQ(tree.resolved_index_strategy(), IndexStrategy::kTree);
+
+    ASSERT_EQ(tree.PredictBatch(test.x()), flat.PredictBatch(test.x()))
+        << "k=" << k;
+
+    // Flipping the knob on a fitted model re-resolves in place.
+    tree.set_index_strategy(IndexStrategy::kFlat);
+    ASSERT_EQ(tree.resolved_index_strategy(), IndexStrategy::kFlat);
+    ASSERT_EQ(tree.PredictBatch(test.x()), flat.PredictBatch(test.x()));
+  }
+}
 
 TEST(KMeansThreadDeterminismTest, AssignmentsAndCentersIdentical) {
   const Dataset ds = OverlappingBlobs(1200);
