@@ -14,6 +14,7 @@
 #include <map>
 #include <utility>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "core/gbabs.h"
 #include "core/rd_gbg.h"
@@ -73,17 +74,15 @@ BENCHMARK(BM_RdGbg)
     ->UseRealTime();
 
 // The IndexStrategy axis: the same granulation under the flat parallel
-// scan vs the DynamicKdTree that follows the shrinking U-set. Output is
+// scan (strategy:0) vs the DynamicKdTree (strategy:1) vs the metric
+// BallTree (strategy:2), each also flipping the r_conf pass to the
+// BallSurfaceIndex when a tree strategy is selected. Output is
 // bit-identical (thread_determinism_test), so the rows differ only in
 // wall time; these curves are the measured crossover behind kAuto's
 // thresholds (index/index_strategy.cc). Dimensionality is the deciding
-// axis — overlapping blobs at n=20k: tree 8.8x ahead at d=2, 3.5x at
-// d=4, 1.6x at d=6, break-even by d=8; at n=2k it is 2.9x ahead at
-// d=2, within noise at d=4 and behind at d=8, which is why kAuto
-// stays flat below 4k points. (The well-separated regime is harsher
-// on the tree — candidates consume whole clusters from the neighbor
-// stream — which is why kAuto's d-threshold is stricter than this
-// regime alone would justify.)
+// axis — the KD-tree owns d<=4 at scale, the ball-tree extends tree
+// wins to d~8 where box pruning has concentrated away, and past that
+// the flat parallel scan wins again.
 const Dataset& CachedBlobsDim(int n, int d) {
   static std::map<std::pair<int, int>, Dataset> cache;
   const auto key = std::make_pair(n, d);
@@ -105,12 +104,11 @@ const Dataset& CachedBlobsDim(int n, int d) {
 void BM_RdGbgStrategy(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int d = static_cast<int>(state.range(1));
-  const bool tree = state.range(2) != 0;
   const Dataset& ds = CachedBlobsDim(n, d);
   RdGbgConfig cfg;
   cfg.seed = 42;
   cfg.num_threads = 0;
-  cfg.index_strategy = tree ? IndexStrategy::kTree : IndexStrategy::kFlat;
+  cfg.index_strategy = benchjson::StrategyFromAxis(static_cast<int>(state.range(2)));
   int balls = 0;
   for (auto _ : state) {
     RdGbgResult result = GenerateRdGbg(ds, cfg);
@@ -121,9 +119,68 @@ void BM_RdGbgStrategy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 
+// strategy:4 is kAuto — the row that must never lose to the best of the
+// forced strategies by more than noise, and must beat forced-flat
+// wherever a tree or the surface index is ahead.
 BENCHMARK(BM_RdGbgStrategy)
-    ->ArgNames({"n", "d", "tree"})
-    ->ArgsProduct({{2000, 20000}, {2, 4, 8}, {0, 1}})
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 20000}, {2, 4, 8, 12}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The structured regime: rotated informative-subspace data — low
+// intrinsic dimensionality (EffectiveDimension ≈ 3.5) at any ambient d,
+// the geometry real tabular data occupies. Here tree pruning survives
+// past the isotropic d~6 wall (KD-tree 1.6× ahead of flat at d=8), and
+// kAuto's d_eff gate must detect it and pick the tree where forced-flat
+// loses.
+const Dataset& CachedStructured(int n, int d) {
+  static std::map<std::pair<int, int>, Dataset> cache;
+  const auto key = std::make_pair(n, d);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    HighDimConfig cfg;
+    cfg.num_samples = n;
+    cfg.num_features = d;
+    cfg.num_informative = 4;
+    cfg.num_classes = 4;
+    cfg.clusters_per_class = 3;
+    cfg.class_sep = 2.0;
+    cfg.noise_std = 0.25;
+    Pcg32 rng(7);
+    Dataset ds = MakeInformativeHighDim(cfg, &rng);
+    Matrix x = ds.x();
+    Pcg32 rot_rng(99 + d);
+    RotateFeatures(&x, &rot_rng);
+    it = cache
+             .emplace(key, Dataset(std::move(x), std::vector<int>(ds.y()),
+                                   ds.num_classes()))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_RdGbgStructured(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const Dataset& ds = CachedStructured(n, d);
+  RdGbgConfig cfg;
+  cfg.seed = 42;
+  cfg.num_threads = 0;
+  cfg.index_strategy = benchjson::StrategyFromAxis(static_cast<int>(state.range(2)));
+  int balls = 0;
+  for (auto _ : state) {
+    RdGbgResult result = GenerateRdGbg(ds, cfg);
+    balls = result.balls.size();
+    benchmark::DoNotOptimize(balls);
+  }
+  state.counters["balls"] = balls;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_RdGbgStructured)
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 20000}, {8, 16}, {0, 1, 2, 4}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -149,6 +206,11 @@ BENCHMARK(BM_Gbabs)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-// main() comes from benchmark::benchmark_main, as for bench_micro.
 }  // namespace
 }  // namespace gbx
+
+// Custom main (instead of benchmark::benchmark_main) for the --json
+// machine-readable report mode; see bench_json.h.
+int main(int argc, char** argv) {
+  return gbx::benchjson::BenchMain(argc, argv);
+}

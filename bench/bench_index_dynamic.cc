@@ -1,29 +1,48 @@
-// Dynamic-index microbenchmark (google-benchmark): the flat-vs-tree
-// crossover behind the IndexStrategy knob, on the two workloads the
-// DynamicKdTree was built for.
+// Dynamic-index microbenchmark (google-benchmark): the strategy
+// crossovers behind the IndexStrategy knob, on the index workloads the
+// granulation and GB-kNN hot paths are built from.
 //
-//   BM_DrainKnn        — RD-GBG's shape: k-NN queries against a point set
-//                        that shrinks as queried points are removed
-//                        (strategy:0 flat rescan, strategy:1 tree with
-//                        tombstones + amortized rebuild). Flat is
-//                        O(n·d) per query; the tree pays O(log n)
-//                        amortized, so the gap widens with n.
-//   BM_GbKnnPredict    — GB-kNN inference over ball centers: a fitted
-//                        model serving a query batch with the flat scan
-//                        vs the center KD-tree built at Fit.
+//   BM_DrainKnn         — RD-GBG's neighbor shape: k-NN queries against a
+//                         point set that shrinks as queried points are
+//                         removed (strategy:0 flat rescan, strategy:1
+//                         DynamicKdTree, strategy:2 metric BallTree, both
+//                         trees with tombstones + amortized rebuild).
+//                         Flat is O(n·d) per query; a tree pays O(log n)
+//                         amortized while its pruning holds, so the gap
+//                         widens with n and closes with d — the ball-tree
+//                         closes later than the KD-tree.
+//   BM_SurfaceGapDrain  — RD-GBG's conflict-radius shape: ball i is
+//                         queried for min_j<i (dist − r_j), then
+//                         inserted — exactly the r_conf pass's
+//                         interleaving. strategy:0 is the flat gap scan
+//                         (O(B²) total), strategy:3 the incremental
+//                         BallSurfaceIndex (sublinear per query).
+//   BM_CenterSurfaceKnn — GB-kNN's center shape: KNearestSurface over a
+//                         fixed clustered center set (strategy 0/1/2),
+//                         isolating the center-scan crossover out to the
+//                         dimensionalities where box pruning has died.
+//   BM_GbKnnPredict     — end-to-end GB-kNN inference: a fitted model
+//                         serving a query batch under each strategy.
 //
 // kAuto's thresholds in index/index_strategy.cc are picked from these
-// curves: within noise at small n, clear tree win from ~8k points
-// (drain) / ~512 balls (centers) in indexable dimensionality.
+// curves. Every strategy produces bit-identical results, so rows differ
+// only in wall time. --json=FILE additionally writes the rows as a flat
+// JSON array (bench_json.h) — the BENCH_pr5.json perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "index/ball_surface_index.h"
+#include "index/ball_tree.h"
 #include "index/dynamic_kd_tree.h"
 #include "ml/gb_knn.h"
 
@@ -48,7 +67,7 @@ const Matrix& CachedPoints(int n, int d) {
 // One drain step under the flat strategy: scan every live point except
 // the query point itself (matching the tree path's `exclude`),
 // partial-select the k nearest by (dist2, index) — the same work
-// RD-GBG's flat per-candidate pass performs (serially, so the two
+// RD-GBG's flat per-candidate pass performs (serially, so the
 // strategies compare algorithmically rather than by thread count).
 void FlatKnnStep(const Matrix& pts, const std::vector<int>& live,
                  const double* q, int exclude, int k,
@@ -65,31 +84,39 @@ void FlatKnnStep(const Matrix& pts, const std::vector<int>& live,
   benchmark::DoNotOptimize(scratch->data());
 }
 
+template <typename Tree>
+void DrainWithTree(const Matrix& pts, int n, int k) {
+  Pcg32 rng(7);
+  Tree tree(&pts);
+  const int kQueries = std::min(2000, n);
+  for (int step = 0; step < kQueries; ++step) {
+    // Query at a random live point, then remove it — the shrinking
+    // U-set access pattern.
+    int id;
+    do {
+      id = static_cast<int>(rng.NextBounded(n));
+    } while (!tree.alive(id));
+    const auto nns = tree.KNearestSquared(pts.Row(id), k, /*exclude=*/id);
+    benchmark::DoNotOptimize(nns.data());
+    tree.Remove(id);
+  }
+}
+
 void BM_DrainKnn(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int d = static_cast<int>(state.range(1));
-  const bool tree_strategy = state.range(2) != 0;
-  const int kQueries = 2000;  // query+remove steps per iteration
+  const int strategy = static_cast<int>(state.range(2));
+  const int kQueries = std::min(2000, n);  // query+remove steps per iteration
   const int kNeighbors = 16;
   const Matrix& pts = CachedPoints(n, d);
 
   for (auto _ : state) {
-    Pcg32 rng(7);
-    if (tree_strategy) {
-      DynamicKdTree tree(&pts);
-      for (int step = 0; step < kQueries; ++step) {
-        // Query at a random live point, then remove it — the shrinking
-        // U-set access pattern.
-        int id;
-        do {
-          id = static_cast<int>(rng.NextBounded(n));
-        } while (!tree.alive(id));
-        const auto nns =
-            tree.KNearestSquared(pts.Row(id), kNeighbors, /*exclude=*/id);
-        benchmark::DoNotOptimize(nns.data());
-        tree.Remove(id);
-      }
+    if (strategy == 1) {
+      DrainWithTree<DynamicKdTree>(pts, n, kNeighbors);
+    } else if (strategy == 2) {
+      DrainWithTree<BallTree>(pts, n, kNeighbors);
     } else {
+      Pcg32 rng(7);
       std::vector<int> live(n);
       std::vector<int> pos(n);  // O(1) swap-removal from the live list
       for (int i = 0; i < n; ++i) live[i] = pos[i] = i;
@@ -114,8 +141,172 @@ void BM_DrainKnn(benchmark::State& state) {
 }
 
 BENCHMARK(BM_DrainKnn)
-    ->ArgNames({"n", "d", "tree"})
-    ->ArgsProduct({{2000, 8000, 20000, 50000}, {8}, {0, 1}})
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 8000, 20000, 50000}, {8, 16}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Granulation-shaped balls for the surface workloads: clustered centers
+// (balls live where the data lives) with small radii, so the index sees
+// the geometry the r_conf pass actually produces. Two regimes:
+// isotropic Gaussian blobs (every dimension carries independent signal —
+// distance concentration at its worst), and rotated
+// informative-subspace data (low intrinsic dimensionality at any
+// ambient d, EffectiveDimension ≈ 3.5 — the structure real tabular
+// data carries, and the regime kAuto's d_eff gate detects).
+struct BallSet {
+  Matrix centers;
+  std::vector<double> radii;
+};
+
+const BallSet& CachedBalls(int m, int d, bool structured = false) {
+  static std::map<std::tuple<int, int, bool>, BallSet> cache;
+  const auto key = std::make_tuple(m, d, structured);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Pcg32 rng(321 + m + d);
+    Matrix centers(0, 0);
+    if (structured) {
+      HighDimConfig cfg;
+      cfg.num_samples = m;
+      cfg.num_features = d;
+      cfg.num_informative = 4;
+      cfg.num_classes = 4;
+      cfg.clusters_per_class = 3;
+      cfg.class_sep = 2.0;
+      cfg.noise_std = 0.25;
+      centers = MakeInformativeHighDim(cfg, &rng).x();
+      Pcg32 rot_rng(99 + d);
+      RotateFeatures(&centers, &rot_rng);
+    } else {
+      BlobsConfig cfg;
+      cfg.num_samples = m;
+      cfg.num_classes = 4;
+      cfg.num_features = d;
+      cfg.clusters_per_class = 3;
+      cfg.center_spread = 4.0;
+      cfg.cluster_std = 1.2;
+      centers = MakeGaussianBlobs(cfg, &rng).x();
+    }
+    BallSet set{std::move(centers), {}};
+    set.radii.resize(m);
+    for (int i = 0; i < m; ++i) set.radii[i] = rng.NextDouble() * 0.3;
+    it = cache.emplace(key, std::move(set)).first;
+  }
+  return it->second;
+}
+
+// The r_conf interleaving, isolated: for every ball, query the minimum
+// surface gap against the balls generated before it, then insert it.
+void BM_SurfaceGapDrain(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const bool use_index = state.range(2) != 0;
+  const BallSet& balls = CachedBalls(m, d);
+
+  for (auto _ : state) {
+    double sink = 0.0;
+    if (use_index) {
+      BallSurfaceIndex index(d);
+      for (int i = 0; i < m; ++i) {
+        sink += index.MinSurfaceGap(balls.centers.Row(i));
+        index.Insert(balls.centers.Row(i), balls.radii[i]);
+      }
+    } else {
+      // The flat gap scan, serial (the strategies compare
+      // algorithmically; the real pass parallelizes the flat fill).
+      for (int i = 0; i < m; ++i) {
+        const double* q = balls.centers.Row(i);
+        double best = std::numeric_limits<double>::infinity();
+        for (int j = 0; j < i; ++j) {
+          best = std::min(best,
+                          EuclideanDistance(q, balls.centers.Row(j), d) -
+                              balls.radii[j]);
+        }
+        sink += best;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+
+BENCHMARK(BM_SurfaceGapDrain)
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 8000, 32000}, {2, 10}, {0, 3}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// GB-kNN's center scan in isolation: KNearestSurface (k=3) over a fixed
+// clustered center set, per strategy, out to dimensionalities where the
+// KD-tree's box pruning has concentrated away. On the isotropic
+// geometry the flat scan retakes the lead past d~10 — distance
+// concentration is physics — while on the structured (low intrinsic
+// dimension) geometry both trees keep multiplying, with the ball-tree's
+// metric pruning ahead of the boxes from d>=16.
+void CenterSurfaceKnnImpl(benchmark::State& state, bool structured) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int strategy = static_cast<int>(state.range(2));
+  const int kQueries = 2000;
+  const int kNeighbors = 3;
+  const BallSet& balls = CachedBalls(m, d, structured);
+  const Matrix& queries = CachedBalls(kQueries, d, structured).centers;
+
+  std::unique_ptr<DynamicKdTree> kd;
+  std::unique_ptr<BallTree> ball;
+  if (strategy == 1) {
+    kd = std::make_unique<DynamicKdTree>(&balls.centers, balls.radii.data());
+  } else if (strategy == 2) {
+    ball = std::make_unique<BallTree>(&balls.centers, balls.radii.data());
+  }
+
+  std::vector<std::pair<double, int>> dists(m);
+  for (auto _ : state) {
+    for (int qi = 0; qi < kQueries; ++qi) {
+      const double* q = queries.Row(qi);
+      if (kd != nullptr) {
+        const auto top = kd->KNearestSurface(q, kNeighbors);
+        benchmark::DoNotOptimize(top.data());
+      } else if (ball != nullptr) {
+        const auto top = ball->KNearestSurface(q, kNeighbors);
+        benchmark::DoNotOptimize(top.data());
+      } else {
+        // The flat center scan, as GbKnnClassifier::Predict performs it
+        // (serially — one query's scan; the pool parallelism lives a
+        // level up).
+        for (int i = 0; i < m; ++i) {
+          const double dist =
+              EuclideanDistance(q, balls.centers.Row(i), d);
+          const double r = balls.radii[i];
+          dists[i] = {dist <= r ? dist - r : dist, i};
+        }
+        std::partial_sort(dists.begin(), dists.begin() + kNeighbors,
+                          dists.end());
+        benchmark::DoNotOptimize(dists.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+
+void BM_CenterSurfaceKnn(benchmark::State& state) {
+  CenterSurfaceKnnImpl(state, /*structured=*/false);
+}
+
+void BM_CenterSurfaceKnnStructured(benchmark::State& state) {
+  CenterSurfaceKnnImpl(state, /*structured=*/true);
+}
+
+BENCHMARK(BM_CenterSurfaceKnn)
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 16000}, {8, 16, 24, 32}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_CenterSurfaceKnnStructured)
+    ->ArgNames({"n", "d", "strategy"})
+    ->ArgsProduct({{2000, 16000}, {16, 24, 32}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -154,9 +345,8 @@ const GbKnnClassifier& CachedModel(int n, IndexStrategy strategy) {
 
 void BM_GbKnnPredict(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const bool tree_strategy = state.range(1) != 0;
-  const GbKnnClassifier& model = CachedModel(
-      n, tree_strategy ? IndexStrategy::kTree : IndexStrategy::kFlat);
+  const GbKnnClassifier& model =
+      CachedModel(n, benchjson::StrategyFromAxis(static_cast<int>(state.range(1))));
   const Dataset& queries = CachedBlobs(2000);
   for (auto _ : state) {
     const std::vector<int> out = model.PredictBatch(queries.x());
@@ -166,12 +356,22 @@ void BM_GbKnnPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * queries.size());
 }
 
+// strategy:4 is kAuto. Re-measured under GBX_THREADS ∈ {1, 4, 8}, the
+// strategy margins (and therefore kAuto's pick) are thread-invariant —
+// batch prediction parallelizes over queries for every strategy —
+// which is exactly why ResolveCenterIndexStrategy keeps its bars
+// independent of the worker count (rationale in index_strategy.cc).
 BENCHMARK(BM_GbKnnPredict)
-    ->ArgNames({"n", "tree"})
-    ->ArgsProduct({{1000, 5000, 20000}, {0, 1}})
+    ->ArgNames({"n", "strategy"})
+    ->ArgsProduct({{1000, 5000, 20000}, {0, 1, 2, 4}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-// main() comes from benchmark::benchmark_main, as for bench_micro.
 }  // namespace
 }  // namespace gbx
+
+// Custom main (instead of benchmark::benchmark_main) for the --json
+// machine-readable report mode; see bench_json.h.
+int main(int argc, char** argv) {
+  return gbx::benchjson::BenchMain(argc, argv);
+}

@@ -64,7 +64,7 @@ struct Args {
   int callers = 8;
   bool stats = false;
   // Runtime-only ball-center scan strategy for GB-kNN (never persisted
-  // in the artifact): auto | flat | tree.
+  // in the artifact): auto | flat | tree | balltree.
   IndexStrategy index_strategy = IndexStrategy::kAuto;
 };
 
@@ -81,8 +81,9 @@ int Usage() {
       "  gbx_serve bench   --model-file FILE [--seconds X] [--callers N]\n"
       "                    [--batch N] [--delay-ms X] [--seed N]\n"
       "  gbx_serve info    --model-file FILE\n"
-      "common: --index-strategy auto|flat|tree   (GB-kNN center scan;\n"
-      "        runtime-only, artifacts never persist it)\n");
+      "common: --index-strategy auto|flat|tree|balltree\n"
+      "        (GB-kNN center scan; runtime-only, artifacts never\n"
+      "        persist it)\n");
   return 2;
 }
 
@@ -133,7 +134,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--index-strategy") {
       if (!ParseIndexStrategy(v, &args->index_strategy)) {
         std::fprintf(stderr,
-                     "gbx_serve: --index-strategy wants auto|flat|tree, "
+                     "gbx_serve: --index-strategy wants auto|flat|tree|balltree, "
                      "got '%s'\n",
                      v);
         return false;

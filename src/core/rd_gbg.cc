@@ -8,6 +8,8 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/scaler.h"
+#include "index/ball_surface_index.h"
+#include "index/ball_tree.h"
 #include "index/dynamic_kd_tree.h"
 
 namespace gbx {
@@ -72,19 +74,21 @@ class LazySortedPrefix {
 };
 
 // The same lazily-extended sorted-neighbor view, served by incremental
-// DynamicKdTree queries instead of a flat distance fill: operator[]
-// fetches the (i+1)-nearest live neighbors on demand, with the fetch
-// size growing geometrically like LazySortedPrefix's blocks. Each fetch
-// is a fresh k-NN query, so the tree must not change while a stream is
-// live — the granulation defers its tombstone removals to the end of the
-// candidate, which also keeps the view a consistent snapshot of the
-// U-set exactly like the flat path's entries buffer. Because the query
-// returns the (dist2, index)-sorted prefix of the same total order the
-// flat scan sorts by, the two strategies are interchangeable
-// bit-for-bit.
+// tree queries instead of a flat distance fill: operator[] fetches the
+// (i+1)-nearest live neighbors on demand, with the fetch size growing
+// geometrically like LazySortedPrefix's blocks. Each fetch is a fresh
+// k-NN query, so the tree must not change while a stream is live — the
+// granulation defers its tombstone removals to the end of the candidate,
+// which also keeps the view a consistent snapshot of the U-set exactly
+// like the flat path's entries buffer. Because the query returns the
+// (dist2, index)-sorted prefix of the same total order the flat scan
+// sorts by, the strategies are interchangeable bit-for-bit. Tree is
+// DynamicKdTree or BallTree — both serve KNearestSquared in that exact
+// order, differing only in pruning geometry (boxes vs metric balls).
+template <typename Tree>
 class TreeNeighborStream {
  public:
-  TreeNeighborStream(const DynamicKdTree* tree, const double* query,
+  TreeNeighborStream(const Tree* tree, const double* query,
                      int exclude, std::vector<DistEntry>* storage,
                      std::size_t initial_block)
       : tree_(tree),
@@ -121,7 +125,7 @@ class TreeNeighborStream {
     GBX_DCHECK(storage_->size() == target);
   }
 
-  const DynamicKdTree* tree_;
+  const Tree* tree_;
   const double* query_;
   int exclude_;
   std::vector<DistEntry>* storage_;
@@ -153,18 +157,30 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   std::vector<int> active;  // samples still in U, rebuilt per candidate
   active.reserve(n);
   std::vector<DistEntry> entries;
-  std::vector<double> gaps;  // per-ball surface gaps for r_conf
+  std::vector<double> chunk_mins;  // per-chunk r_conf gap minima
 
   // Tree strategy: instead of re-scanning the whole undivided set per
-  // candidate, a DynamicKdTree follows U — every sample that leaves U
-  // (noise, ball member) is tombstoned, and the tree rebuilds itself
-  // once the tombstones outnumber the survivors.
+  // candidate, a tree follows U — every sample that leaves U (noise,
+  // ball member) is tombstoned, and the tree rebuilds itself once the
+  // tombstones outnumber the survivors. kTree prunes with axis-aligned
+  // boxes, kBallTree with the triangle inequality (better at moderate
+  // dimensionality).
   const IndexStrategy strategy =
-      ResolveRdGbgIndexStrategy(config.index_strategy, n, p, threads);
+      ResolveRdGbgIndexStrategy(config.index_strategy, n, p, threads, &x);
   std::unique_ptr<DynamicKdTree> utree;
+  std::unique_ptr<BallTree> ubtree;
   if (strategy == IndexStrategy::kTree) {
     utree = std::make_unique<DynamicKdTree>(&x);
+  } else if (strategy == IndexStrategy::kBallTree) {
+    ubtree = std::make_unique<BallTree>(&x);
   }
+  // The r_conf pass switches from the flat per-ball gap scan to the
+  // insert-capable BallSurfaceIndex once this many balls exist
+  // (kSurfaceIndexNever = stay flat). Both compute the identical
+  // min-gap double, so the switch is invisible in the output.
+  const int surface_threshold =
+      ResolveRdGbgSurfaceThreshold(config.index_strategy, p, threads);
+  std::unique_ptr<BallSurfaceIndex> surface;
   std::vector<int> removed_now;  // U-departures of the current candidate
   const std::size_t initial_block =
       std::max<std::size_t>(static_cast<std::size_t>(rho), 32);
@@ -256,24 +272,48 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
         }
 
         // Conflict radius r_conf(c): gap to the nearest existing ball
-        // (Eq.4). min() over doubles is exact, so reducing the
-        // parallel-filled gap buffer in ball order stays deterministic.
+        // (Eq.4) — min_i(dist(c, center_i) − radius_i). min() over
+        // doubles is exact whatever the evaluation order, so the three
+        // schedules below — the sublinear BallSurfaceIndex query and
+        // the chunked parallel flat scan at any thread count — all
+        // produce the identical double.
         double r_conf = std::numeric_limits<double>::infinity();
         const int nballs = static_cast<int>(balls.size());
-        if (nballs > 0) {
-          gaps.resize(nballs);
+        if (surface != nullptr) {
+          // The index mirrors `balls` exactly (every push below inserts)
+          // and evaluates the same EuclideanDistance − radius expression
+          // at its leaves.
+          r_conf = surface->MinSurfaceGap(cx);
+        } else if (nballs > 0) {
+          // Deterministic parallel min-reduction: each chunk owns a
+          // disjoint ball range and writes its own min; the chunk mins
+          // are folded in chunk order. The chunk layout depends only on
+          // the ball count — never on the thread count — and the serial
+          // tail fold is O(B/chunk) instead of the old O(B) gap-buffer
+          // fold.
+          const int nchunks = (nballs + grain - 1) / grain;
+          chunk_mins.resize(nchunks);
           const GranularBall* ball_data = balls.data();
-          double* gap_out = gaps.data();
-          ParallelForRange(nballs, grain, ParallelThreads(nballs, p, threads),
-                           [&](int begin, int end) {
-                             for (int i = begin; i < end; ++i) {
-                               gap_out[i] =
-                                   EuclideanDistance(
-                                       cx, ball_data[i].center.data(), p) -
-                                   ball_data[i].radius;
-                             }
-                           });
-          for (int i = 0; i < nballs; ++i) r_conf = std::min(r_conf, gaps[i]);
+          double* chunk_min = chunk_mins.data();
+          ParallelForRange(
+              nchunks, 1, ParallelThreads(nballs, p, threads),
+              [&](int cbegin, int cend) {
+                for (int ci = cbegin; ci < cend; ++ci) {
+                  const int lo = ci * grain;
+                  const int hi = std::min(nballs, lo + grain);
+                  double m = std::numeric_limits<double>::infinity();
+                  for (int i = lo; i < hi; ++i) {
+                    m = std::min(
+                        m, EuclideanDistance(cx, ball_data[i].center.data(),
+                                             p) -
+                               ball_data[i].radius);
+                  }
+                  chunk_min[ci] = m;
+                }
+              });
+          for (int ci = 0; ci < nchunks; ++ci) {
+            r_conf = std::min(r_conf, chunk_min[ci]);
+          }
         }
         r_conf = std::max(r_conf, 0.0);
         const double r_conf2 = r_conf * r_conf;
@@ -315,17 +355,39 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
         }
         GBX_CHECK_GE(ball.size(), 2);
         balls.push_back(std::move(ball));
+        // Keep the surface index an exact mirror of `balls`: insert the
+        // new ball, or stand the index up once the ball count crosses
+        // the strategy threshold (backfilling everything generated so
+        // far).
+        if (surface != nullptr) {
+          const GranularBall& added = balls.back();
+          surface->Insert(added.center.data(), added.radius);
+        } else if (static_cast<int>(balls.size()) >= surface_threshold) {
+          surface = std::make_unique<BallSurfaceIndex>(p);
+          for (const GranularBall& gb : balls) {
+            surface->Insert(gb.center.data(), gb.radius);
+          }
+        }
       };
 
-      if (utree != nullptr) {
-        if (utree->size() <= 1) {
+      // Tree strategies share one shape: stream neighbors from the tree,
+      // then apply the candidate's deferred U-departures as tombstones.
+      const auto run_with_tree = [&](auto* tree) {
+        if (tree->size() <= 1) {
           state[c] = SampleState::kLowDensity;  // last sample standing
-          continue;
+          return;
         }
-        TreeNeighborStream neighbors(utree.get(), cx, /*exclude=*/c,
-                                     &entries, initial_block);
+        TreeNeighborStream neighbors(tree, cx, /*exclude=*/c, &entries,
+                                     initial_block);
         run_candidate(neighbors);
-        for (int idx : removed_now) utree->Remove(idx);
+        for (int idx : removed_now) tree->Remove(idx);
+      };
+      if (utree != nullptr) {
+        run_with_tree(utree.get());
+        continue;
+      }
+      if (ubtree != nullptr) {
+        run_with_tree(ubtree.get());
         continue;
       }
 

@@ -186,4 +186,25 @@ Dataset MakeInformativeHighDim(const HighDimConfig& config, Pcg32* rng) {
   return Dataset(std::move(x), std::move(y), q);
 }
 
+void RotateFeatures(Matrix* features, Pcg32* rng) {
+  const int d = features->cols();
+  const int n = features->rows();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int a = 0; a < d; ++a) {
+      for (int b = a + 1; b < d; ++b) {
+        const double theta = 2.0 * M_PI * rng->NextDouble();
+        const double c = std::cos(theta);
+        const double s = std::sin(theta);
+        for (int i = 0; i < n; ++i) {
+          double* row = features->Row(i);
+          const double va = row[a];
+          const double vb = row[b];
+          row[a] = c * va - s * vb;
+          row[b] = s * va + c * vb;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace gbx

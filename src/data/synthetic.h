@@ -67,6 +67,17 @@ struct HighDimConfig {
 };
 Dataset MakeInformativeHighDim(const HighDimConfig& config, Pcg32* rng);
 
+/// Applies a deterministic random orthogonal rotation — a composition of
+/// Givens rotations over every coordinate pair, two passes — to the
+/// feature matrix in place. Rotations preserve all pairwise distances,
+/// so class geometry (and every distance-based algorithm's output on
+/// it) is intact, but axis-aligned structure — informative subspaces,
+/// per-dimension spreads — is mixed across all coordinates. That is the
+/// regime separating metric (ball-tree) from axis-aligned (KD-tree)
+/// pruning, and the honest stand-in for real tabular data whose
+/// correlations ignore the coordinate system.
+void RotateFeatures(Matrix* features, Pcg32* rng);
+
 /// Converts relative weights (or balanced, if empty) into exact per-class
 /// sample counts summing to `num_samples`. Every class receives >= 1
 /// sample when num_samples >= num_classes.

@@ -1,0 +1,161 @@
+#include "index/ball_surface_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "index/neighbor_index.h"
+
+namespace gbx {
+
+BallSurfaceIndex::BallSurfaceIndex(int dims, int leaf_size)
+    : dims_(dims), leaf_size_(leaf_size) {
+  GBX_CHECK_GE(dims, 1);
+  GBX_CHECK_GE(leaf_size, 1);
+}
+
+void BallSurfaceIndex::Insert(const double* center, double radius) {
+  GBX_CHECK_GE(radius, 0.0);
+  const int id = size();
+  centers_.insert(centers_.end(), center, center + dims_);
+  radii_.push_back(radius);
+  tail_.push_back(id);
+  if (static_cast<int>(tail_.size()) < kTailCap) return;
+
+  // Binary-counter merge: fold the tail and every trailing block no
+  // larger than the accumulated id set into one fresh block. Sizes then
+  // stay strictly decreasing front to back, so the forest holds
+  // O(log(B / kTailCap)) blocks and every ball is rebuilt O(log B)
+  // times in total.
+  std::vector<int> ids = std::move(tail_);
+  tail_.clear();
+  while (!blocks_.empty() && blocks_.back().ids.size() <= ids.size()) {
+    ids.insert(ids.end(), blocks_.back().ids.begin(),
+               blocks_.back().ids.end());
+    blocks_.pop_back();
+  }
+  Block block;
+  block.ids = std::move(ids);
+  block.nodes.reserve(2 * block.ids.size() / leaf_size_ + 4);
+  block.boxes.reserve(block.nodes.capacity() * 2 * dims_);
+  block.root = BuildNode(&block, 0, static_cast<int>(block.ids.size()));
+  blocks_.push_back(std::move(block));
+}
+
+int BallSurfaceIndex::BuildNode(Block* block, int begin, int end) {
+  const int node_id = static_cast<int>(block->nodes.size());
+  block->nodes.emplace_back();
+  double max_radius = 0.0;
+  for (int i = begin; i < end; ++i) {
+    max_radius = std::max(max_radius, radii_[block->ids[i]]);
+  }
+  block->nodes[node_id].max_radius = max_radius;
+
+  // Box + widest-dimension split, exactly the DynamicKdTree recipe: the
+  // box is both the split heuristic and the pruning bound.
+  const int d = dims_;
+  block->boxes.resize(block->boxes.size() + 2 * static_cast<std::size_t>(d));
+  double* lo = &block->boxes[static_cast<std::size_t>(node_id) * 2 * d];
+  double* hi = lo + d;
+  int best_dim = 0;
+  double best_spread = -1.0;
+  for (int j = 0; j < d; ++j) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (int i = begin; i < end; ++i) {
+      const double v = Center(block->ids[i])[j];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    lo[j] = mn;
+    hi[j] = mx;
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      best_dim = j;
+    }
+  }
+  // Zero spread means every center in the range is identical (duplicate
+  // centers happen — distinct balls may share a center sample); the
+  // range stays one (possibly oversized) leaf.
+  if (end - begin <= leaf_size_ || best_spread <= 0.0) {
+    block->nodes[node_id].begin = begin;
+    block->nodes[node_id].end = end;
+    return node_id;
+  }
+
+  const int mid = begin + (end - begin) / 2;
+  std::nth_element(block->ids.begin() + begin, block->ids.begin() + mid,
+                   block->ids.begin() + end, [&](int a, int b) {
+                     const double va = Center(a)[best_dim];
+                     const double vb = Center(b)[best_dim];
+                     if (va != vb) return va < vb;
+                     return a < b;
+                   });
+  block->nodes[node_id].split_dim = best_dim;
+  block->nodes[node_id].split_value = Center(block->ids[mid])[best_dim];
+  const int left = BuildNode(block, begin, mid);
+  const int right = BuildNode(block, mid, end);
+  block->nodes[node_id].left = left;
+  block->nodes[node_id].right = right;
+  return node_id;
+}
+
+double BallSurfaceIndex::BoxMinD2(const Block& block, int node_id,
+                                  const double* query) const {
+  const int d = dims_;
+  const double* lo = &block.boxes[static_cast<std::size_t>(node_id) * 2 * d];
+  return BoxMinSquaredDistance(lo, lo + d, query, d);
+}
+
+void BallSurfaceIndex::SearchBlock(const Block& block, int node_id,
+                                   const double* query, double* best) const {
+  const Node& node = block.nodes[node_id];
+  if (node.split_dim < 0) {
+    for (int i = node.begin; i < node.end; ++i) {
+      const int id = block.ids[i];
+      // The flat gap scan's exact arithmetic.
+      const double gap =
+          EuclideanDistance(query, Center(id), dims_) - radii_[id];
+      *best = std::min(*best, gap);
+    }
+    return;
+  }
+  // sqrt(BoxMinD2) − max_radius lower-bounds every gap in the subtree
+  // fp-exactly (see the header), so skipping at bound >= best cannot
+  // change the min; the lower-bound child goes first to shrink best
+  // before the sibling is tested.
+  int children[2] = {node.left, node.right};
+  double bounds[2];
+  for (int s = 0; s < 2; ++s) {
+    bounds[s] = std::sqrt(BoxMinD2(block, children[s], query)) -
+                block.nodes[children[s]].max_radius;
+  }
+  if (bounds[1] < bounds[0]) {
+    std::swap(children[0], children[1]);
+    std::swap(bounds[0], bounds[1]);
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (bounds[s] >= *best) continue;
+    SearchBlock(block, children[s], query, best);
+  }
+}
+
+double BallSurfaceIndex::MinSurfaceGap(const double* query) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const int id : tail_) {
+    const double gap =
+        EuclideanDistance(query, Center(id), dims_) - radii_[id];
+    best = std::min(best, gap);
+  }
+  // Largest block first: its min is likeliest to set a tight best for
+  // the smaller blocks' pruning.
+  for (const Block& block : blocks_) {
+    if (block.root < 0) continue;
+    SearchBlock(block, block.root, query, &best);
+  }
+  return best;
+}
+
+}  // namespace gbx

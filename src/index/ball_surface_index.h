@@ -1,0 +1,105 @@
+// Insert-capable index over granular-ball surfaces for RD-GBG's
+// conflict-radius pass (Eq. 4): r_conf(c) = min_i(dist(c, center_i) −
+// radius_i) over every ball generated so far. The granulation creates
+// balls one at a time and queries the gap for every candidate, so the
+// flat scan is O(B) per candidate and O(B²) per run; this index answers
+// the same min exactly in sublinear time while accepting interleaved
+// Insert calls.
+//
+// Structure: a logarithmic forest of static KD blocks (Bentley's binary
+// counter). Inserts land in a small flat tail; once the tail fills, it
+// is merged with every block of equal-or-smaller size into one new
+// block, so the forest holds O(log B) blocks of geometrically growing
+// size and each ball is rebuilt O(log B) times — O(B log² B) total build
+// work, against the flat scan's O(B²) query work. A query scans the tail
+// exhaustively and walks each block best-bound-first with per-subtree
+// pruning.
+//
+// Exactness: each block node keeps the bounding box of its centers and
+// the maximum radius in its subtree, giving the lower bound
+//     sqrt(BoxMinD2) − max_radius  <=  dist(q, c_i) − r_i
+// for every ball i in the subtree. The bound is floating-point-exact
+// with respect to the flat scan's arithmetic (BoxMinD2 dominates each
+// center's SquaredDistance term by term in the same summation order;
+// sqrt and the subtraction are monotone — the PR-4 KNearestSurface
+// argument), and leaves evaluate the identical
+// EuclideanDistance(q, c) − r expression, so MinSurfaceGap returns the
+// bit-identical double the exhaustive scan produces. min() is
+// order-independent over doubles, so pruning at `bound >= best` — which
+// only skips balls that cannot lower the min — never changes the result.
+// Property-tested against the flat scan under interleaved Insert/query
+// (tests/ball_surface_index_test.cc).
+//
+// Queries never mutate the index; Insert must be externally serialized
+// against queries (RD-GBG alternates them from its sequential candidate
+// loop).
+#ifndef GBX_INDEX_BALL_SURFACE_INDEX_H_
+#define GBX_INDEX_BALL_SURFACE_INDEX_H_
+
+#include <vector>
+
+namespace gbx {
+
+class BallSurfaceIndex {
+ public:
+  /// `leaf_size` is the maximum number of balls in a block leaf bucket.
+  explicit BallSurfaceIndex(int dims, int leaf_size = 16);
+
+  /// Adds a ball (center has `dims` components, copied; radius >= 0).
+  void Insert(const double* center, double radius);
+
+  /// min_i(EuclideanDistance(query, center_i) − radius_i) over every
+  /// inserted ball, bit-identical to the exhaustive scan; +infinity when
+  /// empty.
+  double MinSurfaceGap(const double* query) const;
+
+  int size() const { return static_cast<int>(radii_.size()); }
+  int dims() const { return dims_; }
+
+  /// Introspection for tests: balls waiting in the flat tail, and the
+  /// number of built blocks.
+  int tail_size() const { return static_cast<int>(tail_.size()); }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+ private:
+  struct Node {
+    int left = -1;  // child node ids; -1 for leaf
+    int right = -1;
+    int split_dim = -1;
+    double split_value = 0.0;
+    int begin = 0;  // leaf: range into Block::ids
+    int end = 0;
+    double max_radius = 0.0;  // largest ball radius in the subtree
+  };
+
+  // One static KD tree over a subset of the inserted balls. Nodes and
+  // boxes are laid out exactly like DynamicKdTree's (per-node bounding
+  // box at node_id * 2 * dims: lows then highs).
+  struct Block {
+    std::vector<int> ids;
+    std::vector<Node> nodes;
+    std::vector<double> boxes;
+    int root = -1;
+  };
+
+  const double* Center(int id) const { return &centers_[id * dims_]; }
+  int BuildNode(Block* block, int begin, int end);
+  double BoxMinD2(const Block& block, int node_id, const double* query) const;
+  void SearchBlock(const Block& block, int node_id, const double* query,
+                   double* best) const;
+
+  int dims_;
+  int leaf_size_;
+  std::vector<double> centers_;  // row-major, size() rows
+  std::vector<double> radii_;
+  std::vector<int> tail_;       // inserted, not yet in any block
+  std::vector<Block> blocks_;   // sizes strictly decrease front to back
+
+  /// Tail capacity before a merge; small enough that the exhaustive tail
+  /// scan stays a footnote, large enough that blocks are worth building.
+  static constexpr int kTailCap = 32;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_INDEX_BALL_SURFACE_INDEX_H_

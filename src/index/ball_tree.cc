@@ -1,4 +1,4 @@
-#include "index/dynamic_kd_tree.h"
+#include "index/ball_tree.h"
 
 #include <algorithm>
 #include <cmath>
@@ -15,11 +15,11 @@ bool WorseSquared(const SquaredNeighbor& a, const SquaredNeighbor& b) {
 
 }  // namespace
 
-DynamicKdTree::DynamicKdTree(const Matrix* points, int leaf_size)
-    : DynamicKdTree(points, nullptr, leaf_size) {}
+BallTree::BallTree(const Matrix* points, int leaf_size)
+    : BallTree(points, nullptr, leaf_size) {}
 
-DynamicKdTree::DynamicKdTree(const Matrix* points,
-                             const double* point_weights, int leaf_size)
+BallTree::BallTree(const Matrix* points, const double* point_weights,
+                   int leaf_size)
     : points_(points), weights_(point_weights), leaf_size_(leaf_size) {
   GBX_CHECK(points != nullptr);
   GBX_CHECK_GE(leaf_size, 1);
@@ -32,12 +32,12 @@ DynamicKdTree::DynamicKdTree(const Matrix* points,
   built_size_ = n;
   if (n > 0) {
     nodes_.reserve(2 * order_.size() / leaf_size_ + 4);
-    boxes_.reserve(nodes_.capacity() * 2 * points_->cols());
+    centroids_.reserve(nodes_.capacity() * points_->cols());
     root_ = Build(0, n, -1);
   }
 }
 
-int DynamicKdTree::Build(int begin, int end, int parent) {
+int BallTree::Build(int begin, int end, int parent) {
   const int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   nodes_[node_id].parent = parent;
@@ -50,15 +50,28 @@ int DynamicKdTree::Build(int begin, int end, int parent) {
     nodes_[node_id].max_weight = max_w;
   }
 
-  // The bounding box over this range doubles as the split heuristic: the
-  // widest dimension is the split dimension (round-robin is pointless
-  // once real spreads are known), and queries prune on the smallest
-  // distance to the box — far tighter than the split plane alone at
-  // medium dimensionality.
+  // Centroid: the per-dimension mean, summed in order_ sequence so the
+  // structure is deterministic. The covering radius is the largest
+  // *computed* centroid distance — the quantity the pruning bound must
+  // dominate.
   const int d = points_->cols();
-  boxes_.resize(boxes_.size() + 2 * static_cast<std::size_t>(d));
-  double* lo = &boxes_[static_cast<std::size_t>(node_id) * 2 * d];
-  double* hi = lo + d;
+  const int count = end - begin;
+  centroids_.resize(centroids_.size() + d, 0.0);
+  double* centroid = &centroids_[static_cast<std::size_t>(node_id) * d];
+  for (int i = begin; i < end; ++i) {
+    const double* row = points_->Row(order_[i]);
+    for (int j = 0; j < d; ++j) centroid[j] += row[j];
+  }
+  for (int j = 0; j < d; ++j) centroid[j] /= count;
+  double radius = 0.0;
+  for (int i = begin; i < end; ++i) {
+    radius = std::max(
+        radius, EuclideanDistance(centroid, points_->Row(order_[i]), d));
+  }
+  nodes_[node_id].radius = radius;
+
+  // The widest spread picks the partition axis — same heuristic as the
+  // KD-tree; only the pruning geometry differs.
   int best_dim = 0;
   double best_spread = -1.0;
   for (int j = 0; j < d; ++j) {
@@ -69,8 +82,6 @@ int DynamicKdTree::Build(int begin, int end, int parent) {
       mn = std::min(mn, v);
       mx = std::max(mx, v);
     }
-    lo[j] = mn;
-    hi[j] = mx;
     if (mx - mn > best_spread) {
       best_spread = mx - mn;
       best_dim = j;
@@ -78,14 +89,14 @@ int DynamicKdTree::Build(int begin, int end, int parent) {
   }
   // A zero best spread means every point in the range is identical; the
   // range stays one (possibly oversized) leaf.
-  if (end - begin <= leaf_size_ || best_spread <= 0.0) {
+  if (count <= leaf_size_ || best_spread <= 0.0) {
     nodes_[node_id].begin = begin;
     nodes_[node_id].end = end;
     for (int i = begin; i < end; ++i) point_leaf_[order_[i]] = node_id;
     return node_id;
   }
 
-  const int mid = begin + (end - begin) / 2;
+  const int mid = begin + count / 2;
   std::nth_element(order_.begin() + begin, order_.begin() + mid,
                    order_.begin() + end, [&](int a, int b) {
                      const double va = points_->At(a, best_dim);
@@ -94,7 +105,6 @@ int DynamicKdTree::Build(int begin, int end, int parent) {
                      return a < b;
                    });
   nodes_[node_id].split_dim = best_dim;
-  nodes_[node_id].split_value = points_->At(order_[mid], best_dim);
   const int left = Build(begin, mid, node_id);
   const int right = Build(mid, end, node_id);
   nodes_[node_id].left = left;
@@ -102,34 +112,45 @@ int DynamicKdTree::Build(int begin, int end, int parent) {
   return node_id;
 }
 
-double DynamicKdTree::BoxMinD2(int node_id, const double* query) const {
+double BallTree::NodeMinDist(int node_id, const double* query) const {
   const int d = points_->cols();
-  const double* lo = &boxes_[static_cast<std::size_t>(node_id) * 2 * d];
-  return BoxMinSquaredDistance(lo, lo + d, query, d);
+  const double dc = EuclideanDistance(query, Centroid(node_id), d);
+  const Node& node = nodes_[node_id];
+  // Triangle inequality: every member distance >= dc − radius. Both
+  // operands are computed values with relative error O(d·eps); the
+  // kFpSlack deflation (see the header) turns the bound into a certain
+  // lower bound on the members' *computed* distances.
+  const double lb = (dc - node.radius) - kFpSlack * (dc + node.radius);
+  return lb > 0.0 ? lb : 0.0;
 }
 
-bool DynamicKdTree::alive(int i) const {
+double BallTree::SquaredLowerBound(double min_dist) {
+  // Squaring re-introduces up to ~4 ulps of overshoot relative to the
+  // computed squared distances; one more deflation absorbs it.
+  return min_dist * min_dist * (1.0 - kFpSlack);
+}
+
+bool BallTree::alive(int i) const {
   GBX_CHECK(i >= 0 && i < points_->rows());
   return alive_[i] != 0;
 }
 
-void DynamicKdTree::Remove(int i) {
+void BallTree::Remove(int i) {
   GBX_CHECK(i >= 0 && i < points_->rows());
-  GBX_CHECK_MSG(alive_[i] != 0,
-                "DynamicKdTree::Remove: point already removed");
+  GBX_CHECK_MSG(alive_[i] != 0, "BallTree::Remove: point already removed");
   alive_[i] = 0;
   --live_;
   ++tombstones_;
   for (int nid = point_leaf_[i]; nid >= 0; nid = nodes_[nid].parent) {
     --nodes_[nid].live;
   }
-  // Amortized compaction: once the majority of the indexed points are
-  // tombstones, the structure (and every query walking past them) is
-  // paying for points that no longer exist.
+  // Amortized compaction, identical to DynamicKdTree: once the majority
+  // of the indexed points are tombstones, every query is paying for
+  // points that no longer exist.
   if (2 * tombstones_ > built_size_) Rebuild();
 }
 
-void DynamicKdTree::Rebuild() {
+void BallTree::Rebuild() {
   order_.clear();
   const int n = points_->rows();
   for (int i = 0; i < n; ++i) {
@@ -139,16 +160,14 @@ void DynamicKdTree::Rebuild() {
   tombstones_ = 0;
   ++rebuilds_;
   nodes_.clear();
-  boxes_.clear();
+  centroids_.clear();
   root_ = built_size_ > 0 ? Build(0, built_size_, -1) : -1;
 }
 
-void DynamicKdTree::SearchKnn(int node_id, const double* query, int k,
-                              std::vector<Neighbor>* heap) const {
+void BallTree::SearchKnn(int node_id, const double* query, int k,
+                         std::vector<Neighbor>* heap) const {
   // Neighbor::distance holds the squared distance during the search —
-  // the (dist2, index) order BruteForceIndex and the static KdTree rank
-  // by (sqrt can merge distinct squared distances into ties, so ranking
-  // after the sqrt would tie-break differently); KNearest applies the
+  // the (dist2, index) order every index ranks by; KNearest applies the
   // sqrt once to the k results.
   const Node& node = nodes_[node_id];
   const int d = points_->cols();
@@ -161,24 +180,29 @@ void DynamicKdTree::SearchKnn(int node_id, const double* query, int k,
     }
     return;
   }
-  const double diff = query[node.split_dim] - node.split_value;
-  const int near = diff <= 0.0 ? node.left : node.right;
-  const int far = diff <= 0.0 ? node.right : node.left;
-  for (const int child : {near, far}) {
+  // Lower-bound child first, so the heap tightens before the sibling's
+  // bound is tested; pruning strictly above the worst retained dist2
+  // cannot drop a candidate (the deflated bound never exceeds any
+  // member's computed dist2).
+  int children[2] = {node.left, node.right};
+  double bounds[2];
+  for (int s = 0; s < 2; ++s) bounds[s] = NodeMinDist(children[s], query);
+  if (bounds[1] < bounds[0]) {
+    std::swap(children[0], children[1]);
+    std::swap(bounds[0], bounds[1]);
+  }
+  for (int s = 0; s < 2; ++s) {
+    const int child = children[s];
     if (nodes_[child].live == 0) continue;
-    // Exact in squared space: BoxMinD2 never exceeds any member's dist2
-    // (term-by-term domination in the same summation order), so pruning
-    // strictly above the worst retained dist2 cannot drop a candidate.
     if (static_cast<int>(heap->size()) >= k &&
-        BoxMinD2(child, query) > heap->front().distance) {
+        SquaredLowerBound(bounds[s]) > heap->front().distance) {
       continue;
     }
     SearchKnn(child, query, k, heap);
   }
 }
 
-std::vector<Neighbor> DynamicKdTree::KNearest(const double* query,
-                                              int k) const {
+std::vector<Neighbor> BallTree::KNearest(const double* query, int k) const {
   GBX_CHECK_GE(k, 0);
   k = std::min(k, live_);
   if (k == 0 || root_ < 0) return {};
@@ -190,9 +214,9 @@ std::vector<Neighbor> DynamicKdTree::KNearest(const double* query,
   return heap;
 }
 
-void DynamicKdTree::SearchKnnSquared(
-    int node_id, const double* query, int k, int exclude,
-    std::vector<SquaredNeighbor>* heap) const {
+void BallTree::SearchKnnSquared(int node_id, const double* query, int k,
+                                int exclude,
+                                std::vector<SquaredNeighbor>* heap) const {
   const Node& node = nodes_[node_id];
   const int d = points_->cols();
   if (node.split_dim < 0) {
@@ -205,25 +229,27 @@ void DynamicKdTree::SearchKnnSquared(
     }
     return;
   }
-  const double diff = query[node.split_dim] - node.split_value;
-  const int near = diff <= 0.0 ? node.left : node.right;
-  const int far = diff <= 0.0 ? node.right : node.left;
-  for (const int child : {near, far}) {
+  int children[2] = {node.left, node.right};
+  double bounds[2];
+  for (int s = 0; s < 2; ++s) bounds[s] = NodeMinDist(children[s], query);
+  if (bounds[1] < bounds[0]) {
+    std::swap(children[0], children[1]);
+    std::swap(bounds[0], bounds[1]);
+  }
+  for (int s = 0; s < 2; ++s) {
+    const int child = children[s];
     if (nodes_[child].live == 0) continue;
-    // Squared space compares exactly: every point in the child has
-    // dist2 >= the box distance, so pruning at "box > worst dist2" can
-    // never drop an eligible candidate (an equal dist2 with a smaller
-    // index still visits).
     if (static_cast<int>(heap->size()) >= k &&
-        BoxMinD2(child, query) > heap->front().dist2) {
+        SquaredLowerBound(bounds[s]) > heap->front().dist2) {
       continue;
     }
     SearchKnnSquared(child, query, k, exclude, heap);
   }
 }
 
-std::vector<SquaredNeighbor> DynamicKdTree::KNearestSquared(
-    const double* query, int k, int exclude) const {
+std::vector<SquaredNeighbor> BallTree::KNearestSquared(const double* query,
+                                                       int k,
+                                                       int exclude) const {
   GBX_CHECK_GE(k, 0);
   int eligible = live_;
   if (exclude >= 0 && exclude < points_->rows() && alive_[exclude]) {
@@ -238,11 +264,10 @@ std::vector<SquaredNeighbor> DynamicKdTree::KNearestSquared(
   return heap;
 }
 
-void DynamicKdTree::SearchRadius(int node_id, const double* query, double r2,
-                                 std::vector<Neighbor>* out) const {
+void BallTree::SearchRadius(int node_id, const double* query, double r2,
+                            std::vector<Neighbor>* out) const {
   // Inclusion in squared space (d2 <= r2), exactly as BruteForceIndex
-  // decides it; the sqrt happens once per hit in RadiusSearch. Pruning
-  // is exact for the same reason as SearchKnn.
+  // decides it; the sqrt happens once per hit in RadiusSearch.
   const Node& node = nodes_[node_id];
   const int d = points_->cols();
   if (node.split_dim < 0) {
@@ -256,13 +281,24 @@ void DynamicKdTree::SearchRadius(int node_id, const double* query, double r2,
   }
   for (const int child : {node.left, node.right}) {
     if (nodes_[child].live == 0) continue;
-    if (BoxMinD2(child, query) > r2) continue;
+    if (SquaredLowerBound(NodeMinDist(child, query)) > r2) continue;
     SearchRadius(child, query, r2, out);
   }
 }
 
-void DynamicKdTree::SearchSurface(int node_id, const double* query, int k,
-                                  std::vector<Neighbor>* heap) const {
+std::vector<Neighbor> BallTree::RadiusSearch(const double* query,
+                                             double radius) const {
+  GBX_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor> out;
+  if (root_ < 0 || live_ == 0) return out;
+  SearchRadius(root_, query, radius * radius, &out);
+  for (Neighbor& nb : out) nb.distance = std::sqrt(nb.distance);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BallTree::SearchSurface(int node_id, const double* query, int k,
+                             std::vector<Neighbor>* heap) const {
   const Node& node = nodes_[node_id];
   const int d = points_->cols();
   if (node.split_dim < 0) {
@@ -279,16 +315,15 @@ void DynamicKdTree::SearchSurface(int node_id, const double* query, int k,
     }
     return;
   }
-  // Every score in a subtree is >= sqrt(BoxMinD2) - max_weight, exactly
-  // (box distance dominates each point's squared distance term by term
-  // in the same summation order; sqrt and subtraction are monotone), so
-  // pruning strictly above the current worst retained score never drops
-  // a candidate — equal bounds still visit, preserving index ties.
-  // Descend the lower-bound side first to tighten the heap early.
+  // Every score in a subtree is >= the deflated triangle bound minus the
+  // subtree's max weight (subtraction is monotone, weights are
+  // non-negative), so pruning strictly above the current worst retained
+  // score never drops a candidate — equal bounds still visit, preserving
+  // index ties.
   int children[2] = {node.left, node.right};
   double bounds[2];
   for (int s = 0; s < 2; ++s) {
-    bounds[s] = std::sqrt(BoxMinD2(children[s], query)) -
+    bounds[s] = NodeMinDist(children[s], query) -
                 nodes_[children[s]].max_weight;
   }
   if (bounds[1] < bounds[0]) {
@@ -306,10 +341,10 @@ void DynamicKdTree::SearchSurface(int node_id, const double* query, int k,
   }
 }
 
-std::vector<Neighbor> DynamicKdTree::KNearestSurface(const double* query,
-                                                     int k) const {
+std::vector<Neighbor> BallTree::KNearestSurface(const double* query,
+                                                int k) const {
   GBX_CHECK_MSG(weights_ != nullptr,
-                "DynamicKdTree::KNearestSurface requires point weights");
+                "BallTree::KNearestSurface requires point weights");
   GBX_CHECK_GE(k, 0);
   k = std::min(k, live_);
   if (k == 0 || root_ < 0) return {};
@@ -318,17 +353,6 @@ std::vector<Neighbor> DynamicKdTree::KNearestSurface(const double* query,
   SearchSurface(root_, query, k, &heap);
   std::sort_heap(heap.begin(), heap.end(), WorseNeighbor);
   return heap;
-}
-
-std::vector<Neighbor> DynamicKdTree::RadiusSearch(const double* query,
-                                                  double radius) const {
-  GBX_CHECK_GE(radius, 0.0);
-  std::vector<Neighbor> out;
-  if (root_ < 0 || live_ == 0) return out;
-  SearchRadius(root_, query, radius * radius, &out);
-  for (Neighbor& nb : out) nb.distance = std::sqrt(nb.distance);
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace gbx

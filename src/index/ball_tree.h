@@ -1,0 +1,168 @@
+// Metric ball-tree with cheap lazy deletions — the moderate-dimension
+// counterpart to DynamicKdTree. Nodes are metric balls (centroid +
+// covering radius) instead of axis-aligned boxes, and queries prune
+// subtrees with the triangle inequality:
+//     dist(q, x) >= dist(q, centroid) − node_radius   for every member x.
+// Axis-box pruning collapses under distance concentration because a
+// high-dimensional box's min-distance is realized at a corner the data
+// never occupies; a covering ball follows the points' actual spread, so
+// the ball-tree keeps pruning where the KD-tree has already degraded to
+// a linear scan — that is what raises the IndexStrategy crossover
+// dimension (see index_strategy.cc for the measured surface).
+//
+// Deletions mirror DynamicKdTree exactly: Remove(i) tombstones a point
+// in O(depth) via per-node live counters, and the tree rebuilds itself
+// over the survivors once more than half of the indexed points are
+// tombstoned. Centroids/radii are not recomputed on removal — they only
+// ever overestimate, so pruning stays valid.
+//
+// Exactness under floating point: computed distances carry relative
+// rounding error O(dims · eps), so the raw triangle bound — computed
+// from the fp centroid distance and the fp covering radius — could
+// exceed a member's fp distance by a few ulps and wrongly prune it. The
+// bound is therefore deflated by kFpSlack = 1e-9, orders of magnitude
+// above the true error for any dimensionality this library sees (error
+// <= ~(dims+2)·2⁻⁵³ ≈ 1e-13 even at dims = 1e3) and orders of magnitude
+// below any gap that affects pruning power. The deflated bound is a
+// certain lower bound on every member's *computed* distance, so pruning
+// only ever skips subtrees that cannot contribute, and every query
+// family returns results bit-identical to the brute-force scan — the
+// same contract DynamicKdTree's fp-exact box bound provides, enforced
+// by the oracle battery in tests/ball_tree_test.cc.
+//
+// Queries never mutate the tree and are safe to issue concurrently;
+// Remove must be externally serialized against queries.
+#ifndef GBX_INDEX_BALL_TREE_H_
+#define GBX_INDEX_BALL_TREE_H_
+
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace gbx {
+
+class BallTree : public NeighborIndex {
+ public:
+  /// `points` must outlive the tree and must not be mutated while the
+  /// tree is live. All rows start alive. `leaf_size` is the maximum
+  /// number of points in a leaf bucket.
+  explicit BallTree(const Matrix* points, int leaf_size = 16);
+
+  /// As above, plus a non-negative weight per point (one per row,
+  /// `point_weights` must outlive the tree), enabling KNearestSurface.
+  /// GB-kNN passes ball radii so a query ranks balls by surface
+  /// distance.
+  BallTree(const Matrix* points, const double* point_weights,
+           int leaf_size = 16);
+
+  /// Tombstones point `i` (must be alive). Triggers an automatic rebuild
+  /// over the survivors when more than half of the currently indexed
+  /// points are tombstoned.
+  void Remove(int i);
+
+  bool alive(int i) const;
+
+  /// Number of live (non-tombstoned) points.
+  int size() const override { return live_; }
+  int dims() const override { return points_->cols(); }
+
+  /// Rows in the backing matrix, including removed ones.
+  int total_points() const { return points_->rows(); }
+  /// Points in the current tree structure (live + tombstones); resets to
+  /// size() on rebuild.
+  int indexed_points() const { return built_size_; }
+  /// Tombstones in the current structure (cleared by rebuild).
+  int tombstones() const { return tombstones_; }
+  /// Automatic rebuilds performed so far.
+  int rebuilds() const { return rebuilds_; }
+
+  /// The k nearest live points, ranked by (squared distance, index) —
+  /// BruteForceIndex's order — with Euclidean distances in the result.
+  /// Like every index: k larger than size() returns all live points.
+  std::vector<Neighbor> KNearest(const double* query, int k) const override;
+
+  /// All live points with squared distance <= radius², sorted by
+  /// (distance, index) — BruteForceIndex's inclusion rule and order.
+  std::vector<Neighbor> RadiusSearch(const double* query,
+                                     double radius) const override;
+
+  /// The k nearest live points by (squared distance, index), excluding
+  /// point id `exclude` (pass -1 to exclude nothing) — the exact total
+  /// order RD-GBG's neighbor stream consumes. k larger than the number
+  /// of eligible points returns all of them.
+  std::vector<SquaredNeighbor> KNearestSquared(const double* query, int k,
+                                               int exclude = -1) const;
+
+  /// Requires weights (see the weighted constructor): the k live points
+  /// minimizing (score, index) where
+  ///     score = dist - w_i   if dist <= w_i   (query inside the ball)
+  ///           = dist         otherwise,
+  /// i.e. GB-kNN's granular-ball surface distance when w is the ball
+  /// radius. Neighbor::distance carries the score. Subtrees are pruned
+  /// with the deflated triangle bound minus the subtree's maximum
+  /// weight; results are bit-identical to the exhaustive scan.
+  std::vector<Neighbor> KNearestSurface(const double* query, int k) const;
+
+ private:
+  struct Node {
+    int left = -1;  // child node ids; -1 for leaf
+    int right = -1;
+    int parent = -1;
+    int split_dim = -1;  // build-time partition axis; -1 for leaf
+    int begin = 0;       // leaf: range into order_
+    int end = 0;
+    int live = 0;  // live points in this subtree; 0 prunes it entirely
+    // Covering radius: max computed distance from the centroid to a
+    // live-at-build member. Overestimates after removals — still valid.
+    double radius = 0.0;
+    // Largest weight of a live-at-build point in the subtree (0 without
+    // weights).
+    double max_weight = 0.0;
+  };
+
+  int Build(int begin, int end, int parent);
+  void Rebuild();
+
+  const double* Centroid(int node_id) const {
+    return &centroids_[static_cast<std::size_t>(node_id) * points_->cols()];
+  }
+
+  /// Deflated triangle bound: a certain lower bound on the computed
+  /// Euclidean distance from `query` to every point indexed under the
+  /// node (0 when the query is inside the covering ball).
+  double NodeMinDist(int node_id, const double* query) const;
+
+  /// The bound above, squared and deflated once more, safe to compare
+  /// against computed *squared* distances.
+  static double SquaredLowerBound(double min_dist);
+
+  void SearchKnn(int node_id, const double* query, int k,
+                 std::vector<Neighbor>* heap) const;
+  void SearchKnnSquared(int node_id, const double* query, int k, int exclude,
+                        std::vector<SquaredNeighbor>* heap) const;
+  void SearchRadius(int node_id, const double* query, double r2,
+                    std::vector<Neighbor>* out) const;
+  void SearchSurface(int node_id, const double* query, int k,
+                     std::vector<Neighbor>* heap) const;
+
+  const Matrix* points_;
+  const double* weights_ = nullptr;  // per-point, for KNearestSurface
+  int leaf_size_;
+  std::vector<char> alive_;
+  std::vector<int> order_;       // live-at-build point ids, leaves own ranges
+  std::vector<int> point_leaf_;  // point id -> leaf node id (-1 if removed
+                                 // before the last rebuild)
+  std::vector<Node> nodes_;
+  std::vector<double> centroids_;  // node_id * dims
+  int root_ = -1;
+  int live_ = 0;
+  int built_size_ = 0;
+  int tombstones_ = 0;
+  int rebuilds_ = 0;
+
+  static constexpr double kFpSlack = 1e-9;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_INDEX_BALL_TREE_H_

@@ -55,6 +55,30 @@ void OfferToBoundedHeap(std::vector<T>* heap, const T& cand, int k) {
   }
 }
 
+/// Smallest squared distance from `query` to the axis-aligned box
+/// [lo, hi] (0 inside), summed dimension 0..d-1 — the SAME summation
+/// order as SquaredDistance. That shared order is load-bearing: every
+/// box-pruned index (DynamicKdTree, BallSurfaceIndex)
+/// relies on the box distance dominating each member's SquaredDistance
+/// term by term in identical order, which is what makes pruning
+/// floating-point-exact. Keeping the one copy here is what lets that
+/// argument rest on a single piece of code, exactly like
+/// OfferToBoundedHeap below.
+inline double BoxMinSquaredDistance(const double* lo, const double* hi,
+                                    const double* query, int d) {
+  double s = 0.0;
+  for (int j = 0; j < d; ++j) {
+    double diff = 0.0;
+    if (query[j] < lo[j]) {
+      diff = lo[j] - query[j];
+    } else if (query[j] > hi[j]) {
+      diff = query[j] - hi[j];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
 class NeighborIndex {
  public:
   virtual ~NeighborIndex() = default;

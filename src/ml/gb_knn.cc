@@ -57,8 +57,9 @@ void GbKnnClassifier::set_index_strategy(IndexStrategy strategy) {
 }
 
 IndexStrategy GbKnnClassifier::resolved_index_strategy() const {
-  return center_index_ != nullptr ? IndexStrategy::kTree
-                                  : IndexStrategy::kFlat;
+  if (center_index_ == nullptr) return IndexStrategy::kFlat;
+  return center_index_->kd != nullptr ? IndexStrategy::kTree
+                                      : IndexStrategy::kBallTree;
 }
 
 void GbKnnClassifier::RebuildCenterIndex() {
@@ -66,19 +67,41 @@ void GbKnnClassifier::RebuildCenterIndex() {
   if (!fitted()) return;
   const int m = balls_.size();
   const int p = balls_.scaled_features().cols();
-  if (ResolveCenterIndexStrategy(gbg_config_.index_strategy, m, p) !=
-      IndexStrategy::kTree) {
+  const int threads = ResolveNumThreads(gbg_config_.num_threads);
+  const auto materialize = [&](Matrix* centers, std::vector<double>* radii) {
+    *centers = Matrix(m, p);
+    radii->resize(m);
+    for (int i = 0; i < m; ++i) {
+      const GranularBall& ball = balls_.ball(i);
+      for (int j = 0; j < p; ++j) centers->At(i, j) = ball.center[j];
+      (*radii)[i] = ball.radius;
+    }
+  };
+  // Resolve before materializing: only kAuto's EffectiveDimension-gated
+  // ball-tree tier inspects the centers, so the common flat path skips
+  // the O(m·p) copy entirely.
+  Matrix centers;
+  std::vector<double> radii;
+  IndexStrategy backend;
+  if (gbg_config_.index_strategy == IndexStrategy::kAuto &&
+      CenterResolutionWantsCenters(m, p)) {
+    materialize(&centers, &radii);
+    backend = ResolveCenterIndexStrategy(gbg_config_.index_strategy, m, p,
+                                         threads, &centers);
+  } else {
+    backend = ResolveCenterIndexStrategy(gbg_config_.index_strategy, m, p,
+                                         threads);
+    if (backend == IndexStrategy::kTree ||
+        backend == IndexStrategy::kBallTree) {
+      materialize(&centers, &radii);
+    }
+  }
+  if (backend != IndexStrategy::kTree &&
+      backend != IndexStrategy::kBallTree) {
     return;
   }
-  Matrix centers(m, p);
-  std::vector<double> radii(m);
-  for (int i = 0; i < m; ++i) {
-    const GranularBall& ball = balls_.ball(i);
-    for (int j = 0; j < p; ++j) centers.At(i, j) = ball.center[j];
-    radii[i] = ball.radius;
-  }
-  center_index_ = std::make_shared<const CenterIndex>(std::move(centers),
-                                                      std::move(radii));
+  center_index_ = std::make_shared<const CenterIndex>(
+      std::move(centers), std::move(radii), backend);
 }
 
 int GbKnnClassifier::VoteOverNearest(
@@ -102,8 +125,8 @@ int GbKnnClassifier::PredictWithCenterTree(const CenterIndex& index,
   // KNearestSurface ranks balls by the flat scan's exact (score, index)
   // order — score = dist - r inside, dist outside, computed with the
   // identical arithmetic — so its top-k IS the flat partial_sort's
-  // top-k, bit for bit.
-  const std::vector<Neighbor> top = index.tree.KNearestSurface(q.data(), k);
+  // top-k, bit for bit, whichever tree backend is behind it.
+  const std::vector<Neighbor> top = index.KNearestSurface(q.data(), k);
   GBX_DCHECK(static_cast<int>(top.size()) == k);
   std::vector<std::pair<double, int>> dists;
   dists.reserve(top.size());
@@ -133,14 +156,26 @@ int GbKnnClassifier::Predict(const double* x) const {
   const std::shared_ptr<const CenterIndex> index = center_index_;
   if (index != nullptr) return PredictWithCenterTree(*index, q, k);
 
-  std::vector<std::pair<double, int>> dists;
-  dists.reserve(balls_.size());
-  for (int i = 0; i < balls_.size(); ++i) {
-    const GranularBall& ball = balls_.ball(i);
-    const double dist = EuclideanDistance(q.data(), ball.center.data(), p);
-    const double score = dist <= ball.radius ? dist - ball.radius : dist;
-    dists.emplace_back(score, i);
-  }
+  // Flat scan: the score fill writes disjoint per-ball slots, so it
+  // parallelizes over the pool without changing the values; the
+  // partial_sort stays serial and deterministic. Under PredictBatch the
+  // outer per-query loop already owns the workers and this inner loop
+  // runs serially (nested parallel regions serialize) — the fan-out
+  // only matters for single large-model Predict calls (the
+  // latency-bound serving path).
+  const int m = balls_.size();
+  std::vector<std::pair<double, int>> dists(m);
+  ParallelForRange(
+      m, ParallelGrain(p),
+      ParallelThreads(m, p, ResolveNumThreads(gbg_config_.num_threads)),
+      [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          const GranularBall& ball = balls_.ball(i);
+          const double dist =
+              EuclideanDistance(q.data(), ball.center.data(), p);
+          dists[i] = {dist <= ball.radius ? dist - ball.radius : dist, i};
+        }
+      });
   std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
   return VoteOverNearest(dists, k);
 }

@@ -14,6 +14,7 @@
 
 #include "core/rd_gbg.h"
 #include "data/scaler.h"
+#include "index/ball_tree.h"
 #include "index/dynamic_kd_tree.h"
 #include "ml/classifier.h"
 
@@ -54,15 +55,16 @@ class GbKnnClassifier : public Classifier {
   const GranularBallSet& balls() const { return balls_; }
 
   /// Chooses how Predict scans the ball centers: kFlat is the exhaustive
-  /// per-query scan, kTree a KD-tree over the centers built once at
-  /// Fit/Restore and shared by Predict / PredictBatch / the serving
-  /// engine, kAuto resolves by ball count and dimensionality. Both
-  /// strategies return bit-identical predictions — the tree ranks balls
-  /// by the flat scan's exact (score, index) order via
-  /// DynamicKdTree::KNearestSurface, whose subtree bound is a
-  /// floating-point-exact score lower bound — so the knob is pure
+  /// per-query scan (score fill parallelized over the pool for large
+  /// ball sets), kTree a KD-tree and kBallTree a metric ball-tree over
+  /// the centers, built once at Fit/Restore and shared by Predict /
+  /// PredictBatch / the serving engine; kAuto resolves by ball count,
+  /// dimensionality, and worker count. Every strategy returns
+  /// bit-identical predictions — both trees rank balls by the flat
+  /// scan's exact (score, index) order via KNearestSurface, whose
+  /// subtree bound is a certain score lower bound — so the knob is pure
   /// runtime state: model artifacts never persist it, and a model saved
-  /// under one strategy predicts identically under the other
+  /// under one strategy predicts identically under the others
   /// (tests/roundtrip_fuzz_test.cc). Re-resolves and rebuilds/drops the
   /// tree immediately when fitted; a no-op when `strategy` is already
   /// set. NOT safe to call concurrently with in-flight
@@ -70,26 +72,37 @@ class GbKnnClassifier : public Classifier {
   /// gbx_serve does at load).
   void set_index_strategy(IndexStrategy strategy);
   IndexStrategy index_strategy() const { return gbg_config_.index_strategy; }
-  /// What Predict will actually use: kTree when a center tree is built,
-  /// kFlat otherwise (always kFlat before Fit/Restore).
+  /// What Predict will actually use: kTree / kBallTree when a center
+  /// index is built, kFlat otherwise (always kFlat before Fit/Restore).
   IndexStrategy resolved_index_strategy() const;
 
  private:
-  // Ball centers as a matrix, radii as per-center weights, and a KD-tree
-  // over them serving the surface-distance query
-  // (DynamicKdTree::KNearestSurface). Heap-allocated as one block so the
-  // tree's pointers into `centers`/`radii` survive moves of the
-  // classifier; shared_ptr keeps the classifier copyable (the index is
-  // immutable after construction, so sharing is safe — queries never
-  // mutate the tree).
+  // Ball centers as a matrix, radii as per-center weights, and one tree
+  // backend over them serving the surface-distance query
+  // (KNearestSurface) — a KD-tree up to the box-pruning crossover, a
+  // metric ball-tree past it. Heap-allocated as one block so the tree's
+  // pointers into `centers`/`radii` survive moves of the classifier;
+  // shared_ptr keeps the classifier copyable (the index is immutable
+  // after construction, so sharing is safe — queries never mutate the
+  // tree).
   struct CenterIndex {
     Matrix centers;
     std::vector<double> radii;
-    DynamicKdTree tree;
-    CenterIndex(Matrix centers_in, std::vector<double> radii_in)
-        : centers(std::move(centers_in)),
-          radii(std::move(radii_in)),
-          tree(&centers, radii.data()) {}
+    std::unique_ptr<DynamicKdTree> kd;  // exactly one backend is set
+    std::unique_ptr<BallTree> ball;
+    CenterIndex(Matrix centers_in, std::vector<double> radii_in,
+                IndexStrategy backend)
+        : centers(std::move(centers_in)), radii(std::move(radii_in)) {
+      if (backend == IndexStrategy::kBallTree) {
+        ball = std::make_unique<BallTree>(&centers, radii.data());
+      } else {
+        kd = std::make_unique<DynamicKdTree>(&centers, radii.data());
+      }
+    }
+    std::vector<Neighbor> KNearestSurface(const double* query, int k) const {
+      return kd != nullptr ? kd->KNearestSurface(query, k)
+                           : ball->KNearestSurface(query, k);
+    }
   };
 
   /// (Re)derives the resolved strategy and builds or drops the center

@@ -1,0 +1,141 @@
+// Property battery for BallSurfaceIndex: interleaved Insert/MinSurfaceGap
+// schedules cross-checked against the flat gap scan — the exact
+// computation RD-GBG's conflict-radius pass performs — over an
+// n × d × leaf_size sweep, with exact double equality throughout. The
+// adversarial corners ride along: duplicate centers (zero-spread
+// leaves), zero radii (orphan-shaped balls), radii that swallow the
+// whole cloud (negative gaps everywhere), queries at stored centers, and
+// the block-merge boundaries of the logarithmic forest.
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/ball_surface_index.h"
+#include "common/matrix.h"
+
+namespace gbx {
+namespace {
+
+struct FlatBalls {
+  std::vector<std::vector<double>> centers;
+  std::vector<double> radii;
+
+  // The flat r_conf gap scan's arithmetic, verbatim.
+  double MinGap(const double* q, int d) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < radii.size(); ++i) {
+      best = std::min(
+          best, EuclideanDistance(q, centers[i].data(), d) - radii[i]);
+    }
+    return best;
+  }
+};
+
+class BallSurfaceIndexOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BallSurfaceIndexOracleTest, AgreesWithFlatScanUnderInterleavedInserts) {
+  const auto [n, d, leaf_size] = GetParam();
+  Pcg32 rng(1700 + 13 * n + d + leaf_size);
+  BallSurfaceIndex index(d, leaf_size);
+  FlatBalls flat;
+
+  EXPECT_EQ(index.size(), 0);
+  {
+    // Empty index: no balls means no conflict — +infinity, like the
+    // flat fold over zero balls.
+    std::vector<double> q(d, 0.0);
+    EXPECT_EQ(index.MinSurfaceGap(q.data()),
+              std::numeric_limits<double>::infinity());
+  }
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> center(d);
+    if (i > 0 && rng.NextBounded(8) == 0) {
+      // Duplicate center: distinct balls can share a center sample.
+      center = flat.centers[rng.NextBounded(static_cast<std::uint32_t>(i))];
+    } else {
+      for (int j = 0; j < d; ++j) center[j] = rng.NextGaussian();
+    }
+    const int kind = static_cast<int>(rng.NextBounded(4));
+    const double radius = kind == 0   ? 0.0                      // orphan
+                          : kind == 1 ? 10.0 + rng.NextDouble()  // swallows
+                                      : rng.NextDouble() * 1.5;  // typical
+    index.Insert(center.data(), radius);
+    flat.centers.push_back(center);
+    flat.radii.push_back(radius);
+    ASSERT_EQ(index.size(), i + 1);
+
+    // Query after every insert: this sweeps the tail through every fill
+    // level and crosses every block-merge boundary of the forest.
+    for (int trial = 0; trial < 2; ++trial) {
+      std::vector<double> q(d);
+      if (trial == 1) {
+        // At a stored center: exercises gap = -radius and exact-zero
+        // distances.
+        q = flat.centers[rng.NextBounded(static_cast<std::uint32_t>(i + 1))];
+      } else {
+        for (int j = 0; j < d; ++j) q[j] = rng.NextGaussian() * 2.0;
+      }
+      const double expected = flat.MinGap(q.data(), d);
+      const double actual = index.MinSurfaceGap(q.data());
+      // Identical arithmetic on identical inputs: exact, not
+      // approximate — this is the bit-identity contract the r_conf
+      // strategy knob rests on.
+      ASSERT_EQ(actual, expected)
+          << "n=" << i + 1 << " d=" << d << " leaf=" << leaf_size
+          << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BallSurfaceIndexOracleTest,
+    ::testing::Combine(::testing::Values(1, 33, 257, 700),
+                       ::testing::Values(1, 2, 8, 16),
+                       ::testing::Values(1, 4, 16)));
+
+// The forest must fold blocks binary-counter style: sizes strictly
+// decreasing front to back, tail always below its cap, and nothing lost
+// across merges.
+TEST(BallSurfaceIndexTest, ForestShapeStaysLogarithmic) {
+  const int d = 3;
+  BallSurfaceIndex index(d);
+  Pcg32 rng(5);
+  std::vector<double> center(d);
+  for (int i = 0; i < 1000; ++i) {
+    for (int j = 0; j < d; ++j) center[j] = rng.NextGaussian();
+    index.Insert(center.data(), 0.1);
+    ASSERT_LT(index.tail_size(), 32) << "tail past its cap at insert " << i;
+    ASSERT_LE(index.num_blocks(), 6)
+        << "forest must stay logarithmic (1000 balls, 32-cap tail)";
+  }
+  EXPECT_EQ(index.size(), 1000);
+}
+
+// All-duplicate input: one zero-spread leaf per block, min over
+// different radii at distance zero.
+TEST(BallSurfaceIndexTest, AllDuplicateCenters) {
+  const int d = 2;
+  BallSurfaceIndex index(d, /*leaf_size=*/4);
+  const double center[] = {1.5, -2.5};
+  FlatBalls flat;
+  Pcg32 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double radius = rng.NextDouble();
+    index.Insert(center, radius);
+    flat.centers.emplace_back(center, center + d);
+    flat.radii.push_back(radius);
+  }
+  const double at_center[] = {1.5, -2.5};
+  const double away[] = {4.0, 4.0};
+  EXPECT_EQ(index.MinSurfaceGap(at_center), flat.MinGap(at_center, d));
+  EXPECT_EQ(index.MinSurfaceGap(away), flat.MinGap(away, d));
+}
+
+}  // namespace
+}  // namespace gbx

@@ -111,14 +111,20 @@ TEST_P(RdGbgThreadDeterminismTest, OutputIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(SyntheticDatasets, RdGbgThreadDeterminismTest,
                          ::testing::Range(0, 4));
 
-// The index-strategy axis: the DynamicKdTree-backed neighbor pass must
-// reproduce the flat scan's granulation exactly — same balls (centers,
-// radii, members), noise, orphans, iterations — at every thread count.
-// This equality contract is what makes RdGbgConfig::index_strategy a
-// pure wall-clock knob that kAuto may flip freely by problem size.
+// The index-strategy axis: every tree-backed neighbor pass — the
+// DynamicKdTree, and the metric BallTree — must reproduce the flat
+// scan's granulation exactly — same balls (centers, radii, members),
+// noise, orphans, iterations — at every thread count. Both tree
+// strategies also force the r_conf pass through the incremental
+// BallSurfaceIndex from the first ball (ResolveRdGbgSurfaceThreshold),
+// so this suite is simultaneously the end-to-end bit-identity check for
+// the surface index against the flat parallel gap scan the kFlat
+// reference uses. This equality contract is what makes
+// RdGbgConfig::index_strategy a pure wall-clock knob that kAuto may
+// flip freely by problem size.
 class RdGbgStrategyEquivalenceTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(RdGbgStrategyEquivalenceTest, TreeStrategyMatchesFlatBitForBit) {
+TEST_P(RdGbgStrategyEquivalenceTest, TreeStrategiesMatchFlatBitForBit) {
   const int which = GetParam();
   const Dataset ds = PickDataset(which);
   RdGbgConfig cfg;
@@ -126,19 +132,23 @@ TEST_P(RdGbgStrategyEquivalenceTest, TreeStrategyMatchesFlatBitForBit) {
   cfg.num_threads = 1;
   cfg.index_strategy = IndexStrategy::kFlat;
   const RdGbgResult reference = GenerateRdGbg(ds, cfg);
-  cfg.index_strategy = IndexStrategy::kTree;
-  for (int threads : ThreadCountsUnderTest()) {
-    cfg.num_threads = threads;
-    const RdGbgResult run = GenerateRdGbg(ds, cfg);
-    ExpectIdenticalGranulation(reference, run, threads);
+  for (IndexStrategy strategy :
+       {IndexStrategy::kTree, IndexStrategy::kBallTree}) {
+    cfg.index_strategy = strategy;
+    for (int threads : ThreadCountsUnderTest()) {
+      cfg.num_threads = threads;
+      const RdGbgResult run = GenerateRdGbg(ds, cfg);
+      ExpectIdenticalGranulation(reference, run, threads);
+    }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(SyntheticDatasets, RdGbgStrategyEquivalenceTest,
                          ::testing::Range(0, 4));
 
-// GB-kNN's ball-center scan has the same contract: the center KD-tree
-// path and the flat scan must vote out identical labels for every query.
+// GB-kNN's ball-center scan has the same contract: both center tree
+// backends and the flat scan must vote out identical labels for every
+// query.
 TEST(GbKnnStrategyEquivalenceTest, CenterTreePredictionsMatchFlat) {
   const Dataset train = OverlappingBlobs(900);
   const Dataset test = OverlappingBlobs(400);
@@ -150,20 +160,23 @@ TEST(GbKnnStrategyEquivalenceTest, CenterTreePredictionsMatchFlat) {
     Pcg32 rng_flat(8);
     flat.Fit(train, &rng_flat);
     ASSERT_EQ(flat.resolved_index_strategy(), IndexStrategy::kFlat);
+    const std::vector<int> expected = flat.PredictBatch(test.x());
 
-    gbg.index_strategy = IndexStrategy::kTree;
-    GbKnnClassifier tree(gbg, k);
-    Pcg32 rng_tree(8);
-    tree.Fit(train, &rng_tree);
-    ASSERT_EQ(tree.resolved_index_strategy(), IndexStrategy::kTree);
+    for (IndexStrategy strategy :
+         {IndexStrategy::kTree, IndexStrategy::kBallTree}) {
+      gbg.index_strategy = strategy;
+      GbKnnClassifier tree(gbg, k);
+      Pcg32 rng_tree(8);
+      tree.Fit(train, &rng_tree);
+      ASSERT_EQ(tree.resolved_index_strategy(), strategy);
 
-    ASSERT_EQ(tree.PredictBatch(test.x()), flat.PredictBatch(test.x()))
-        << "k=" << k;
+      ASSERT_EQ(tree.PredictBatch(test.x()), expected) << "k=" << k;
 
-    // Flipping the knob on a fitted model re-resolves in place.
-    tree.set_index_strategy(IndexStrategy::kFlat);
-    ASSERT_EQ(tree.resolved_index_strategy(), IndexStrategy::kFlat);
-    ASSERT_EQ(tree.PredictBatch(test.x()), flat.PredictBatch(test.x()));
+      // Flipping the knob on a fitted model re-resolves in place.
+      tree.set_index_strategy(IndexStrategy::kFlat);
+      ASSERT_EQ(tree.resolved_index_strategy(), IndexStrategy::kFlat);
+      ASSERT_EQ(tree.PredictBatch(test.x()), expected);
+    }
   }
 }
 
