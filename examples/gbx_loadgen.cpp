@@ -1,0 +1,414 @@
+// gbx_loadgen: load generator and socket client for the gbx_serve
+// network front-end (serve/server.h, gbx-wire v1).
+//
+// Three modes against a running server (--host/--port):
+//
+//   --ping                  liveness probe: "!ping" -> "ok pong".
+//                           Exit 0 iff the server answered; CI polls
+//                           this while the server boots.
+//
+//   --queries FILE          replay: send every line of FILE (the
+//     [--out FILE]          gbx_serve predict stdin format) as predict
+//     [--model NAME]        frames — pipelined, answered in order — and
+//                           write one label per line. Diffing --out
+//                           against `gbx_serve predict` output proves
+//                           socket serving is bit-identical to the
+//                           stdin path (the CI socket smoke).
+//
+//   --qps N --seconds X     open-loop sustained load: requests are
+//     [--connections C]     scheduled at fixed arrival times i/qps
+//     [--model NAME]        across C connections and latency is
+//                           measured FROM THE SCHEDULED TIME (so queue
+//                           delay when the server falls behind is
+//                           charged to it — no coordinated omission).
+//                           Reports achieved QPS and p50/p99/max.
+//
+// --self replaces --host/--port with an in-process server over a
+// freshly trained GB-kNN model — the self-contained form the BENCH
+// ctest smoke runs so serving regressions are measured like index
+// regressions.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "ml/gb_knn.h"
+#include "serve/model_io.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace gbx;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string model;  // "" = the server's default route
+  std::string queries;
+  std::string out;
+  double qps = 1000.0;
+  double seconds = 2.0;
+  int connections = 4;
+  bool ping = false;
+  bool self = false;
+  std::string dataset = "S5";
+  int max_samples = 400;
+  std::uint64_t seed = 7;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gbx_loadgen (--port N [--host H] | --self) --ping\n"
+      "  gbx_loadgen (--port N [--host H] | --self) --queries FILE\n"
+      "              [--out FILE] [--model NAME]\n"
+      "  gbx_loadgen (--port N [--host H] | --self) --qps N --seconds X\n"
+      "              [--connections C] [--model NAME]\n"
+      "self-mode:    [--dataset S1..S13] [--max-samples N] [--seed N]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--ping") {
+      args->ping = true;
+    } else if (flag == "--self") {
+      args->self = true;
+    } else if (!(v = next())) {
+      std::fprintf(stderr, "gbx_loadgen: %s needs a value\n", flag.c_str());
+      return false;
+    } else if (flag == "--host") {
+      args->host = v;
+    } else if (flag == "--port") {
+      args->port = std::atoi(v);
+    } else if (flag == "--model") {
+      args->model = v;
+    } else if (flag == "--queries") {
+      args->queries = v;
+    } else if (flag == "--out") {
+      args->out = v;
+    } else if (flag == "--qps") {
+      args->qps = std::atof(v);
+    } else if (flag == "--seconds") {
+      args->seconds = std::atof(v);
+    } else if (flag == "--connections") {
+      args->connections = std::atoi(v);
+    } else if (flag == "--dataset") {
+      args->dataset = v;
+    } else if (flag == "--max-samples") {
+      args->max_samples = std::atoi(v);
+    } else if (flag == "--seed") {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "gbx_loadgen: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "ok LABEL ..." -> LABEL; anything else is an error.
+StatusOr<int> LabelFromReply(const std::string& payload) {
+  int label = 0;
+  if (std::sscanf(payload.c_str(), "ok %d", &label) != 1) {
+    return Status::Internal("server answered: " + payload);
+  }
+  return label;
+}
+
+int RunPing(const Args& args) {
+  StatusOr<int> fd = ConnectTcp(args.host, args.port, 2.0);
+  if (!fd.ok()) return 1;
+  const Status sent = SendFrame(*fd, "!ping");
+  const StatusOr<std::string> reply =
+      sent.ok() ? RecvFrame(*fd) : StatusOr<std::string>(sent);
+  ::close(*fd);
+  if (!reply.ok() || *reply != "ok pong") return 1;
+  std::printf("pong\n");
+  return 0;
+}
+
+int RunReplay(const Args& args) {
+  std::ifstream in(args.queries);
+  if (!in) {
+    std::fprintf(stderr, "gbx_loadgen: cannot read %s\n",
+                 args.queries.c_str());
+    return 1;
+  }
+  std::vector<std::string> payloads;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    payloads.push_back(args.model.empty() ? line
+                                          : "@" + args.model + " " + line);
+  }
+
+  StatusOr<int> fd = ConnectTcp(args.host, args.port);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "gbx_loadgen: %s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  std::FILE* out = stdout;
+  if (!args.out.empty()) {
+    out = std::fopen(args.out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "gbx_loadgen: cannot write %s\n",
+                   args.out.c_str());
+      ::close(*fd);
+      return 1;
+    }
+  }
+
+  // Pipeline with a bounded window: responses come back in request
+  // order (a server guarantee), so a sliding window keeps both
+  // directions busy without deadlocking on full kernel buffers.
+  constexpr std::size_t kWindow = 128;
+  std::size_t sent = 0, received = 0;
+  int rc = 0;
+  while (received < payloads.size()) {
+    while (sent < payloads.size() && sent - received < kWindow) {
+      const Status st = SendFrame(*fd, payloads[sent]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "gbx_loadgen: %s\n", st.ToString().c_str());
+        rc = 1;
+        break;
+      }
+      ++sent;
+    }
+    if (rc != 0) break;
+    const StatusOr<std::string> reply = RecvFrame(*fd);
+    const StatusOr<int> label =
+        reply.ok() ? LabelFromReply(*reply) : StatusOr<int>(reply.status());
+    if (!label.ok()) {
+      std::fprintf(stderr, "gbx_loadgen: query %zu: %s\n", received,
+                   label.status().ToString().c_str());
+      rc = 1;
+      break;
+    }
+    std::fprintf(out, "%d\n", *label);
+    ++received;
+  }
+  ::close(*fd);
+  if (out != stdout) std::fclose(out);
+  if (rc == 0) {
+    std::fprintf(stderr, "replayed %zu queries\n", received);
+  }
+  return rc;
+}
+
+int RunOpenLoop(const Args& args) {
+  const int total =
+      std::max(1, static_cast<int>(args.qps * args.seconds));
+  const int connections = std::max(1, args.connections);
+
+  // In-distribution queries need the model's feature ranges: ask !list
+  // for dims... simpler and always right: pull one model's metadata via
+  // !stat? The wire protocol doesn't ship ranges, so synthesize queries
+  // from the unit cube and rely on the scaler (GB-kNN scales queries
+  // into the training range; arbitrary finite values are valid input).
+  // Dims come from the "!list" reply for the routed model.
+  StatusOr<int> probe = ConnectTcp(args.host, args.port);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "gbx_loadgen: %s\n",
+                 probe.status().ToString().c_str());
+    return 1;
+  }
+  int dims = -1;
+  {
+    const std::string want =
+        args.model.empty() ? std::string("default") : args.model;
+    if (!SendFrame(*probe, "!list").ok()) {
+      ::close(*probe);
+      return 1;
+    }
+    const StatusOr<std::string> reply = RecvFrame(*probe);
+    ::close(*probe);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "gbx_loadgen: !list: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::istringstream in(*reply);
+    std::string tok;
+    while (in >> tok) {
+      if (tok == want) {
+        std::string v, fnv, cs, kind, dimskw;
+        if (in >> v >> fnv >> cs >> kind >> dimskw >> dims) break;
+      }
+    }
+    if (dims <= 0) {
+      std::fprintf(stderr, "gbx_loadgen: no model '%s' on the server\n",
+                   want.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<int> fds(connections, -1);
+  for (int c = 0; c < connections; ++c) {
+    StatusOr<int> fd = ConnectTcp(args.host, args.port);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "gbx_loadgen: %s\n",
+                   fd.status().ToString().c_str());
+      for (int f : fds) {
+        if (f >= 0) ::close(f);
+      }
+      return 1;
+    }
+    fds[c] = *fd;
+  }
+
+  std::printf("loadgen: target %.0f qps x %.1f s on %d connections "
+              "(%d requests, %d features, model '%s')\n",
+              args.qps, args.seconds, connections, total, dims,
+              args.model.empty() ? "default" : args.model.c_str());
+
+  std::atomic<int> next_index{0};
+  std::atomic<long long> errors{0};
+  std::vector<std::vector<double>> latencies_ms(connections);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Pcg32 rng(args.seed + 100 + static_cast<std::uint64_t>(c));
+      std::vector<double> q(dims);
+      latencies_ms[c].reserve(total / connections + 1);
+      for (;;) {
+        const int i = next_index.fetch_add(1);
+        if (i >= total) return;
+        // Open loop: request i is due at start + i/qps regardless of
+        // how long earlier requests took.
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(i / args.qps));
+        std::this_thread::sleep_until(due);
+        for (int j = 0; j < dims; ++j) q[j] = rng.NextDouble();
+        const std::string payload =
+            FormatPredictPayload(args.model, q.data(), dims);
+        const Status sent = SendFrame(fds[c], payload);
+        const StatusOr<std::string> reply =
+            sent.ok() ? RecvFrame(fds[c]) : StatusOr<std::string>(sent);
+        const StatusOr<int> label =
+            reply.ok() ? LabelFromReply(*reply)
+                       : StatusOr<int>(reply.status());
+        if (!label.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Latency from the *scheduled* time: queueing delay counts.
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - due)
+                .count();
+        latencies_ms[c].push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (int f : fds) ::close(f);
+
+  std::vector<double> all;
+  for (const auto& v : latencies_ms) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const long long ok_count = static_cast<long long>(all.size());
+  const auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(q * (all.size() - 1));
+    return all[rank];
+  };
+  std::printf("completed %lld requests in %.3f s (achieved %.0f qps), "
+              "%lld errors\n",
+              ok_count, elapsed_s,
+              elapsed_s > 0 ? ok_count / elapsed_s : 0.0,
+              errors.load());
+  std::printf("latency (from scheduled send): p50 %.3f ms, p99 %.3f ms, "
+              "max %.3f ms\n",
+              pct(0.50), pct(0.99), all.empty() ? 0.0 : all.back());
+  return errors.load() == 0 ? 0 : 1;
+}
+
+/// --self: train a small GB-kNN, publish it as "default" (and under the
+/// dataset id), serve it in-process, and point the requested mode at it.
+int RunSelfHosted(Args args) {
+  const Dataset ds = MakePaperDataset(args.dataset, args.max_samples, 9);
+  Pcg32 split_rng(11);
+  const TrainTestSplitResult split = TrainTestSplit(ds, 0.3, &split_rng);
+  RdGbgConfig gbg;
+  gbg.seed = args.seed;
+  GbKnnClassifier model(gbg, 3);
+  Pcg32 fit_rng(5);
+  model.Fit(split.train, &fit_rng);
+
+  StatusOr<LoadedModel> loaded = ModelFromString(ModelToString(model));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "gbx_loadgen --self: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto registry = std::make_shared<ModelRegistry>();
+  const auto published =
+      registry->Publish("default", std::move(loaded).value());
+  if (!published.ok()) {
+    std::fprintf(stderr, "gbx_loadgen --self: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+  Server server(registry);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "gbx_loadgen --self: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("self-hosted %s model on 127.0.0.1:%d (%d balls)\n",
+              args.dataset.c_str(), server.port(), model.num_balls());
+  args.host = "127.0.0.1";
+  args.port = server.port();
+  const int rc = args.ping        ? RunPing(args)
+                 : !args.queries.empty() ? RunReplay(args)
+                                         : RunOpenLoop(args);
+  server.Stop();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.self) return RunSelfHosted(args);
+  if (args.port < 0) {
+    std::fprintf(stderr, "gbx_loadgen: --port (or --self) is required\n");
+    return Usage();
+  }
+  if (args.ping) return RunPing(args);
+  if (!args.queries.empty()) return RunReplay(args);
+  return RunOpenLoop(args);
+}

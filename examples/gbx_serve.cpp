@@ -23,8 +23,21 @@
 //            p50/p99 latency, QPS) are printed:
 //              gbx_serve bench --model-file model.gbx --callers 8
 //
+//   serve    network front-end (serve/server.h): bind a TCP port and
+//            speak gbx-wire v1 (length-prefixed frames reusing the
+//            predict line format), serving one or more named models
+//            from a hot-swappable registry:
+//              gbx_serve serve --port 7411 --model-file model.gbx
+//              gbx_serve serve --port 7411 --register a=a.gbx
+//                              --register b=b.gbx
+//            Prints "ready" once listening; SIGINT/SIGTERM shut down
+//            cleanly (in-flight requests drain first). Drive it with
+//            gbx_loadgen.
+//
 //   info     print an artifact's metadata line.
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -40,6 +53,8 @@
 #include "ml/metrics.h"
 #include "serve/engine.h"
 #include "serve/model_io.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -63,6 +78,13 @@ struct Args {
   double seconds = 2.0;
   int callers = 8;
   bool stats = false;
+  // serve subcommand.
+  int port = -1;
+  std::string host = "127.0.0.1";
+  int workers = 0;  // <= 0: GBX_THREADS / hardware
+  std::vector<std::string> registers;  // repeated --register name=path
+  bool poll = false;
+  double idle_timeout_ms = 0.0;
   // Runtime-only ball-center scan strategy for GB-kNN (never persisted
   // in the artifact): auto | flat | tree | balltree.
   IndexStrategy index_strategy = IndexStrategy::kAuto;
@@ -80,6 +102,10 @@ int Usage() {
       "                    [--delay-ms X] [--stats]   (queries on stdin)\n"
       "  gbx_serve bench   --model-file FILE [--seconds X] [--callers N]\n"
       "                    [--batch N] [--delay-ms X] [--seed N]\n"
+      "  gbx_serve serve   --port N [--host H] [--model-file FILE]\n"
+      "                    [--register NAME=PATH]... [--workers N]\n"
+      "                    [--batch N] [--delay-ms X] [--poll]\n"
+      "                    [--idle-timeout-ms X]\n"
       "  gbx_serve info    --model-file FILE\n"
       "common: --index-strategy auto|flat|tree|balltree\n"
       "        (GB-kNN center scan; runtime-only, artifacts never\n"
@@ -96,6 +122,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     const char* v = nullptr;
     if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--poll") {
+      args->poll = true;
     } else if (!(v = next())) {
       std::fprintf(stderr, "gbx_serve: %s needs a value\n", flag.c_str());
       return false;
@@ -131,6 +159,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seconds = std::atof(v);
     } else if (flag == "--callers") {
       args->callers = std::atoi(v);
+    } else if (flag == "--port") {
+      args->port = std::atoi(v);
+    } else if (flag == "--host") {
+      args->host = v;
+    } else if (flag == "--workers") {
+      args->workers = std::atoi(v);
+    } else if (flag == "--register") {
+      args->registers.emplace_back(v);
+    } else if (flag == "--idle-timeout-ms") {
+      args->idle_timeout_ms = std::atof(v);
     } else if (flag == "--index-strategy") {
       if (!ParseIndexStrategy(v, &args->index_strategy)) {
         std::fprintf(stderr,
@@ -248,12 +286,8 @@ void PrintStats(const InferenceEngine& engine, std::FILE* to) {
                s.p50_ms, s.p99_ms, s.max_ms, s.qps);
 }
 
-StatusOr<LoadedModel> LoadModelArg(const Args& args, const char* cmd) {
-  if (args.model_file.empty()) {
-    return Status::InvalidArgument(std::string("gbx_serve ") + cmd +
-                                   ": --model-file is required");
-  }
-  StatusOr<LoadedModel> model = LoadModel(args.model_file);
+StatusOr<LoadedModel> LoadModelAt(const std::string& path, const Args& args) {
+  StatusOr<LoadedModel> model = LoadModel(path);
   if (model.ok()) {
     // The scan strategy is serving-process state, not artifact state:
     // apply this process's choice to the restored model.
@@ -263,6 +297,14 @@ StatusOr<LoadedModel> LoadModelArg(const Args& args, const char* cmd) {
     }
   }
   return model;
+}
+
+StatusOr<LoadedModel> LoadModelArg(const Args& args, const char* cmd) {
+  if (args.model_file.empty()) {
+    return Status::InvalidArgument(std::string("gbx_serve ") + cmd +
+                                   ": --model-file is required");
+  }
+  return LoadModelAt(args.model_file, args);
 }
 
 int RunPredict(const Args& args) {
@@ -382,6 +424,99 @@ int RunBench(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+int RunServe(const Args& args) {
+  if (args.port < 0) {
+    std::fprintf(stderr, "gbx_serve serve: --port is required\n");
+    return 2;
+  }
+  InferenceEngineOptions engine_opts;
+  engine_opts.max_batch_size = args.batch;
+  engine_opts.max_batch_delay_ms = args.delay_ms;
+  auto registry = std::make_shared<ModelRegistry>(engine_opts);
+
+  // --model-file publishes as the default route; --register NAME=PATH
+  // adds named tenants.
+  std::vector<std::pair<std::string, std::string>> to_load;
+  if (!args.model_file.empty()) to_load.emplace_back("default", args.model_file);
+  for (const std::string& spec : args.registers) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      std::fprintf(stderr,
+                   "gbx_serve serve: --register wants NAME=PATH, got '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    to_load.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+  }
+  if (to_load.empty()) {
+    std::fprintf(stderr,
+                 "gbx_serve serve: need --model-file and/or --register\n");
+    return 2;
+  }
+  for (const auto& [name, path] : to_load) {
+    StatusOr<LoadedModel> model = LoadModelAt(path, args);
+    if (!model.ok()) {
+      std::fprintf(stderr, "gbx_serve serve: %s: %s\n", path.c_str(),
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    const auto published = registry->Publish(name, std::move(model).value());
+    if (!published.ok()) {
+      std::fprintf(stderr, "gbx_serve serve: %s\n",
+                   published.status().ToString().c_str());
+      return 1;
+    }
+    const LoadedModel& lm = (*published)->engine->model();
+    std::printf("registered %s v%d (%s, %d features, %d classes)\n",
+                name.c_str(), (*published)->version, lm.kind.c_str(), lm.dims,
+                lm.num_classes);
+  }
+
+  ServerOptions sopts;
+  sopts.host = args.host;
+  sopts.port = args.port;
+  sopts.num_workers = args.workers;
+  sopts.force_poll = args.poll;
+  sopts.idle_timeout_ms = args.idle_timeout_ms;
+  Server server(registry, sopts);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "gbx_serve serve: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %d model(s) on %s:%d\n", registry->size(),
+              args.host.c_str(), server.port());
+  std::printf("ready\n");
+  std::fflush(stdout);
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  server.Stop();
+  const ServerStats s = server.Stats();
+  std::printf("server stats: %lld connections (%lld closed), "
+              "%lld frames in, %lld frames out, %lld protocol errors\n",
+              static_cast<long long>(s.connections_accepted),
+              static_cast<long long>(s.connections_closed),
+              static_cast<long long>(s.frames_received),
+              static_cast<long long>(s.frames_sent),
+              static_cast<long long>(s.protocol_errors));
+  for (const auto& m : registry->List()) {
+    std::printf("model %s v%d:\n", m->name.c_str(), m->version);
+    PrintStats(*m->engine, stdout);
+  }
+  return 0;
+}
+
 int RunInfo(const Args& args) {
   const StatusOr<LoadedModel> model = LoadModelArg(args, "info");
   if (!model.ok()) {
@@ -405,6 +540,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return RunTrain(args);
   if (cmd == "predict") return RunPredict(args);
   if (cmd == "bench") return RunBench(args);
+  if (cmd == "serve") return RunServe(args);
   if (cmd == "info") return RunInfo(args);
   return Usage();
 }

@@ -109,9 +109,14 @@
 #include "exp/table_printer.h"      // IWYU pragma: export
 
 // serve/ — model serving: versioned trained-model artifacts (gbx-model
-// v1 save/load with bit-identical predictions) and the micro-batching
-// InferenceEngine behind the gbx_serve CLI.
+// v1 save/load with bit-identical predictions), the micro-batching
+// InferenceEngine, and the network front-end — gbx-wire framing, the
+// hot-swappable ModelRegistry, and the epoll/poll Server behind
+// `gbx_serve serve` and gbx_loadgen.
 #include "serve/engine.h"     // IWYU pragma: export
 #include "serve/model_io.h"   // IWYU pragma: export
+#include "serve/protocol.h"   // IWYU pragma: export
+#include "serve/registry.h"   // IWYU pragma: export
+#include "serve/server.h"     // IWYU pragma: export
 
 #endif  // GBX_GBX_H_

@@ -346,9 +346,14 @@ StatusOr<LoadedModel> ModelFromString(const std::string& text) {
       return Status::InvalidArgument("bad classes/dims line");
     }
   }
-  if (kind == "gb-knn") return ParseGbKnn(in, *body, config_line, classes, dims);
-  if (kind == "knn") return ParseKnn(in, *body, config_line, classes, dims);
-  return Status::InvalidArgument("unknown classifier kind '" + kind + "'");
+  StatusOr<LoadedModel> model =
+      kind == "gb-knn" ? ParseGbKnn(in, *body, config_line, classes, dims)
+      : kind == "knn"
+          ? ParseKnn(in, *body, config_line, classes, dims)
+          : StatusOr<LoadedModel>(Status::InvalidArgument(
+                "unknown classifier kind '" + kind + "'"));
+  if (model.ok()) model->checksum = Fnv1a64(*body);
+  return model;
 }
 
 StatusOr<LoadedModel> LoadModel(const std::string& path) {

@@ -34,6 +34,7 @@
 #ifndef GBX_SERVE_MODEL_IO_H_
 #define GBX_SERVE_MODEL_IO_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,11 @@ struct LoadedModel {
   /// The artifact's `config ...` fingerprint line, verbatim (which
   /// hyperparameters / granulation seed produced this model).
   std::string config;
+  /// The artifact's verified FNV-1a-64 checksum — a content-addressed
+  /// version id. The serving front-end tags every prediction response
+  /// with it so clients can pin which model version answered
+  /// (serve/registry.h hot-swap). 0 for a LoadedModel assembled by hand.
+  std::uint64_t checksum = 0;
   /// Per-feature value ranges observed at training time (the scaler
   /// bounds for gb-knn, the training-data bounds for knn). Used by load
   /// generators (gbx_serve bench) to synthesize in-distribution queries.

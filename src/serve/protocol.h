@@ -1,0 +1,123 @@
+// gbx-wire v1: the length-prefixed request protocol of the network
+// serving front-end (serve/server.h). One frame is
+//
+//   [4-byte big-endian payload length][payload bytes]
+//
+// with the payload a UTF-8 text line. Request payloads reuse the
+// gbx_serve stdin predict wire format:
+//
+//   predict   "[@MODEL ]F1[,F2 ...]"    comma/space/tab-separated
+//             features, optionally prefixed with "@MODEL" to route the
+//             query to a named ModelRegistry entry (no prefix = the
+//             server's default model).
+//   admin     "!ping"                   liveness probe -> "ok pong"
+//             "!list"                   registry contents
+//             "!stat NAME"              engine stats for one model
+//             "!swap NAME PATH"         load the artifact at PATH and
+//                                       atomically publish it as NAME
+//                                       (the hot-swap control path)
+//
+// Response payloads are one frame per request, in request order per
+// connection:
+//
+//   "ok LABEL fnv1a CHECKSUM16"         prediction, tagged with the
+//                                       serving artifact's checksum so a
+//                                       client can pin which model
+//                                       version answered (hot-swap
+//                                       consistency; tests/hot_swap_test)
+//   "ok ..."                            admin success
+//   "error CODE: message"               structured error; the connection
+//                                       stays open for payload-level
+//                                       errors. Framing-level errors
+//                                       (zero or oversized declared
+//                                       length) poison the byte stream,
+//                                       so the server answers the error
+//                                       frame and then closes.
+//
+// A declared length of 0 or more than `max_frame_bytes` is a framing
+// error: the stream cannot be resynchronized, so FrameDecoder reports it
+// sticky (every later Next() fails too).
+#ifndef GBX_SERVE_PROTOCOL_H_
+#define GBX_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gbx {
+
+/// Bytes in the length prefix.
+inline constexpr int kFrameHeaderBytes = 4;
+/// Default cap on a declared payload length (1 MiB). A predict query is
+/// tens of bytes; the cap only exists to bound a malicious header.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Appends one length-prefixed frame carrying `payload` to `*out`.
+void AppendFrame(std::string_view payload, std::string* out);
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder over a received byte stream. Feed() bytes
+/// as they arrive; Next() pops complete frames.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, std::size_t n);
+
+  enum class Result {
+    kFrame,     // *payload holds the next complete frame
+    kNeedMore,  // a partial header/frame is buffered; feed more bytes
+    kError,     // framing is unrecoverable; *error says why (sticky)
+  };
+  Result Next(std::string* payload, std::string* error);
+
+  /// Bytes buffered but not yet consumed as a complete frame (> 0 means
+  /// a partial header or partial frame is pending — the slow-loris
+  /// signal the server's idle sweep keys on).
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Parses a predict payload: an optional "@MODEL" first token, then the
+/// stdin predict line format (comma/space/tab-separated doubles).
+/// `*model` is empty when no "@" prefix was present. Rejects payloads
+/// with no features, trailing garbage, or a malformed prefix.
+Status ParsePredictPayload(std::string_view payload, std::string* model,
+                           std::vector<double>* query);
+
+/// Formats one predict payload ("@model f1,f2,..."), %.17g per feature
+/// so queries round-trip doubles losslessly — socket predictions stay
+/// bit-identical to the in-process path. Empty `model` omits the prefix.
+std::string FormatPredictPayload(std::string_view model, const double* x,
+                                 int dims);
+
+// --- blocking client-side helpers (gbx_loadgen, test batteries) ---
+// The server itself is nonblocking; these wrap a connected socket fd.
+
+/// Opens a blocking TCP connection to host:port with `timeout_s` applied
+/// to connect, reads, and writes. Returns the connected fd.
+StatusOr<int> ConnectTcp(const std::string& host, int port,
+                         double timeout_s = 10.0);
+
+/// Writes one frame, handling partial writes.
+Status SendFrame(int fd, std::string_view payload);
+
+/// Reads one complete frame payload. EOF at a frame boundary and EOF
+/// mid-frame both return an error Status (distinct messages).
+StatusOr<std::string> RecvFrame(
+    int fd, std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_PROTOCOL_H_

@@ -1,0 +1,75 @@
+#include "serve/registry.h"
+
+#include <cctype>
+
+namespace gbx {
+
+namespace {
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!(std::isalnum(u) || c == '_' || c == '.' || c == '-')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(InferenceEngineOptions engine_options)
+    : engine_options_(engine_options) {}
+
+StatusOr<std::shared_ptr<const ServedModel>> ModelRegistry::Publish(
+    const std::string& name, LoadedModel model) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument(
+        "model name '" + name +
+        "' is not a routing token ([A-Za-z0-9_.-]+ required)");
+  }
+  if (model.classifier == nullptr) {
+    return Status::InvalidArgument("model '" + name + "' has no classifier");
+  }
+  auto entry = std::make_shared<ServedModel>();
+  entry->name = name;
+  entry->checksum = model.checksum;
+  // Engine construction (center-index build etc.) happens outside the
+  // lock; only the pointer swap below is serialized.
+  entry->engine =
+      std::make_unique<InferenceEngine>(std::move(model), engine_options_);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->version = ++next_version_[name];
+  std::shared_ptr<const ServedModel> published = std::move(entry);
+  models_[name] = published;
+  return published;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("no model named '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const ServedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) out.push_back(entry);
+  return out;
+}
+
+int ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(models_.size());
+}
+
+}  // namespace gbx

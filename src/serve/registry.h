@@ -1,0 +1,84 @@
+// ModelRegistry: named, versioned serving models with atomic hot-swap —
+// the model-lifecycle half of the network serving front-end.
+//
+// One registry serves many named gbx-model artifacts from a single
+// process (the per-tenant shape). Each published entry wraps the loaded
+// model in its own micro-batching InferenceEngine and is immutable after
+// publication; Publish() with an existing name atomically replaces the
+// entry, bumping a per-name version counter.
+//
+// Hot-swap contract (tests/hot_swap_test.cc): a request takes one
+// Get() snapshot — a shared_ptr pinning exactly one model version — and
+// predicts through it, so a concurrent swap can never mix versions
+// within a request or drop it. The old version stays alive until the
+// last in-flight snapshot drops (drain-before-release), then its engine
+// is destroyed. Responses are tagged with the artifact checksum
+// (serve/model_io.h) so clients can verify which version answered.
+#ifndef GBX_SERVE_REGISTRY_H_
+#define GBX_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace gbx {
+
+/// One published model version. Immutable once published; the engine's
+/// internal batching state is the only thing that mutates.
+struct ServedModel {
+  std::string name;
+  /// Per-name version, 1 for the first Publish and monotonically
+  /// increasing across swaps (survives Remove + re-Publish).
+  int version = 0;
+  /// The artifact's FNV-1a-64 checksum (LoadedModel::checksum); 0 for
+  /// models constructed in-process rather than loaded from an artifact.
+  std::uint64_t checksum = 0;
+  std::unique_ptr<InferenceEngine> engine;
+};
+
+class ModelRegistry {
+ public:
+  /// `engine_options` apply to the engine of every published model.
+  explicit ModelRegistry(InferenceEngineOptions engine_options = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Inserts or atomically replaces `name`. Names are routing tokens in
+  /// the wire protocol, so they must be non-empty and contain only
+  /// [A-Za-z0-9_.-]. Returns the published entry.
+  StatusOr<std::shared_ptr<const ServedModel>> Publish(
+      const std::string& name, LoadedModel model);
+
+  /// Snapshot for one request: pins the current version of `name` (or
+  /// nullptr if absent). Predict through the snapshot, never through a
+  /// second Get() — one request, one version.
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+
+  Status Remove(const std::string& name);
+
+  /// Current entries, name-ordered.
+  std::vector<std::shared_ptr<const ServedModel>> List() const;
+
+  int size() const;
+  bool empty() const { return size() == 0; }
+
+  const InferenceEngineOptions& engine_options() const {
+    return engine_options_;
+  }
+
+ private:
+  InferenceEngineOptions engine_options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  std::map<std::string, int> next_version_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_REGISTRY_H_

@@ -1,0 +1,733 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "serve/model_io.h"
+
+namespace gbx {
+
+namespace {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+/// Readiness backend: which fds are ready, level-triggered. The server
+/// asks for readability on every registered fd and toggles write
+/// interest per connection as output queues up.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual void Add(int fd, bool want_write) = 0;
+  virtual void Update(int fd, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Appends ready events to *out. timeout_ms < 0 blocks indefinitely.
+  virtual void Wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
+};
+
+/// Portable poll(2) backend — the fallback on non-Linux builds and the
+/// ServerOptions::force_poll test path.
+class PollPoller : public Poller {
+ public:
+  void Add(int fd, bool want_write) override {
+    index_[fd] = fds_.size();
+    fds_.push_back({fd, WantedEvents(want_write), 0});
+  }
+
+  void Update(int fd, bool want_write) override {
+    const auto it = index_.find(fd);
+    GBX_CHECK(it != index_.end());
+    fds_[it->second].events = WantedEvents(want_write);
+  }
+
+  void Remove(int fd) override {
+    const auto it = index_.find(fd);
+    GBX_CHECK(it != index_.end());
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+  }
+
+ private:
+  static short WantedEvents(bool want_write) {
+    return static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+#ifdef __linux__
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    GBX_CHECK_MSG(epfd_ >= 0, "epoll_create1 failed");
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void Add(int fd, bool want_write) override { Ctl(EPOLL_CTL_ADD, fd, want_write); }
+  void Update(int fd, bool want_write) override {
+    Ctl(EPOLL_CTL_MOD, fd, want_write);
+  }
+  void Remove(int fd) override {
+    epoll_event ev{};
+    GBX_CHECK(::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev) == 0);
+  }
+
+  void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      PollEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out->push_back(ev);
+    }
+  }
+
+ private:
+  void Ctl(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    GBX_CHECK(::epoll_ctl(epfd_, op, fd, &ev) == 0);
+  }
+
+  int epfd_;
+};
+#endif  // __linux__
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  GBX_CHECK(flags >= 0);
+  GBX_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+std::string ErrorPayload(const Status& status) {
+  return std::string("error ") + StatusCodeName(status.code()) + ": " +
+         status.message();
+}
+
+std::string ChecksumHex(std::uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Request {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string payload;
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string payload;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    // Responses must leave in request order: completions park in
+    // `ready` until every lower seq has been appended to `outbuf`.
+    std::uint64_t next_seq = 0;      // next request seq to assign
+    std::uint64_t next_to_send = 0;  // next response seq to append
+    std::map<std::uint64_t, std::string> ready;  // seq -> encoded frame
+    std::uint64_t in_flight = 0;
+    std::string outbuf;
+    std::size_t out_pos = 0;
+    bool want_write = false;
+    bool closing = false;  // close once responses are assigned + flushed
+    bool peer_eof = false;
+    double last_progress_s = 0.0;
+
+    explicit Connection(std::uint32_t max_frame) : decoder(max_frame) {}
+    bool flushed() const { return out_pos == outbuf.size(); }
+  };
+
+  std::shared_ptr<ModelRegistry> registry;
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int wake_r = -1, wake_w = -1;
+  int bound_port = 0;
+  std::unique_ptr<Poller> poller;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;       // by fd
+  std::unordered_map<std::uint64_t, Connection*> conns_by_id;
+  std::uint64_t next_conn_id = 1;
+
+  std::thread loop;
+  std::vector<std::thread> workers;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Request> queue;
+  bool queue_closed = false;
+
+  std::mutex comp_mu;
+  std::vector<Completion> completions;
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> running{false};
+  /// Requests enqueued but whose completion has not yet been delivered
+  /// to (or dropped with) their connection — the drain gate.
+  std::atomic<std::int64_t> outstanding{0};
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+  Stopwatch clock;
+
+  // --- lifecycle -------------------------------------------------------
+
+  Status Start() {
+    GBX_CHECK_MSG(!running.load(), "Server::Start called twice");
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return ErrnoStatus("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+      CloseStartupFds();
+      return Status::InvalidArgument("bad IPv4 host '" + opts.host + "'");
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const Status status = ErrnoStatus(
+          "bind " + opts.host + ":" + std::to_string(opts.port));
+      CloseStartupFds();
+      return status;
+    }
+    if (::listen(listen_fd, opts.backlog) != 0) {
+      const Status status = ErrnoStatus("listen");
+      CloseStartupFds();
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    GBX_CHECK(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                            &len) == 0);
+    bound_port = ntohs(bound.sin_port);
+    SetNonBlocking(listen_fd);
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      const Status status = ErrnoStatus("pipe");
+      CloseStartupFds();
+      return status;
+    }
+    wake_r = pipe_fds[0];
+    wake_w = pipe_fds[1];
+    SetNonBlocking(wake_r);
+    SetNonBlocking(wake_w);
+
+#ifdef __linux__
+    if (opts.force_poll) {
+      poller = std::make_unique<PollPoller>();
+    } else {
+      poller = std::make_unique<EpollPoller>();
+    }
+#else
+    poller = std::make_unique<PollPoller>();
+#endif
+    poller->Add(listen_fd, false);
+    poller->Add(wake_r, false);
+
+    const int n_workers =
+        std::max(1, std::min(ResolveNumThreads(opts.num_workers), 64));
+    stop_requested.store(false);
+    queue_closed = false;
+    running.store(true);
+    workers.reserve(n_workers);
+    for (int i = 0; i < n_workers; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+    loop = std::thread([this] { LoopMain(); });
+    return Status::Ok();
+  }
+
+  void Stop() {
+    if (!running.exchange(false)) return;
+    stop_requested.store(true);
+    Wake();
+    loop.join();
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      queue_closed = true;
+    }
+    queue_cv.notify_all();
+    for (std::thread& w : workers) w.join();
+    workers.clear();
+    // Completions pushed after the loop exited belong to closed
+    // connections; drop them.
+    {
+      std::lock_guard<std::mutex> lock(comp_mu);
+      completions.clear();
+    }
+    queue.clear();
+    ::close(wake_r);
+    ::close(wake_w);
+    wake_r = wake_w = -1;
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    poller.reset();
+  }
+
+  void CloseStartupFds() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+  }
+
+  void Wake() {
+    const char b = 'w';
+    // EAGAIN means the pipe already holds a pending wakeup — fine.
+    [[maybe_unused]] const ssize_t n = ::write(wake_w, &b, 1);
+  }
+
+  // --- event loop ------------------------------------------------------
+
+  void LoopMain() {
+    std::vector<PollEvent> events;
+    double drain_deadline_s = -1.0;
+    for (;;) {
+      events.clear();
+      poller->Wait(WaitTimeoutMs(drain_deadline_s >= 0), &events);
+      const double now_s = clock.ElapsedSeconds();
+      for (const PollEvent& ev : events) {
+        if (ev.fd == listen_fd && listen_fd >= 0) {
+          AcceptAll(now_s);
+        } else if (ev.fd == wake_r) {
+          DrainWakePipe();
+        } else {
+          HandleConnEvent(ev, now_s);
+        }
+      }
+      DeliverCompletions(now_s);
+      if (opts.idle_timeout_ms > 0) SweepIdle(now_s);
+      if (stop_requested.load()) {
+        if (drain_deadline_s < 0) {
+          // Stop accepting; keep serving until in-flight work drains.
+          if (listen_fd >= 0) {
+            poller->Remove(listen_fd);
+            ::close(listen_fd);
+            listen_fd = -1;
+          }
+          drain_deadline_s = now_s + opts.drain_timeout_s;
+        }
+        if ((outstanding.load() == 0 && AllFlushed()) ||
+            now_s > drain_deadline_s) {
+          break;
+        }
+      }
+    }
+    // Close whatever is left (drain finished or timed out).
+    while (!conns.empty()) CloseConn(conns.begin()->second.get());
+  }
+
+  int WaitTimeoutMs(bool draining) const {
+    if (draining) return 10;
+    if (opts.idle_timeout_ms > 0) {
+      return std::max(1, static_cast<int>(opts.idle_timeout_ms / 2));
+    }
+    return 200;  // bounded so Stop() is never waiting on a quiet socket
+  }
+
+  bool AllFlushed() const {
+    for (const auto& [fd, c] : conns) {
+      if (!c->flushed() || !c->ready.empty()) return false;
+    }
+    return true;
+  }
+
+  void AcceptAll(double now_s) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        return;  // transient accept failure; the loop retries on next event
+      }
+      SetNonBlocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Connection>(opts.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conn->last_progress_s = now_s;
+      conns_by_id[conn->id] = conn.get();
+      poller->Add(fd, false);
+      conns[fd] = std::move(conn);
+      BumpStat(&ServerStats::connections_accepted);
+    }
+  }
+
+  void DrainWakePipe() {
+    char buf[256];
+    while (::read(wake_r, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void HandleConnEvent(const PollEvent& ev, double now_s) {
+    const auto it = conns.find(ev.fd);
+    if (it == conns.end()) return;  // closed earlier in this batch
+    Connection* c = it->second.get();
+    if (ev.error) {
+      CloseConn(c);
+      return;
+    }
+    if (ev.readable) {
+      if (!ReadFromConn(c, now_s)) return;  // connection closed
+    }
+    if (ev.writable) {
+      FlushWrites(c, now_s);
+    }
+  }
+
+  /// Returns false when the connection was closed.
+  bool ReadFromConn(Connection* c, double now_s) {
+    char buf[65536];
+    // Bounded passes per event so one firehose connection cannot starve
+    // the rest; level-triggered polling re-notifies for the remainder.
+    for (int pass = 0; pass < 16; ++pass) {
+      const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c->decoder.Feed(buf, static_cast<std::size_t>(n));
+        c->last_progress_s = now_s;
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      } else if (n == 0) {
+        c->peer_eof = true;
+        break;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        CloseConn(c);
+        return false;
+      }
+    }
+
+    std::string payload, error;
+    for (;;) {
+      const FrameDecoder::Result r = c->decoder.Next(&payload, &error);
+      if (r == FrameDecoder::Result::kFrame) {
+        BumpStat(&ServerStats::frames_received);
+        EnqueueRequest(c, std::move(payload));
+        payload.clear();
+      } else if (r == FrameDecoder::Result::kNeedMore) {
+        break;
+      } else {
+        // Framing is unrecoverable: answer a structured error *after*
+        // the responses already owed on this connection, then close.
+        if (!c->closing) {
+          BumpStat(&ServerStats::protocol_errors);
+          const std::uint64_t seq = c->next_seq++;
+          c->ready[seq] =
+              EncodeFrame(ErrorPayload(Status::InvalidArgument(error)));
+          c->closing = true;
+          ::shutdown(c->fd, SHUT_RD);
+        }
+        break;
+      }
+    }
+    return MaybeFlushAndClose(c, now_s);
+  }
+
+  void EnqueueRequest(Connection* c, std::string payload) {
+    const std::uint64_t seq = c->next_seq++;
+    ++c->in_flight;
+    outstanding.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      queue.push_back(Request{c->id, seq, std::move(payload)});
+    }
+    queue_cv.notify_one();
+  }
+
+  void DeliverCompletions(double now_s) {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(comp_mu);
+      batch.swap(completions);
+    }
+    for (Completion& comp : batch) {
+      outstanding.fetch_sub(1);
+      const auto it = conns_by_id.find(comp.conn_id);
+      if (it == conns_by_id.end()) continue;  // connection died meanwhile
+      Connection* c = it->second;
+      GBX_CHECK_GT(c->in_flight, 0u);
+      --c->in_flight;
+      c->ready[comp.seq] = EncodeFrame(comp.payload);
+      MaybeFlushAndClose(c, now_s);
+    }
+  }
+
+  /// Moves in-order ready responses into the output buffer, writes what
+  /// the socket will take, and closes if this connection is finished.
+  /// Returns false when the connection was closed.
+  bool MaybeFlushAndClose(Connection* c, double now_s) {
+    for (auto it = c->ready.find(c->next_to_send); it != c->ready.end();
+         it = c->ready.find(c->next_to_send)) {
+      c->outbuf += it->second;
+      c->ready.erase(it);
+      ++c->next_to_send;
+      BumpStat(&ServerStats::frames_sent);
+    }
+    return FlushWrites(c, now_s);
+  }
+
+  /// Returns false when the connection was closed.
+  bool FlushWrites(Connection* c, double now_s) {
+    while (c->out_pos < c->outbuf.size()) {
+      const ssize_t n =
+          ::send(c->fd, c->outbuf.data() + c->out_pos,
+                 c->outbuf.size() - c->out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        c->out_pos += static_cast<std::size_t>(n);
+        c->last_progress_s = now_s;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        CloseConn(c);  // EPIPE / ECONNRESET: peer is gone
+        return false;
+      }
+    }
+    if (c->flushed()) {
+      c->outbuf.clear();
+      c->out_pos = 0;
+      if (c->want_write) {
+        c->want_write = false;
+        poller->Update(c->fd, false);
+      }
+      const bool finished = c->in_flight == 0 && c->ready.empty();
+      if (finished && (c->closing || c->peer_eof)) {
+        CloseConn(c);
+        return false;
+      }
+    } else if (!c->want_write) {
+      c->want_write = true;
+      poller->Update(c->fd, true);
+    }
+    return true;
+  }
+
+  void SweepIdle(double now_s) {
+    const double limit_s = opts.idle_timeout_ms / 1e3;
+    std::vector<Connection*> victims;
+    for (const auto& [fd, c] : conns) {
+      // Keep-alive connections idling between complete frames are fine,
+      // and in-flight predictions are the server's own latency, not the
+      // client's; only stalled partial input (slow loris) or a stalled
+      // response flush (unread backlog) count as suspect.
+      const bool suspect = c->decoder.buffered_bytes() > 0 || !c->flushed();
+      if (suspect && now_s - c->last_progress_s > limit_s) {
+        victims.push_back(c.get());
+      }
+    }
+    for (Connection* c : victims) {
+      BumpStat(&ServerStats::protocol_errors);
+      CloseConn(c);
+    }
+  }
+
+  void CloseConn(Connection* c) {
+    poller->Remove(c->fd);
+    ::close(c->fd);
+    conns_by_id.erase(c->id);
+    conns.erase(c->fd);  // destroys *c
+    BumpStat(&ServerStats::connections_closed);
+  }
+
+  // --- workers ---------------------------------------------------------
+
+  void WorkerLoop() {
+    for (;;) {
+      Request req;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [this] { return queue_closed || !queue.empty(); });
+        if (queue.empty()) return;  // closed and drained
+        req = std::move(queue.front());
+        queue.pop_front();
+      }
+      Completion comp{req.conn_id, req.seq, HandleRequest(req.payload)};
+      {
+        std::lock_guard<std::mutex> lock(comp_mu);
+        completions.push_back(std::move(comp));
+      }
+      Wake();
+    }
+  }
+
+  std::string HandleRequest(const std::string& payload) {
+    if (!payload.empty() && payload[0] == '!') return HandleAdmin(payload);
+    std::string name;
+    std::vector<double> query;
+    const Status parsed = ParsePredictPayload(payload, &name, &query);
+    if (!parsed.ok()) {
+      BumpStat(&ServerStats::protocol_errors);
+      return ErrorPayload(parsed);
+    }
+    if (name.empty()) name = opts.default_model;
+    // One snapshot pins one model version for the whole request — the
+    // hot-swap consistency point.
+    const std::shared_ptr<const ServedModel> snapshot = registry->Get(name);
+    if (snapshot == nullptr) {
+      return ErrorPayload(Status::NotFound("no model named '" + name + "'"));
+    }
+    const StatusOr<int> label = snapshot->engine->Predict(query);
+    if (!label.ok()) return ErrorPayload(label.status());
+    return "ok " + std::to_string(*label) + " fnv1a " +
+           ChecksumHex(snapshot->checksum);
+  }
+
+  std::string HandleAdmin(const std::string& payload) {
+    std::istringstream in(payload);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "!ping") return "ok pong";
+    if (cmd == "!list") {
+      std::ostringstream out;
+      const auto models = registry->List();
+      out << "ok models " << models.size();
+      for (const auto& m : models) {
+        const LoadedModel& lm = m->engine->model();
+        out << "\n"
+            << m->name << " v" << m->version << " fnv1a "
+            << ChecksumHex(m->checksum) << " " << lm.kind << " dims "
+            << lm.dims << " classes " << lm.num_classes;
+      }
+      return out.str();
+    }
+    if (cmd == "!stat") {
+      std::string name;
+      in >> name;
+      if (name.empty()) name = opts.default_model;
+      const auto snapshot = registry->Get(name);
+      if (snapshot == nullptr) {
+        return ErrorPayload(Status::NotFound("no model named '" + name + "'"));
+      }
+      const InferenceEngineStats s = snapshot->engine->Stats();
+      std::ostringstream out;
+      out << "ok stats " << name << " v" << snapshot->version << " requests "
+          << s.requests << " batches " << s.batches << " mean_batch "
+          << s.mean_batch_size << " p50_ms " << s.p50_ms << " p99_ms "
+          << s.p99_ms << " qps " << s.qps;
+      return out.str();
+    }
+    if (cmd == "!swap") {
+      if (!opts.allow_admin_swap) {
+        return ErrorPayload(Status::FailedPrecondition(
+            "admin swap is disabled on this server"));
+      }
+      std::string name, path;
+      in >> name >> path;
+      if (name.empty() || path.empty()) {
+        return ErrorPayload(
+            Status::InvalidArgument("usage: !swap NAME PATH"));
+      }
+      StatusOr<LoadedModel> model = LoadModel(path);
+      if (!model.ok()) return ErrorPayload(model.status());
+      StatusOr<std::shared_ptr<const ServedModel>> published =
+          registry->Publish(name, std::move(model).value());
+      if (!published.ok()) return ErrorPayload(published.status());
+      return "ok swapped " + name + " v" +
+             std::to_string((*published)->version) + " fnv1a " +
+             ChecksumHex((*published)->checksum);
+    }
+    return ErrorPayload(
+        Status::InvalidArgument("unknown admin command '" + cmd + "'"));
+  }
+
+  // --- stats -----------------------------------------------------------
+
+  void BumpStat(std::int64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.*field += 1;
+  }
+
+  ServerStats Stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    return stats;
+  }
+};
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  GBX_CHECK_MSG(registry != nullptr, "Server needs a ModelRegistry");
+  impl_->registry = std::move(registry);
+  impl_->opts = std::move(options);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() { return impl_->Start(); }
+void Server::Stop() { impl_->Stop(); }
+bool Server::running() const { return impl_->running.load(); }
+int Server::port() const { return impl_->bound_port; }
+ModelRegistry& Server::registry() { return *impl_->registry; }
+ServerStats Server::Stats() const { return impl_->Stats(); }
+
+}  // namespace gbx

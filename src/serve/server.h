@@ -1,0 +1,114 @@
+// Network serving front-end: a single-threaded epoll (poll fallback)
+// event loop speaking gbx-wire v1 (serve/protocol.h) over TCP, in front
+// of a ModelRegistry (serve/registry.h).
+//
+// Architecture — one I/O thread, W predict workers:
+//
+//   event loop (1 thread)          workers (num_workers threads)
+//   ---------------------          -----------------------------
+//   accept / read / write    --->  pop request, take a registry
+//   decode frames, enqueue         snapshot, InferenceEngine::Predict
+//   {conn, seq, payload}           (BLOCKS in the engine's micro-batch
+//   deliver completions in         coalescing window), push completion,
+//   per-connection seq order  <--  wake the loop via the self-pipe
+//
+// All socket I/O happens on the event-loop thread; workers never touch a
+// socket. Because every worker funnels into the same InferenceEngine
+// per model, concurrent requests from *different connections* coalesce
+// into shared micro-batches — the engine's cross-caller batching becomes
+// cross-client batching.
+//
+// Guarantees (enforced by tests/server_test.cc, protocol_fuzz_test.cc,
+// hot_swap_test.cc):
+//   * responses arrive in request order per connection (pipelining is
+//     safe; out-of-order completions are reordered before writing);
+//   * a request is answered by exactly one model version (registry
+//     snapshot) and the response carries that version's checksum;
+//   * malformed payloads get a structured "error ..." frame and the
+//     connection stays open; framing-level corruption (zero/oversized
+//     length) gets an error frame and then the connection is closed;
+//   * mid-frame disconnects, slow-loris dribbles (see
+//     ServerOptions::idle_timeout_ms), and abrupt client exits never
+//     crash or leak — completions for dead connections are dropped;
+//   * Stop() drains: in-flight requests finish and their responses are
+//     flushed (bounded by drain_timeout_s) before sockets close.
+#ifndef GBX_SERVE_SERVER_H_
+#define GBX_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace gbx {
+
+struct ServerOptions {
+  /// IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via Server::port().
+  int port = 0;
+  /// Predict worker threads = the max concurrent engine callers.
+  /// <= 0 resolves via GBX_THREADS / hardware (common/parallel.h).
+  int num_workers = 0;
+  /// Framing cap forwarded to FrameDecoder.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// > 0: close a connection whose partially-received frame (or
+  /// unflushed response backlog) has made no progress for this long —
+  /// the slow-loris guard. 0 disables the sweep.
+  double idle_timeout_ms = 0.0;
+  /// Use the poll() backend even where epoll is available (the fallback
+  /// is always used on non-Linux builds).
+  bool force_poll = false;
+  /// Route for payloads without an "@model" prefix.
+  std::string default_model = "default";
+  /// Admin "!swap NAME PATH" loads artifacts from the server's
+  /// filesystem; disable for untrusted networks.
+  bool allow_admin_swap = true;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// How long Stop() waits for in-flight requests and response flushes.
+  double drain_timeout_s = 5.0;
+};
+
+struct ServerStats {
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_closed = 0;
+  std::int64_t frames_received = 0;
+  std::int64_t frames_sent = 0;
+  /// Framing + payload-level errors answered (or closed) so far.
+  std::int64_t protocol_errors = 0;
+};
+
+class Server {
+ public:
+  explicit Server(std::shared_ptr<ModelRegistry> registry,
+                  ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event loop + workers. Fails with a
+  /// descriptive Status (port in use, bad host, ...) without leaking.
+  Status Start();
+
+  /// Drains and joins everything. Idempotent; also run by ~Server().
+  void Stop();
+
+  bool running() const;
+  /// The bound port (after Start(); the ephemeral one when port was 0).
+  int port() const;
+  ModelRegistry& registry();
+  ServerStats Stats() const;
+
+ private:
+  struct Impl;  // hides the socket/epoll machinery from the header
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_SERVER_H_

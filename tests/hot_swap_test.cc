@@ -1,0 +1,240 @@
+// Atomic hot-swap under load — the model-lifecycle guarantee of the
+// serving front-end. N caller threads stream predictions while the
+// model behind one registry name is swapped K times; no request may be
+// dropped, and every response must be self-consistent with exactly one
+// model version (the label must match what THAT version — identified by
+// the artifact checksum tagged on the response — predicts for the
+// query). Covers both the in-process ModelRegistry contract and the
+// full socket path driven through the "!swap" admin command. Thread
+// counts honor GBX_THREADS via the shared servetest fixture.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace gbx {
+namespace {
+
+using servetest::CallerThreads;
+using servetest::MakeGbKnnBundle;
+using servetest::ModelBundle;
+using servetest::ParsePredictReply;
+using servetest::PredictReply;
+using servetest::SmallBatchOptions;
+using servetest::TestClient;
+
+/// Two models on the SAME split that disagree on some holdout queries:
+/// k=1 vs k=5 with different granulation seeds. Disagreement is what
+/// lets the battery detect a version-mixed response.
+struct SwapPair {
+  ModelBundle a;
+  ModelBundle b;
+  /// checksum -> that version's ground-truth predictions.
+  std::map<std::uint64_t, const std::vector<int>*> expected;
+};
+
+SwapPair MakeSwapPair() {
+  SwapPair pair;
+  pair.a = MakeGbKnnBundle("S5", /*k=*/1, /*gbg_seed=*/17);
+  pair.b = MakeGbKnnBundle("S5", /*k=*/5, /*gbg_seed=*/99);
+  GBX_CHECK_MSG(pair.a.checksum != pair.b.checksum,
+                "swap pair artifacts must differ");
+  // Without disagreement the version-consistency assertions are vacuous
+  // (verified: the pair disagrees on ~10% of the S5 holdout).
+  GBX_CHECK_MSG(pair.a.expected != pair.b.expected,
+                "swap pair models must disagree on some queries");
+  pair.expected[pair.a.checksum] = &pair.a.expected;
+  pair.expected[pair.b.checksum] = &pair.b.expected;
+  return pair;
+}
+
+using HotSwapTest = servetest::ServeTestBase;
+
+// --- registry-level: the shared_ptr-snapshot contract ---
+
+TEST_F(HotSwapTest, RegistryVersioningAndValidation) {
+  const ModelBundle bundle = MakeGbKnnBundle("S1");
+  ModelRegistry registry(SmallBatchOptions());
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.Get("m"), nullptr);
+
+  StatusOr<std::shared_ptr<const ServedModel>> published =
+      registry.Publish("m", servetest::LoadBundle(bundle));
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ((*published)->version, 1);
+  EXPECT_EQ((*published)->checksum, bundle.checksum);
+
+  published = registry.Publish("m", servetest::LoadBundle(bundle));
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ((*published)->version, 2);
+
+  // Version counters survive Remove + re-Publish: a client that pinned
+  // "m v2" can never be confused by a later, different "m v2".
+  ASSERT_TRUE(registry.Remove("m").ok());
+  EXPECT_EQ(registry.Get("m"), nullptr);
+  EXPECT_EQ(registry.Remove("m").code(), StatusCode::kNotFound);
+  published = registry.Publish("m", servetest::LoadBundle(bundle));
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ((*published)->version, 3);
+
+  // Names are wire routing tokens: reject anything unspeakable.
+  for (const std::string bad : {"", "a b", "a@b", "a\nb", "a/b"}) {
+    EXPECT_FALSE(registry.Publish(bad, servetest::LoadBundle(bundle)).ok())
+        << "'" << bad << "' accepted";
+  }
+  EXPECT_EQ(registry.size(), 1);
+}
+
+TEST_F(HotSwapTest, SnapshotsPinExactlyOneVersionUnderConcurrentSwaps) {
+  const SwapPair pair = MakeSwapPair();
+  const Dataset& test = pair.a.split.test;
+  const int n = test.size();
+
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  ASSERT_TRUE(registry->Publish("m", servetest::LoadBundle(pair.a)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> served{0};
+  const int callers = CallerThreads();
+  std::vector<std::thread> threads;
+  threads.reserve(callers);
+  for (int t = 0; t < callers; ++t) {
+    threads.emplace_back([&, t] {
+      int i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // One Get() per request: the snapshot pins one version for the
+        // whole prediction, swap or no swap.
+        const std::shared_ptr<const ServedModel> snap = registry->Get("m");
+        ASSERT_NE(snap, nullptr);
+        const auto it = pair.expected.find(snap->checksum);
+        ASSERT_NE(it, pair.expected.end())
+            << "response tagged with an unknown version";
+        const StatusOr<int> label =
+            snap->engine->Predict(test.row(i), test.num_features());
+        ASSERT_TRUE(label.ok()) << label.status().ToString();
+        EXPECT_EQ(*label, (*it->second)[i])
+            << "query " << i << " answered inconsistently with version v"
+            << snap->version;
+        served.fetch_add(1, std::memory_order_relaxed);
+        i = (i + 1) % n;
+      }
+    });
+  }
+
+  // Swap A <-> B under load, collecting a weak_ptr to every replaced
+  // version to prove drain-then-release afterwards.
+  const int kSwaps = 25;
+  std::vector<std::weak_ptr<const ServedModel>> retired;
+  for (int k = 0; k < kSwaps; ++k) {
+    retired.push_back(registry->Get("m"));
+    const ModelBundle& next = (k % 2 == 0) ? pair.b : pair.a;
+    const StatusOr<std::shared_ptr<const ServedModel>> published =
+        registry->Publish("m", servetest::LoadBundle(next));
+    ASSERT_TRUE(published.ok()) << published.status().ToString();
+    EXPECT_EQ((*published)->version, k + 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GT(served.load(), kSwaps) << "load never overlapped the swaps";
+
+  // Drain-before-release: with all snapshots dropped, every replaced
+  // version must be gone — the registry keeps no ghosts.
+  for (std::size_t k = 0; k < retired.size(); ++k) {
+    EXPECT_TRUE(retired[k].expired()) << "retired version " << k + 1
+                                      << " still alive after drain";
+  }
+  const std::shared_ptr<const ServedModel> current = registry->Get("m");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, kSwaps + 1);
+}
+
+// --- socket-level: "!swap" under streaming clients ---
+
+TEST_F(HotSwapTest, SocketClientsSurviveAdminSwapsWithConsistentAnswers) {
+  const SwapPair pair = MakeSwapPair();
+  const Dataset& test = pair.a.split.test;
+  const int n = test.size();
+
+  // The admin swap path loads artifacts from disk.
+  const std::string path_a = ::testing::TempDir() + "/gbx_hot_swap_a.gbx";
+  const std::string path_b = ::testing::TempDir() + "/gbx_hot_swap_b.gbx";
+  { std::ofstream(path_a) << pair.a.artifact; }
+  { std::ofstream(path_b) << pair.b.artifact; }
+
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  ASSERT_TRUE(registry->Publish("default", servetest::LoadBundle(pair.a)).ok());
+  Server server(registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> served{0};
+  const int clients = CallerThreads();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      TestClient client(server.port());
+      int i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const StatusOr<std::string> payload = client.Call(
+            FormatPredictPayload("", test.row(i), test.num_features()));
+        // No dropped requests: every call sent before stop is answered.
+        ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+        const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        const auto it = pair.expected.find(reply->checksum);
+        ASSERT_NE(it, pair.expected.end())
+            << "response tagged with an unknown version";
+        EXPECT_EQ(reply->label, (*it->second)[i])
+            << "query " << i << " inconsistent with its version tag";
+        served.fetch_add(1, std::memory_order_relaxed);
+        i = (i + 1) % n;
+      }
+    });
+  }
+
+  TestClient admin(server.port());
+  const int kSwaps = 12;
+  for (int k = 0; k < kSwaps; ++k) {
+    const bool to_b = (k % 2 == 0);
+    const StatusOr<std::string> payload =
+        admin.Call("!swap default " + (to_b ? path_b : path_a));
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    char expect[128];
+    std::snprintf(expect, sizeof(expect), "ok swapped default v%d fnv1a %016llx",
+                  k + 2,
+                  static_cast<unsigned long long>(
+                      to_b ? pair.b.checksum : pair.a.checksum));
+    EXPECT_EQ(*payload, expect);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GT(served.load(), kSwaps) << "load never overlapped the swaps";
+  const StatusOr<std::string> stat = admin.Call("!stat default");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->rfind("ok stats default v" + std::to_string(kSwaps + 1), 0),
+            0)
+      << *stat;
+
+  server.Stop();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace gbx

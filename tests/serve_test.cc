@@ -3,9 +3,12 @@
 // output, the InferenceEngine matches a serial Predict loop under
 // concurrent callers, artifacts are validated strictly on load, and the
 // fit-before-predict contract aborts with a message.
+//
+// Engine concurrency cases run on the shared servetest fixture
+// (tests/serve_test_util.h), so the caller count honors GBX_THREADS like
+// the rest of the serving battery.
 #include <cstdio>
 #include <limits>
-#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -14,15 +17,12 @@
 #include "ml/decision_tree.h"
 #include "serve/engine.h"
 #include "serve/model_io.h"
+#include "serve_test_util.h"
 
 namespace gbx {
 namespace {
 
-TrainTestSplitResult SuiteSplit(const std::string& id) {
-  const Dataset ds = MakePaperDataset(id, 400, 9);
-  Pcg32 rng(11);
-  return TrainTestSplit(ds, 0.3, &rng);
-}
+using servetest::SuiteSplit;
 
 GbKnnClassifier FittedGbKnn(const Dataset& train, int k = 3) {
   RdGbgConfig gbg;
@@ -229,39 +229,20 @@ TEST(ModelIoTest, RejectsBallDimensionMismatch) {
       << loaded.status().ToString();
 }
 
-// --- InferenceEngine ---
+// --- InferenceEngine (on the shared GBX_THREADS-honoring fixture) ---
 
-TEST(EngineTest, MatchesSerialPredictUnderConcurrentCallers) {
-  const TrainTestSplitResult split = SuiteSplit("S5");
-  const GbKnnClassifier model = FittedGbKnn(split.train);
-  const std::vector<int> expected = model.PredictBatch(split.test.x());
+using EngineTest = servetest::ServeTestBase;
 
-  StatusOr<LoadedModel> loaded = ModelFromString(ModelToString(model));
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  InferenceEngineOptions opts;
-  opts.max_batch_size = 16;
-  opts.max_batch_delay_ms = 0.5;
-  InferenceEngine engine(std::move(loaded).value(), opts);
+TEST_F(EngineTest, MatchesSerialPredictUnderConcurrentCallers) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S5");
+  const std::unique_ptr<InferenceEngine> engine = MakeEngine(bundle);
 
-  const int n = split.test.size();
-  const int kCallers = 8;
-  std::vector<int> got(n, -1);
-  std::vector<std::thread> callers;
-  for (int t = 0; t < kCallers; ++t) {
-    callers.emplace_back([&, t] {
-      for (int i = t; i < n; i += kCallers) {
-        const StatusOr<int> label =
-            engine.Predict(split.test.row(i), split.test.num_features());
-        ASSERT_TRUE(label.ok()) << label.status().ToString();
-        got[i] = *label;
-      }
-    });
-  }
-  for (std::thread& caller : callers) caller.join();
-  EXPECT_EQ(got, expected);
+  const std::vector<int> got =
+      ConcurrentPredict(engine.get(), bundle.split.test);
+  EXPECT_EQ(got, bundle.expected);
 
-  const InferenceEngineStats stats = engine.Stats();
-  EXPECT_EQ(stats.requests, n);
+  const InferenceEngineStats stats = engine->Stats();
+  EXPECT_EQ(stats.requests, bundle.split.test.size());
   EXPECT_GE(stats.batches, 1);
   EXPECT_LE(stats.batches, stats.requests);
   EXPECT_GE(stats.p99_ms, stats.p50_ms);
@@ -269,38 +250,37 @@ TEST(EngineTest, MatchesSerialPredictUnderConcurrentCallers) {
   EXPECT_GT(stats.qps, 0.0);
 }
 
-TEST(EngineTest, DirectBatchPathMatchesAndCounts) {
-  const TrainTestSplitResult split = SuiteSplit("S1");
-  const GbKnnClassifier model = FittedGbKnn(split.train);
-  StatusOr<LoadedModel> loaded = ModelFromString(ModelToString(model));
-  ASSERT_TRUE(loaded.ok());
-  InferenceEngine engine(std::move(loaded).value());
+TEST_F(EngineTest, DirectBatchPathMatchesAndCounts) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S1");
+  const std::unique_ptr<InferenceEngine> engine =
+      MakeEngine(bundle, InferenceEngineOptions{});
 
-  const StatusOr<std::vector<int>> got = engine.PredictBatch(split.test.x());
+  const StatusOr<std::vector<int>> got =
+      engine->PredictBatch(bundle.split.test.x());
   ASSERT_TRUE(got.ok()) << got.status().ToString();
-  EXPECT_EQ(*got, model.PredictBatch(split.test.x()));
-  EXPECT_EQ(engine.Stats().requests, split.test.size());
-  EXPECT_EQ(engine.Stats().batches, 1);
+  EXPECT_EQ(*got, bundle.expected);
+  EXPECT_EQ(engine->Stats().requests, bundle.split.test.size());
+  EXPECT_EQ(engine->Stats().batches, 1);
 }
 
-TEST(EngineTest, RejectsMalformedQueriesAndKeepsServing) {
-  const TrainTestSplitResult split = SuiteSplit("S5");
-  StatusOr<LoadedModel> loaded =
-      ModelFromString(ModelToString(FittedGbKnn(split.train)));
-  ASSERT_TRUE(loaded.ok());
-  InferenceEngine engine(std::move(loaded).value());
+TEST_F(EngineTest, RejectsMalformedQueriesAndKeepsServing) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S5");
+  const std::unique_ptr<InferenceEngine> engine =
+      MakeEngine(bundle, InferenceEngineOptions{});
 
-  const std::vector<double> wrong_arity(engine.dims() + 1, 0.0);
-  EXPECT_EQ(engine.Predict(wrong_arity).status().code(),
+  const std::vector<double> wrong_arity(engine->dims() + 1, 0.0);
+  EXPECT_EQ(engine->Predict(wrong_arity).status().code(),
             StatusCode::kInvalidArgument);
-  std::vector<double> with_nan(engine.dims(), 0.0);
+  std::vector<double> with_nan(engine->dims(), 0.0);
   with_nan[0] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_EQ(engine.Predict(with_nan).status().code(),
+  EXPECT_EQ(engine->Predict(with_nan).status().code(),
             StatusCode::kInvalidArgument);
 
   // Rejected queries never reach a batch; good queries still work.
-  EXPECT_TRUE(
-      engine.Predict(split.test.row(0), split.test.num_features()).ok());
+  EXPECT_TRUE(engine
+                  ->Predict(bundle.split.test.row(0),
+                            bundle.split.test.num_features())
+                  .ok());
 }
 
 // --- fit-before-predict contract ---

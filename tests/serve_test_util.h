@@ -1,0 +1,214 @@
+// Shared fixture for the serving test batteries (serve_test.cc,
+// server_test.cc, hot_swap_test.cc, protocol_fuzz_test.cc): one place
+// that fits paper-suite models, turns them into artifacts/LoadedModels,
+// and runs concurrent caller threads — honoring GBX_THREADS, so the
+// determinism and asan CI legs (GBX_THREADS=4) drive every suite with
+// the same concurrency instead of per-test ad-hoc thread counts.
+#ifndef GBX_TESTS_SERVE_TEST_UTIL_H_
+#define GBX_TESTS_SERVE_TEST_UTIL_H_
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "data/paper_suite.h"
+#include "data/split.h"
+#include "ml/gb_knn.h"
+#include "ml/knn.h"
+#include "serve/engine.h"
+#include "serve/model_io.h"
+#include "serve/protocol.h"
+
+namespace gbx {
+namespace servetest {
+
+/// Concurrent caller/client thread count: GBX_THREADS when set (the CI
+/// determinism legs pin it to 4), otherwise hardware — clamped to
+/// [2, 8] so the suites always exercise real concurrency but never
+/// oversubscribe a CI runner.
+inline int CallerThreads() { return std::clamp(DefaultNumThreads(), 2, 8); }
+
+/// The engine options every serving test starts from: small batches and
+/// a real coalescing window, so micro-batching actually happens under
+/// concurrent callers.
+inline InferenceEngineOptions SmallBatchOptions() {
+  InferenceEngineOptions opts;
+  opts.max_batch_size = 16;
+  opts.max_batch_delay_ms = 0.5;
+  return opts;
+}
+
+/// One fitted model, its artifact, and its ground-truth predictions.
+struct ModelBundle {
+  TrainTestSplitResult split;
+  std::string artifact;       // ModelToString text (checksummed)
+  std::uint64_t checksum = 0; // the artifact's FNV-1a-64
+  std::vector<int> expected;  // fitted model's PredictBatch over split.test
+};
+
+/// Deterministic split shared by every bundle of the same id/max_samples.
+inline TrainTestSplitResult SuiteSplit(const std::string& id,
+                                       int max_samples = 400) {
+  const Dataset ds = MakePaperDataset(id, max_samples, 9);
+  Pcg32 rng(11);
+  return TrainTestSplit(ds, 0.3, &rng);
+}
+
+/// Fits GB-kNN on a paper-suite split. Different (k, gbg_seed) pairs
+/// yield models that disagree on some holdout queries — what the
+/// hot-swap battery needs to tell versions apart.
+inline ModelBundle MakeGbKnnBundle(const std::string& id, int k = 3,
+                                   std::uint64_t gbg_seed = 17,
+                                   int max_samples = 400) {
+  ModelBundle b;
+  b.split = SuiteSplit(id, max_samples);
+  RdGbgConfig gbg;
+  gbg.seed = gbg_seed;
+  GbKnnClassifier model(gbg, k);
+  Pcg32 fit_rng(5);
+  model.Fit(b.split.train, &fit_rng);
+  b.expected = model.PredictBatch(b.split.test.x());
+  b.artifact = ModelToString(model);
+  StatusOr<LoadedModel> loaded = ModelFromString(b.artifact);
+  GBX_CHECK_MSG(loaded.ok(), "test bundle artifact must load");
+  b.checksum = loaded->checksum;
+  return b;
+}
+
+inline ModelBundle MakeKnnBundle(const std::string& id, int k = 5,
+                                 int max_samples = 400) {
+  ModelBundle b;
+  b.split = SuiteSplit(id, max_samples);
+  KnnClassifier model(k);
+  Pcg32 fit_rng(5);
+  model.Fit(b.split.train, &fit_rng);
+  b.expected = model.PredictBatch(b.split.test.x());
+  b.artifact = ModelToString(model);
+  StatusOr<LoadedModel> loaded = ModelFromString(b.artifact);
+  GBX_CHECK_MSG(loaded.ok(), "test bundle artifact must load");
+  b.checksum = loaded->checksum;
+  return b;
+}
+
+inline LoadedModel LoadBundle(const ModelBundle& b) {
+  StatusOr<LoadedModel> loaded = ModelFromString(b.artifact);
+  GBX_CHECK_MSG(loaded.ok(), "test bundle artifact must load");
+  return std::move(loaded).value();
+}
+
+/// Base fixture for engine-level tests: build an engine from a bundle
+/// and predict with CallerThreads() concurrent callers.
+class ServeTestBase : public ::testing::Test {
+ protected:
+  static std::unique_ptr<InferenceEngine> MakeEngine(
+      const ModelBundle& bundle,
+      InferenceEngineOptions opts = SmallBatchOptions()) {
+    return std::make_unique<InferenceEngine>(LoadBundle(bundle), opts);
+  }
+
+  /// Predicts every row of `test` through engine->Predict from
+  /// CallerThreads() striding threads. Every call must succeed.
+  static std::vector<int> ConcurrentPredict(InferenceEngine* engine,
+                                            const Dataset& test) {
+    const int n = test.size();
+    const int callers = CallerThreads();
+    std::vector<int> got(n, -1);
+    std::vector<std::thread> threads;
+    threads.reserve(callers);
+    for (int t = 0; t < callers; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = t; i < n; i += callers) {
+          const StatusOr<int> label =
+              engine->Predict(test.row(i), test.num_features());
+          ASSERT_TRUE(label.ok()) << label.status().ToString();
+          got[i] = *label;
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    return got;
+  }
+};
+
+// --- socket-side helpers (server_test, hot_swap_test, protocol_fuzz) ---
+
+/// Blocking gbx-wire client over one TCP connection.
+class TestClient {
+ public:
+  explicit TestClient(int port, const std::string& host = "127.0.0.1",
+                      double timeout_s = 10.0) {
+    StatusOr<int> fd = ConnectTcp(host, port, timeout_s);
+    GBX_CHECK_MSG(fd.ok(), "test client could not connect");
+    fd_ = *fd;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  Status Send(std::string_view payload) { return SendFrame(fd_, payload); }
+  StatusOr<std::string> Recv() { return RecvFrame(fd_); }
+  StatusOr<std::string> Call(std::string_view payload) {
+    GBX_RETURN_IF_ERROR(Send(payload));
+    return Recv();
+  }
+
+  /// Raw bytes, bypassing framing — the fuzz battery's hammer.
+  Status SendRaw(const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+      if (w > 0) {
+        sent += static_cast<std::size_t>(w);
+      } else if (w < 0 && errno == EINTR) {
+        continue;
+      } else {
+        return Status::Internal("send failed");
+      }
+    }
+    return Status::Ok();
+  }
+
+  int fd() const { return fd_; }
+  /// Hard close without a goodbye — mid-frame disconnect simulation.
+  void CloseAbruptly() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A parsed "ok LABEL fnv1a CHECKSUM16" predict reply.
+struct PredictReply {
+  int label = -1;
+  std::uint64_t checksum = 0;
+};
+
+inline StatusOr<PredictReply> ParsePredictReply(const std::string& payload) {
+  PredictReply reply;
+  unsigned long long checksum = 0;
+  if (std::sscanf(payload.c_str(), "ok %d fnv1a %16llx", &reply.label,
+                  &checksum) != 2) {
+    return Status::Internal("unexpected predict reply: " + payload);
+  }
+  reply.checksum = checksum;
+  return reply;
+}
+
+}  // namespace servetest
+}  // namespace gbx
+
+#endif  // GBX_TESTS_SERVE_TEST_UTIL_H_

@@ -1,0 +1,309 @@
+// End-to-end socket battery for the network serving front-end
+// (serve/server.h): predictions over TCP are bit-identical to the
+// in-process InferenceEngine path on every paper-suite dataset,
+// concurrent clients all get correct answers, "@model" routing hits the
+// right registry entry, pipelined responses arrive in request order,
+// the poll() fallback serves identically to epoll, and the admin
+// protocol works. Client/caller counts honor GBX_THREADS via the shared
+// servetest fixture.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_suite.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace gbx {
+namespace {
+
+using servetest::CallerThreads;
+using servetest::MakeGbKnnBundle;
+using servetest::ModelBundle;
+using servetest::ParsePredictReply;
+using servetest::PredictReply;
+using servetest::SmallBatchOptions;
+using servetest::TestClient;
+
+class ServerTest : public servetest::ServeTestBase {
+ protected:
+  /// Starts a server on an ephemeral port over `registry`.
+  static std::unique_ptr<Server> StartServer(
+      std::shared_ptr<ModelRegistry> registry, ServerOptions opts = {}) {
+    auto server = std::make_unique<Server>(std::move(registry), opts);
+    const Status started = server->Start();
+    GBX_CHECK_MSG(started.ok(), "test server must start");
+    return server;
+  }
+
+  /// Registry with one bundle published under `name`.
+  static std::shared_ptr<ModelRegistry> OneModelRegistry(
+      const ModelBundle& bundle, const std::string& name = "default") {
+    auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+    GBX_CHECK(registry->Publish(name, servetest::LoadBundle(bundle)).ok());
+    return registry;
+  }
+};
+
+// The headline acceptance criterion: for every paper-suite dataset,
+// labels served over the socket are bit-identical to the fitted model's
+// PredictBatch, and every response carries that artifact's checksum.
+// All 13 models are published into ONE server; each dataset's queries
+// route via "@Sx".
+TEST_F(ServerTest, SocketPredictionsBitIdenticalAcrossPaperSuite) {
+  std::vector<ModelBundle> bundles;
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  for (const PaperDatasetSpec& spec : PaperDatasetSpecs()) {
+    bundles.push_back(MakeGbKnnBundle(spec.id));
+    ASSERT_TRUE(
+        registry->Publish(spec.id, servetest::LoadBundle(bundles.back())).ok());
+  }
+  const std::unique_ptr<Server> server = StartServer(registry);
+
+  for (std::size_t b = 0; b < bundles.size(); ++b) {
+    const ModelBundle& bundle = bundles[b];
+    const std::string& id = PaperDatasetSpecs()[b].id;
+    const Dataset& test = bundle.split.test;
+    TestClient client(server->port());
+    // Pipeline every query, then read every response: the per-connection
+    // ordering guarantee makes position i the answer to query i.
+    for (int i = 0; i < test.size(); ++i) {
+      ASSERT_TRUE(
+          client
+              .Send(FormatPredictPayload(id, test.row(i), test.num_features()))
+              .ok());
+    }
+    for (int i = 0; i < test.size(); ++i) {
+      const StatusOr<std::string> payload = client.Recv();
+      ASSERT_TRUE(payload.ok()) << id << ": " << payload.status().ToString();
+      const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+      ASSERT_TRUE(reply.ok()) << id << ": " << reply.status().ToString();
+      EXPECT_EQ(reply->label, bundle.expected[i]) << id << " query " << i;
+      EXPECT_EQ(reply->checksum, bundle.checksum) << id << " query " << i;
+    }
+  }
+
+  const ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.protocol_errors, 0);
+  EXPECT_EQ(stats.frames_received, stats.frames_sent);
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetBitIdenticalAnswers) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle));
+  const Dataset& test = bundle.split.test;
+
+  const int clients = CallerThreads();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      TestClient client(server->port());
+      for (int i = t; i < test.size(); i += clients) {
+        const StatusOr<std::string> payload = client.Call(
+            FormatPredictPayload("", test.row(i), test.num_features()));
+        ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+        const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        EXPECT_EQ(reply->label, bundle.expected[i]) << "query " << i;
+        EXPECT_EQ(reply->checksum, bundle.checksum);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.connections_accepted, clients);
+  EXPECT_EQ(stats.frames_received, test.size());
+  EXPECT_EQ(stats.frames_sent, test.size());
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST_F(ServerTest, RoutesPerModelAndReportsUnknown) {
+  // Two models with different dimensionality, so a cross-routed query
+  // could not silently succeed.
+  const ModelBundle alpha = MakeGbKnnBundle("S1");
+  const ModelBundle beta = MakeGbKnnBundle("S2");
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  ASSERT_TRUE(registry->Publish("alpha", servetest::LoadBundle(alpha)).ok());
+  ASSERT_TRUE(registry->Publish("beta", servetest::LoadBundle(beta)).ok());
+  ServerOptions opts;
+  opts.default_model = "alpha";
+  const std::unique_ptr<Server> server = StartServer(registry, opts);
+
+  TestClient client(server->port());
+  const Dataset& atest = alpha.split.test;
+  const Dataset& btest = beta.split.test;
+
+  // Unprefixed -> default model.
+  StatusOr<std::string> payload = client.Call(
+      FormatPredictPayload("", atest.row(0), atest.num_features()));
+  ASSERT_TRUE(payload.ok());
+  StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->label, alpha.expected[0]);
+  EXPECT_EQ(reply->checksum, alpha.checksum);
+
+  // "@beta" -> the other entry, tagged with the other checksum.
+  payload = client.Call(
+      FormatPredictPayload("beta", btest.row(0), btest.num_features()));
+  ASSERT_TRUE(payload.ok());
+  reply = ParsePredictReply(*payload);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->label, beta.expected[0]);
+  EXPECT_EQ(reply->checksum, beta.checksum);
+
+  // Unknown model: structured NOT_FOUND, connection stays open.
+  payload = client.Call(
+      FormatPredictPayload("ghost", atest.row(0), atest.num_features()));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("error NOT_FOUND", 0), 0) << *payload;
+
+  payload = client.Call(
+      FormatPredictPayload("", atest.row(1), atest.num_features()));
+  ASSERT_TRUE(payload.ok());
+  reply = ParsePredictReply(*payload);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->label, alpha.expected[1]);
+}
+
+TEST_F(ServerTest, PipelinedResponsesArriveInRequestOrder) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle));
+  const Dataset& test = bundle.split.test;
+  const int n = std::min(64, test.size());
+
+  TestClient client(server->port());
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        client.Send(FormatPredictPayload("", test.row(i), test.num_features()))
+            .ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    const StatusOr<std::string> payload = client.Recv();
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    // Out-of-order worker completions must be reordered per connection:
+    // response i answers query i, always.
+    EXPECT_EQ(reply->label, bundle.expected[i]) << "position " << i;
+  }
+}
+
+TEST_F(ServerTest, PollBackendServesIdentically) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  ServerOptions opts;
+  opts.force_poll = true;
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle), opts);
+  const Dataset& test = bundle.split.test;
+
+  TestClient client(server->port());
+  for (int i = 0; i < std::min(32, test.size()); ++i) {
+    const StatusOr<std::string> payload = client.Call(
+        FormatPredictPayload("", test.row(i), test.num_features()));
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->label, bundle.expected[i]) << "query " << i;
+  }
+}
+
+TEST_F(ServerTest, AdminProtocolAnswersPingListAndStat) {
+  const ModelBundle alpha = MakeGbKnnBundle("S1");
+  const ModelBundle beta = MakeGbKnnBundle("S2");
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  ASSERT_TRUE(registry->Publish("alpha", servetest::LoadBundle(alpha)).ok());
+  ASSERT_TRUE(registry->Publish("beta", servetest::LoadBundle(beta)).ok());
+  const std::unique_ptr<Server> server = StartServer(registry);
+
+  TestClient client(server->port());
+  StatusOr<std::string> payload = client.Call("!ping");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "ok pong");
+
+  payload = client.Call("!list");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok models 2", 0), 0) << *payload;
+  EXPECT_NE(payload->find("alpha v1"), std::string::npos) << *payload;
+  EXPECT_NE(payload->find("beta v1"), std::string::npos) << *payload;
+
+  payload = client.Call("!stat alpha");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok stats alpha v1", 0), 0) << *payload;
+
+  payload = client.Call("!stat ghost");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("error NOT_FOUND", 0), 0) << *payload;
+
+  payload = client.Call("!frobnicate");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("error INVALID_ARGUMENT", 0), 0) << *payload;
+}
+
+TEST_F(ServerTest, RestartsCleanlyAndStopIsIdempotent) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::shared_ptr<ModelRegistry> registry = OneModelRegistry(bundle);
+  const Dataset& test = bundle.split.test;
+
+  for (int round = 0; round < 3; ++round) {
+    Server server(registry);
+    ASSERT_TRUE(server.Start().ok()) << "round " << round;
+    TestClient client(server.port());
+    const StatusOr<std::string> payload = client.Call(
+        FormatPredictPayload("", test.row(round), test.num_features()));
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->label, bundle.expected[round]);
+    server.Stop();
+    server.Stop();  // idempotent
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST_F(ServerTest, StopDrainsInFlightRequests) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  auto server = std::make_unique<Server>(OneModelRegistry(bundle));
+  ASSERT_TRUE(server->Start().ok());
+  const Dataset& test = bundle.split.test;
+
+  // Pipeline a burst, wait for the first response (so the server has
+  // demonstrably ingested the burst), then Stop() while the rest are
+  // still in flight: the drain must answer every accepted frame before
+  // sockets close.
+  TestClient client(server->port());
+  const int n = std::min(48, test.size());
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        client.Send(FormatPredictPayload("", test.row(i), test.num_features()))
+            .ok());
+  }
+  StatusOr<std::string> first = client.Recv();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  StatusOr<PredictReply> first_reply = ParsePredictReply(*first);
+  ASSERT_TRUE(first_reply.ok()) << first_reply.status().ToString();
+  EXPECT_EQ(first_reply->label, bundle.expected[0]);
+
+  std::thread stopper([&] { server->Stop(); });
+  for (int i = 1; i < n; ++i) {
+    const StatusOr<std::string> payload = client.Recv();
+    ASSERT_TRUE(payload.ok())
+        << "response " << i << " dropped by Stop(): "
+        << payload.status().ToString();
+    const StatusOr<PredictReply> reply = ParsePredictReply(*payload);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->label, bundle.expected[i]) << "position " << i;
+  }
+  stopper.join();
+}
+
+}  // namespace
+}  // namespace gbx

@@ -3,6 +3,8 @@
 // disjoint per-index slots and all reductions keep their sequential
 // order, so 1 thread, 2 threads, and hardware concurrency must agree
 // exactly — not approximately.
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +16,8 @@
 #include "data/synthetic.h"
 #include "ml/gb_knn.h"
 #include "sampling/kmeans.h"
+#include "serve/registry.h"
+#include "serve_test_util.h"
 
 namespace gbx {
 namespace {
@@ -231,6 +235,38 @@ TEST(GbKnnThreadDeterminismTest, BatchPredictionsIdentical) {
     Pcg32 rng(4);
     clf.Fit(train, &rng);
     ASSERT_EQ(clf.PredictBatch(test.x()), expected) << "threads=" << threads;
+  }
+}
+
+// A model served through the ModelRegistry's micro-batching engine has
+// the same contract: batch composition is a wall-clock detail, never a
+// prediction input, so any number of concurrent callers sharing the
+// served engine must reproduce the fitted model's serial PredictBatch
+// bit-for-bit — snapshot per request, like the server's workers.
+TEST(RegistryThreadDeterminismTest, ServedPredictionsIdenticalAcrossCallers) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S5");
+  const Dataset& test = bundle.split.test;
+  for (int threads : ThreadCountsUnderTest()) {
+    ModelRegistry registry(servetest::SmallBatchOptions());
+    ASSERT_TRUE(registry.Publish("m", servetest::LoadBundle(bundle)).ok());
+    const int callers = ResolveNumThreads(threads);
+    std::vector<int> got(test.size(), -1);
+    std::vector<std::thread> pool;
+    pool.reserve(callers);
+    for (int t = 0; t < callers; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < test.size(); i += callers) {
+          const std::shared_ptr<const ServedModel> snap = registry.Get("m");
+          ASSERT_NE(snap, nullptr);
+          const StatusOr<int> label =
+              snap->engine->Predict(test.row(i), test.num_features());
+          ASSERT_TRUE(label.ok()) << label.status().ToString();
+          got[i] = *label;
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    ASSERT_EQ(got, bundle.expected) << "callers=" << callers;
   }
 }
 
