@@ -18,10 +18,20 @@
 //   --qps N --seconds X     open-loop sustained load: requests are
 //     [--connections C]     scheduled at fixed arrival times i/qps
 //     [--model NAME]        across C connections and latency is
-//                           measured FROM THE SCHEDULED TIME (so queue
-//                           delay when the server falls behind is
-//                           charged to it — no coordinated omission).
-//                           Reports achieved QPS and p50/p99/max.
+//     [--deadline-ms T]     measured FROM THE SCHEDULED TIME (so queue
+//     [--retries R]         delay when the server falls behind is
+//     [--backoff-ms B]      charged to it — no coordinated omission).
+//                           Reports achieved QPS and p50/p99/max, plus
+//                           a failure breakdown: ok / shed (UNAVAILABLE
+//                           overload replies) / deadline_expired
+//                           (DEADLINE_EXCEEDED) / transport / other.
+//                           --deadline-ms attaches "timeout_ms=T" to
+//                           every request; --retries R retries shed,
+//                           deadline-expired, and transport failures up
+//                           to R times with full-jitter exponential
+//                           backoff (base --backoff-ms, default 5) —
+//                           the well-behaved-client loop the server's
+//                           overload replies are designed for.
 //
 // --self replaces --host/--port with an in-process server over a
 // freshly trained GB-kNN model — the self-contained form the BENCH
@@ -65,6 +75,9 @@ struct Args {
   double qps = 1000.0;
   double seconds = 2.0;
   int connections = 4;
+  double deadline_ms = 0.0;  // 0 = no per-request deadline
+  int retries = 0;           // retry budget for shed/deadline/transport
+  double backoff_ms = 5.0;   // full-jitter exponential backoff base
   bool ping = false;
   bool self = false;
   std::string dataset = "S5";
@@ -80,7 +93,8 @@ int Usage() {
       "  gbx_loadgen (--port N [--host H] | --self) --queries FILE\n"
       "              [--out FILE] [--model NAME]\n"
       "  gbx_loadgen (--port N [--host H] | --self) --qps N --seconds X\n"
-      "              [--connections C] [--model NAME]\n"
+      "              [--connections C] [--model NAME] [--deadline-ms T]\n"
+      "              [--retries R] [--backoff-ms B]\n"
       "self-mode:    [--dataset S1..S13] [--max-samples N] [--seed N]\n");
   return 2;
 }
@@ -115,6 +129,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seconds = std::atof(v);
     } else if (flag == "--connections") {
       args->connections = std::atoi(v);
+    } else if (flag == "--deadline-ms") {
+      args->deadline_ms = std::atof(v);
+    } else if (flag == "--retries") {
+      args->retries = std::atoi(v);
+    } else if (flag == "--backoff-ms") {
+      args->backoff_ms = std::atof(v);
     } else if (flag == "--dataset") {
       args->dataset = v;
     } else if (flag == "--max-samples") {
@@ -285,7 +305,12 @@ int RunOpenLoop(const Args& args) {
               args.model.empty() ? "default" : args.model.c_str());
 
   std::atomic<int> next_index{0};
-  std::atomic<long long> errors{0};
+  // Failure taxonomy mirroring the server's typed replies: retryable
+  // classes (shed, deadline, transport) are distinguished from
+  // everything else so an overload experiment can tell "the server
+  // protected itself" apart from "something broke".
+  std::atomic<long long> shed{0}, deadline_expired{0}, transport{0},
+      other_errors{0}, retries_spent{0};
   std::vector<std::vector<double>> latencies_ms(connections);
   const auto start = std::chrono::steady_clock::now();
 
@@ -307,24 +332,60 @@ int RunOpenLoop(const Args& args) {
                         std::chrono::duration<double>(i / args.qps));
         std::this_thread::sleep_until(due);
         for (int j = 0; j < dims; ++j) q[j] = rng.NextDouble();
-        const std::string payload =
-            FormatPredictPayload(args.model, q.data(), dims);
-        const Status sent = SendFrame(fds[c], payload);
-        const StatusOr<std::string> reply =
-            sent.ok() ? RecvFrame(fds[c]) : StatusOr<std::string>(sent);
-        const StatusOr<int> label =
-            reply.ok() ? LabelFromReply(*reply)
-                       : StatusOr<int>(reply.status());
-        if (!label.ok()) {
-          errors.fetch_add(1);
-          continue;
+        const std::string payload = FormatPredictPayload(
+            args.model, q.data(), dims, args.deadline_ms);
+        for (int attempt = 0;; ++attempt) {
+          if (attempt > 0) {
+            retries_spent.fetch_add(1);
+            // Full-jitter exponential backoff: uniform in
+            // [0, base * 2^(attempt-1)] — retries from many clients
+            // decorrelate instead of re-stampeding the server.
+            const double cap_ms =
+                args.backoff_ms *
+                static_cast<double>(1 << std::min(attempt - 1, 10));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(cap_ms *
+                                                          rng.NextDouble()));
+          }
+          const bool budget_left = attempt < args.retries;
+          const Status sent = SendFrame(fds[c], payload);
+          const StatusOr<std::string> reply =
+              sent.ok() ? RecvFrame(fds[c]) : StatusOr<std::string>(sent);
+          if (!reply.ok()) {
+            // Transport failure poisons the connection; reconnect
+            // before any retry.
+            ::close(fds[c]);
+            fds[c] = -1;
+            const StatusOr<int> fresh = ConnectTcp(args.host, args.port);
+            if (fresh.ok()) fds[c] = *fresh;
+            if (budget_left && fds[c] >= 0) continue;
+            transport.fetch_add(1);
+            if (fds[c] < 0) return;  // server unreachable: stop this lane
+            break;
+          }
+          const std::string& r = *reply;
+          if (r.rfind("ok ", 0) == 0) {
+            // Latency from the *scheduled* time: queueing delay counts.
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - due)
+                    .count();
+            latencies_ms[c].push_back(ms);
+            break;
+          }
+          if (r.rfind("error UNAVAILABLE", 0) == 0) {
+            if (budget_left) continue;
+            shed.fetch_add(1);
+            break;
+          }
+          if (r.rfind("error DEADLINE_EXCEEDED", 0) == 0) {
+            if (budget_left) continue;
+            deadline_expired.fetch_add(1);
+            break;
+          }
+          other_errors.fetch_add(1);  // non-retryable (bad query etc.)
+          break;
         }
-        // Latency from the *scheduled* time: queueing delay counts.
-        const double ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - due)
-                .count();
-        latencies_ms[c].push_back(ms);
       }
     });
   }
@@ -343,15 +404,19 @@ int RunOpenLoop(const Args& args) {
     const std::size_t rank = static_cast<std::size_t>(q * (all.size() - 1));
     return all[rank];
   };
-  std::printf("completed %lld requests in %.3f s (achieved %.0f qps), "
-              "%lld errors\n",
+  const long long failures = shed.load() + deadline_expired.load() +
+                             transport.load() + other_errors.load();
+  std::printf("completed %lld requests in %.3f s (achieved %.0f qps)\n",
               ok_count, elapsed_s,
-              elapsed_s > 0 ? ok_count / elapsed_s : 0.0,
-              errors.load());
+              elapsed_s > 0 ? ok_count / elapsed_s : 0.0);
+  std::printf("outcomes: ok %lld, shed %lld, deadline_expired %lld, "
+              "transport %lld, other %lld (retries %lld)\n",
+              ok_count, shed.load(), deadline_expired.load(),
+              transport.load(), other_errors.load(), retries_spent.load());
   std::printf("latency (from scheduled send): p50 %.3f ms, p99 %.3f ms, "
               "max %.3f ms\n",
               pct(0.50), pct(0.99), all.empty() ? 0.0 : all.back());
-  return errors.load() == 0 ? 0 : 1;
+  return failures == 0 ? 0 : 1;
 }
 
 /// --self: train a small GB-kNN, publish it as "default" (and under the

@@ -85,6 +85,8 @@ struct Args {
   std::vector<std::string> registers;  // repeated --register name=path
   bool poll = false;
   double idle_timeout_ms = 0.0;
+  long max_queue = -1;     // < 0: ServerOptions default; 0 disables
+  long max_inflight = -1;  // per-connection cap; same convention
   // Runtime-only ball-center scan strategy for GB-kNN (never persisted
   // in the artifact): auto | flat | tree | balltree.
   IndexStrategy index_strategy = IndexStrategy::kAuto;
@@ -105,7 +107,8 @@ int Usage() {
       "  gbx_serve serve   --port N [--host H] [--model-file FILE]\n"
       "                    [--register NAME=PATH]... [--workers N]\n"
       "                    [--batch N] [--delay-ms X] [--poll]\n"
-      "                    [--idle-timeout-ms X]\n"
+      "                    [--idle-timeout-ms X] [--max-queue N]\n"
+      "                    [--max-inflight N]   (overload shed caps; 0 = off)\n"
       "  gbx_serve info    --model-file FILE\n"
       "common: --index-strategy auto|flat|tree|balltree\n"
       "        (GB-kNN center scan; runtime-only, artifacts never\n"
@@ -169,6 +172,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->registers.emplace_back(v);
     } else if (flag == "--idle-timeout-ms") {
       args->idle_timeout_ms = std::atof(v);
+    } else if (flag == "--max-queue") {
+      args->max_queue = std::atol(v);
+    } else if (flag == "--max-inflight") {
+      args->max_inflight = std::atol(v);
     } else if (flag == "--index-strategy") {
       if (!ParseIndexStrategy(v, &args->index_strategy)) {
         std::fprintf(stderr,
@@ -482,6 +489,13 @@ int RunServe(const Args& args) {
   sopts.num_workers = args.workers;
   sopts.force_poll = args.poll;
   sopts.idle_timeout_ms = args.idle_timeout_ms;
+  if (args.max_queue >= 0) {
+    sopts.max_queue_depth = static_cast<std::size_t>(args.max_queue);
+  }
+  if (args.max_inflight >= 0) {
+    sopts.max_inflight_per_conn =
+        static_cast<std::uint64_t>(args.max_inflight);
+  }
   Server server(registry, sopts);
   const Status started = server.Start();
   if (!started.ok()) {

@@ -17,9 +17,10 @@
 #define GBX_GBX_H_
 
 // common/ — foundations: dense Matrix, PCG32 RNG, Status/StatusOr, CHECK
-// macros, wall-clock Stopwatch, and the shared thread pool behind every
-// parallel loop in the library.
+// macros, wall-clock Stopwatch, failpoint fault injection, and the
+// shared thread pool behind every parallel loop in the library.
 #include "common/check.h"       // IWYU pragma: export
+#include "common/failpoint.h"   // IWYU pragma: export
 #include "common/matrix.h"      // IWYU pragma: export
 #include "common/parallel.h"    // IWYU pragma: export
 #include "common/rng.h"         // IWYU pragma: export

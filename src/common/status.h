@@ -20,6 +20,18 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// A finite resource (disk space, a bounded queue) is exhausted.
+  /// Retrying later may succeed; retrying immediately will not.
+  kResourceExhausted,
+  /// The caller-supplied deadline expired before the work finished.
+  kDeadlineExceeded,
+  /// Stored data is unrecoverably lost or corrupted (checksum mismatch,
+  /// truncated artifact) — distinct from kInvalidArgument, which means
+  /// intact-but-malformed input.
+  kDataLoss,
+  /// The service is temporarily unable to take the request (overload
+  /// shedding); safe to retry with backoff.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -48,6 +60,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/failpoint.h"
+
 namespace gbx {
 
 InferenceEngine::InferenceEngine(LoadedModel model,
@@ -32,6 +34,9 @@ Status InferenceEngine::ValidateQuery(const double* x, int dims) const {
 }
 
 StatusOr<int> InferenceEngine::Predict(const double* x, int dims) {
+  // Chaos site: "engine.predict" with delay(ms) stretches the predict
+  // path (overload/deadline batteries); error fails the prediction.
+  GBX_FAILPOINT_RETURN_ERROR("engine.predict");
   GBX_RETURN_IF_ERROR(ValidateQuery(x, dims));
   Stopwatch watch;
 

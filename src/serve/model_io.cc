@@ -1,14 +1,22 @@
 #include "serve/model_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "core/gb_io.h"
 
 namespace gbx {
@@ -33,29 +41,129 @@ void WriteVector(std::ostream& out, const std::vector<double>& v) {
   out << "\n";
 }
 
-Status WriteFile(const std::string& text, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::InvalidArgument("cannot write " + path);
-  out << text;
-  if (!out) return Status::Internal("write failure on " + path);
+Status ErrnoStatus(const std::string& what) {
+  const int err = errno;
+  const std::string msg = what + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return Status::ResourceExhausted(msg);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::Internal(msg);
+}
+
+/// write(2) the whole buffer with EINTR retry. Honors the
+/// "model_io.save.write" failpoint: `error` fails as ENOSPC after zero
+/// bytes; `partial_write(N)` persists exactly the first N bytes of the
+/// remaining buffer, then fails as ENOSPC — the torn-write fault the
+/// atomic rename must mask.
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  const FailpointHit fault = GBX_FAILPOINT_EVAL("model_io.save.write");
+  if (fault.partial_write()) {
+    size = std::min(size, static_cast<std::size_t>(fault.arg));
+  }
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (fault.fired()) {
+    errno = ENOSPC;
+    return ErrnoStatus("write " + path);
+  }
+  return Status::Ok();
+}
+
+/// Atomic, crash-safe artifact write: the full text goes to a
+/// same-directory temp file, is fsync'd, and only then rename(2)'d over
+/// `path`. A reader (or a crash-recovery restart) therefore sees either
+/// the complete old artifact or the complete new one — never a torn
+/// mix; on any failure the temp file is unlinked and the destination is
+/// untouched. The parent directory is fsync'd after the rename so the
+/// new name itself survives a power cut.
+Status WriteFileAtomic(const std::string& text, const std::string& path) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  GBX_FAILPOINT_RETURN_ERROR("model_io.save.open");
+  int fd = -1;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return ErrnoStatus("open " + tmp);
+
+  auto fail = [&](Status status) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  const Status written = WriteAll(fd, text.data(), text.size(), tmp);
+  if (!written.ok()) return fail(written);
+
+  const FailpointHit fsync_fault = GBX_FAILPOINT_EVAL("model_io.save.fsync");
+  if (fsync_fault.error() || ::fsync(fd) != 0) {
+    if (fsync_fault.error()) errno = EIO;
+    return fail(ErrnoStatus("fsync " + tmp));
+  }
+  if (::close(fd) != 0) {
+    fd = -1;
+    const Status status = ErrnoStatus("close " + tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  fd = -1;
+
+  // The mid-save kill point: the complete new bytes exist under the
+  // temp name, the destination still holds the old artifact — exactly
+  // the state tests/chaos_test.cc proves a restart recovers from.
+  GBX_FAILPOINT("model_io.save.crash_before_rename");
+
+  const FailpointHit rename_fault = GBX_FAILPOINT_EVAL("model_io.save.rename");
+  if (rename_fault.error() || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (rename_fault.error()) errno = EIO;
+    const Status status = ErrnoStatus("rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  // Persist the directory entry; best-effort (some filesystems refuse
+  // directory fsync), the data itself is already durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int dir_fd = -1;
+  do {
+    dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dir_fd < 0 && errno == EINTR);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
   return Status::Ok();
 }
 
 /// Splits `text` into the checksum-covered body and verifies the final
 /// checksum line. Returns the body on success.
+// Checksum-envelope failures are kDataLoss: the artifact's delivery is
+// damaged (truncated or bit-flipped in storage/transit). Parse failures
+// *after* the checksum verifies are kInvalidArgument instead — the
+// bytes arrived exactly as written, the format itself is wrong.
 StatusOr<std::string> VerifyChecksum(const std::string& text) {
   const std::size_t pos = text.rfind(kChecksumPrefix);
   if (pos == std::string::npos) {
-    return Status::InvalidArgument("missing checksum line");
+    return Status::DataLoss(
+        "truncated artifact: missing checksum trailer line");
   }
   if (pos == 0 || text[pos - 1] != '\n') {
-    return Status::InvalidArgument("checksum not at line start");
+    return Status::DataLoss("corrupt artifact: checksum not at line start");
   }
   // Exactly 16 lowercase hex digits, parsed case-sensitively (istream
   // hex extraction would silently accept case-flipped digits).
   const std::size_t hex_begin = pos + sizeof(kChecksumPrefix) - 1;
   if (text.size() < hex_begin + 16) {
-    return Status::InvalidArgument("truncated checksum value");
+    return Status::DataLoss("truncated artifact: cut mid-checksum");
   }
   std::uint64_t stored = 0;
   for (int i = 0; i < 16; ++i) {
@@ -66,18 +174,18 @@ StatusOr<std::string> VerifyChecksum(const std::string& text) {
     } else if (c >= 'a' && c <= 'f') {
       digit = c - 'a' + 10;
     } else {
-      return Status::InvalidArgument("malformed checksum value");
+      return Status::DataLoss("corrupt artifact: malformed checksum value");
     }
     stored = stored << 4 | static_cast<std::uint64_t>(digit);
   }
   for (std::size_t i = hex_begin + 16; i < text.size(); ++i) {
     if (!std::isspace(static_cast<unsigned char>(text[i]))) {
-      return Status::InvalidArgument("trailing data after checksum");
+      return Status::DataLoss("corrupt artifact: trailing data after checksum");
     }
   }
   const std::string body = text.substr(0, pos);
   if (Fnv1a64(body) != stored) {
-    return Status::InvalidArgument("checksum mismatch: corrupt artifact");
+    return Status::DataLoss("corrupt artifact: checksum mismatch");
   }
   return body;
 }
@@ -299,11 +407,11 @@ std::string ModelToString(const KnnClassifier& model) {
 }
 
 Status SaveModel(const GbKnnClassifier& model, const std::string& path) {
-  return WriteFile(ModelToString(model), path);
+  return WriteFileAtomic(ModelToString(model), path);
 }
 
 Status SaveModel(const KnnClassifier& model, const std::string& path) {
-  return WriteFile(ModelToString(model), path);
+  return WriteFileAtomic(ModelToString(model), path);
 }
 
 Status SaveModel(const Classifier& model, const std::string& path) {
@@ -361,6 +469,7 @@ StatusOr<LoadedModel> LoadModel(const std::string& path) {
   if (!in) return Status::NotFound("cannot open " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error on " + path);
   return ModelFromString(buffer.str());
 }
 

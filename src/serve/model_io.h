@@ -31,6 +31,23 @@
 // truncation, a corrupted byte (checksum mismatch), non-finite values,
 // negative radii, dimension/class mismatches between sections, and
 // trailing garbage all yield a descriptive error Status — never UB.
+// The failure classes carry distinct codes so callers can react
+// (serve/registry.h rollback, operator triage):
+//
+//   kNotFound         the artifact file does not exist
+//   kDataLoss         the checksum envelope is damaged — truncated file
+//                     or corrupted bytes (retry from a replica/backup)
+//   kInvalidArgument  the bytes are intact (checksum verifies) but the
+//                     format is wrong (version skew, handcrafted file)
+//
+// Saving is atomic and crash-safe: SaveModel writes the full artifact
+// to a same-directory temp file, fsyncs, then rename(2)s it over the
+// destination — a concurrently-loading replica or a post-crash restart
+// sees either the complete old artifact or the complete new one, never
+// a torn write. On any save failure (disk full, fsync error, injected
+// failpoint — see common/failpoint.h sites model_io.save.*) the temp
+// file is removed and the destination is untouched; ENOSPC surfaces as
+// kResourceExhausted. Enforced by tests/chaos_test.cc.
 #ifndef GBX_SERVE_MODEL_IO_H_
 #define GBX_SERVE_MODEL_IO_H_
 

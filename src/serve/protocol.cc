@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -91,8 +93,9 @@ FrameDecoder::Result FrameDecoder::Next(std::string* payload,
 }
 
 Status ParsePredictPayload(std::string_view payload, std::string* model,
-                           std::vector<double>* query) {
+                           double* timeout_ms, std::vector<double>* query) {
   model->clear();
+  if (timeout_ms != nullptr) *timeout_ms = 0.0;
   query->clear();
   std::string line(payload);
   if (!line.empty() && line[0] == '@') {
@@ -102,6 +105,29 @@ Status ParsePredictPayload(std::string_view payload, std::string* model,
           "malformed @model prefix (want '@name <features>')");
     }
     *model = line.substr(1, sep - 1);
+    line.erase(0, sep + 1);
+  }
+  constexpr std::string_view kTimeoutKey = "timeout_ms=";
+  while (!line.empty() && (line[0] == ' ' || line[0] == '\t')) line.erase(0, 1);
+  if (line.compare(0, kTimeoutKey.size(), kTimeoutKey) == 0) {
+    const std::size_t sep = line.find_first_of(" \t,", kTimeoutKey.size());
+    const std::string value =
+        line.substr(kTimeoutKey.size(), sep == std::string::npos
+                                            ? std::string::npos
+                                            : sep - kTimeoutKey.size());
+    char* end = nullptr;
+    errno = 0;
+    const double t = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+        !(t > 0.0)) {
+      return Status::InvalidArgument(
+          "malformed timeout_ms field '" + value +
+          "' (want a positive number of milliseconds)");
+    }
+    if (timeout_ms != nullptr) *timeout_ms = t;
+    if (sep == std::string::npos) {
+      return Status::InvalidArgument("query payload has no features");
+    }
     line.erase(0, sep + 1);
   }
   for (char& c : line) {
@@ -121,7 +147,7 @@ Status ParsePredictPayload(std::string_view payload, std::string* model,
 }
 
 std::string FormatPredictPayload(std::string_view model, const double* x,
-                                 int dims) {
+                                 int dims, double timeout_ms) {
   std::string out;
   if (!model.empty()) {
     out += '@';
@@ -129,6 +155,10 @@ std::string FormatPredictPayload(std::string_view model, const double* x,
     out += ' ';
   }
   char buf[40];
+  if (timeout_ms > 0.0) {
+    std::snprintf(buf, sizeof(buf), "timeout_ms=%.17g ", timeout_ms);
+    out += buf;
+  }
   for (int j = 0; j < dims; ++j) {
     std::snprintf(buf, sizeof(buf), "%s%.17g", j > 0 ? "," : "", x[j]);
     out += buf;
@@ -156,6 +186,27 @@ StatusOr<int> ConnectTcp(const std::string& host, int port,
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) {
+      // POSIX: an EINTR'd connect keeps completing asynchronously and
+      // must NOT be retried (a second connect yields EALREADY/EISCONN
+      // races). Wait for writability, then read the real outcome from
+      // SO_ERROR.
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1e3));
+      } while (rc < 0 && errno == EINTR);
+      int so_error = rc == 1 ? 0 : ETIMEDOUT;
+      socklen_t len = sizeof(so_error);
+      if (rc == 1) ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        ::close(fd);
+        return Status::Internal("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(so_error));
+      }
+      return fd;
+    }
     const std::string err = std::strerror(errno);
     ::close(fd);
     return Status::Internal("connect " + host + ":" + std::to_string(port) +

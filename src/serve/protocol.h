@@ -6,16 +6,26 @@
 // with the payload a UTF-8 text line. Request payloads reuse the
 // gbx_serve stdin predict wire format:
 //
-//   predict   "[@MODEL ]F1[,F2 ...]"    comma/space/tab-separated
-//             features, optionally prefixed with "@MODEL" to route the
-//             query to a named ModelRegistry entry (no prefix = the
-//             server's default model).
+//   predict   "[@MODEL ][timeout_ms=T ]F1[,F2 ...]"
+//             comma/space/tab-separated features, optionally prefixed
+//             with "@MODEL" to route the query to a named ModelRegistry
+//             entry (no prefix = the server's default model) and/or a
+//             "timeout_ms=T" deadline: if the server cannot start the
+//             prediction within T ms of receiving the frame it answers
+//             "error DEADLINE_EXCEEDED: ..." instead of serving a
+//             result the client has already given up on.
 //   admin     "!ping"                   liveness probe -> "ok pong"
 //             "!list"                   registry contents
-//             "!stat NAME"              engine stats for one model
+//             "!stat NAME"              engine stats for one model plus
+//                                       server overload counters (shed /
+//                                       deadline_expired / queue depth)
 //             "!swap NAME PATH"         load the artifact at PATH and
 //                                       atomically publish it as NAME
 //                                       (the hot-swap control path)
+//             "!fail set NAME=SPEC"     arm a failpoint (common/
+//             "!fail clear NAME|*"      failpoint.h) in the serving
+//             "!fail list"              process; FAILED_PRECONDITION
+//                                       when sites are compiled out
 //
 // Response payloads are one frame per request, in request order per
 // connection:
@@ -33,6 +43,14 @@
 //                                       length) poison the byte stream,
 //                                       so the server answers the error
 //                                       frame and then closes.
+//                                       Notable CODEs under fault:
+//                                       UNAVAILABLE ("overloaded ...")
+//                                       when a bounded request queue
+//                                       sheds the request — resend with
+//                                       backoff; DEADLINE_EXCEEDED when
+//                                       a timeout_ms deadline expired
+//                                       in queue; DATA_LOSS when !swap
+//                                       hit a corrupt artifact.
 //
 // A declared length of 0 or more than `max_frame_bytes` is a framing
 // error: the stream cannot be resynchronized, so FrameDecoder reports it
@@ -89,18 +107,27 @@ class FrameDecoder {
   std::string error_;
 };
 
-/// Parses a predict payload: an optional "@MODEL" first token, then the
-/// stdin predict line format (comma/space/tab-separated doubles).
-/// `*model` is empty when no "@" prefix was present. Rejects payloads
-/// with no features, trailing garbage, or a malformed prefix.
+/// Parses a predict payload: an optional "@MODEL" first token, an
+/// optional "timeout_ms=T" token (T a positive number of milliseconds),
+/// then the stdin predict line format (comma/space/tab-separated
+/// doubles). `*model` is empty when no "@" prefix was present;
+/// `*timeout_ms` is 0 when no deadline was requested (pass nullptr to
+/// accept-and-ignore the token). Rejects payloads with no features,
+/// trailing garbage, or a malformed prefix.
 Status ParsePredictPayload(std::string_view payload, std::string* model,
-                           std::vector<double>* query);
+                           double* timeout_ms, std::vector<double>* query);
+inline Status ParsePredictPayload(std::string_view payload,
+                                  std::string* model,
+                                  std::vector<double>* query) {
+  return ParsePredictPayload(payload, model, nullptr, query);
+}
 
-/// Formats one predict payload ("@model f1,f2,..."), %.17g per feature
-/// so queries round-trip doubles losslessly — socket predictions stay
-/// bit-identical to the in-process path. Empty `model` omits the prefix.
+/// Formats one predict payload ("@model timeout_ms=T f1,f2,..."), %.17g
+/// per feature so queries round-trip doubles losslessly — socket
+/// predictions stay bit-identical to the in-process path. Empty `model`
+/// omits the prefix; `timeout_ms <= 0` omits the deadline field.
 std::string FormatPredictPayload(std::string_view model, const double* x,
-                                 int dims);
+                                 int dims, double timeout_ms = 0.0);
 
 // --- blocking client-side helpers (gbx_loadgen, test batteries) ---
 // The server itself is nonblocking; these wrap a connected socket fd.

@@ -1,6 +1,9 @@
 #include "serve/registry.h"
 
 #include <cctype>
+#include <vector>
+
+#include "common/failpoint.h"
 
 namespace gbx {
 
@@ -13,6 +16,37 @@ bool ValidName(const std::string& name) {
     if (!(std::isalnum(u) || c == '_' || c == '.' || c == '-')) return false;
   }
   return true;
+}
+
+/// End-to-end pre-publication validation: a probe query (the midpoint
+/// of the training-time feature ranges, or the origin when ranges are
+/// absent) must flow through the candidate engine and produce an
+/// in-range label. A model that cannot answer one prediction must
+/// never be allowed to evict a version that can.
+Status ValidateEngine(InferenceEngine& engine, const std::string& name) {
+  GBX_FAILPOINT_RETURN_ERROR("registry.publish.validate");
+  const int dims = engine.dims();
+  std::vector<double> probe(dims, 0.0);
+  const LoadedModel& model = engine.model();
+  if (static_cast<int>(model.feature_mins.size()) == dims &&
+      static_cast<int>(model.feature_maxs.size()) == dims) {
+    for (int j = 0; j < dims; ++j) {
+      probe[j] = 0.5 * (model.feature_mins[j] + model.feature_maxs[j]);
+    }
+  }
+  const StatusOr<int> label = engine.Predict(probe);
+  if (!label.ok()) {
+    return Status::FailedPrecondition(
+        "refusing to publish '" + name +
+        "': probe prediction failed: " + label.status().ToString());
+  }
+  if (*label < 0 || *label >= engine.num_classes()) {
+    return Status::FailedPrecondition(
+        "refusing to publish '" + name + "': probe prediction label " +
+        std::to_string(*label) + " is outside [0, " +
+        std::to_string(engine.num_classes()) + ")");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -30,13 +64,24 @@ StatusOr<std::shared_ptr<const ServedModel>> ModelRegistry::Publish(
   if (model.classifier == nullptr) {
     return Status::InvalidArgument("model '" + name + "' has no classifier");
   }
+  if (model.dims < 1 || model.num_classes < 1) {
+    return Status::InvalidArgument(
+        "model '" + name + "' declares dims=" + std::to_string(model.dims) +
+        " classes=" + std::to_string(model.num_classes) +
+        " (both must be >= 1)");
+  }
   auto entry = std::make_shared<ServedModel>();
   entry->name = name;
   entry->checksum = model.checksum;
-  // Engine construction (center-index build etc.) happens outside the
-  // lock; only the pointer swap below is serialized.
+  // Engine construction (center-index build etc.) and the end-to-end
+  // probe prediction happen outside the lock; only the pointer swap
+  // below is serialized. Any failure before that swap leaves the
+  // currently-published version — and its next version number —
+  // completely untouched: a bad artifact can never evict a serving
+  // model (the rollback oracle in tests/hot_swap_test.cc).
   entry->engine =
       std::make_unique<InferenceEngine>(std::move(model), engine_options_);
+  GBX_RETURN_IF_ERROR(ValidateEngine(*entry->engine, name));
   std::lock_guard<std::mutex> lock(mu_);
   entry->version = ++next_version_[name];
   std::shared_ptr<const ServedModel> published = std::move(entry);

@@ -52,6 +52,15 @@ class ModelRegistry {
   /// Inserts or atomically replaces `name`. Names are routing tokens in
   /// the wire protocol, so they must be non-empty and contain only
   /// [A-Za-z0-9_.-]. Returns the published entry.
+  ///
+  /// Publication is validated end-to-end and rolls back atomically: the
+  /// model must carry a classifier with dims/classes >= 1, and a probe
+  /// query must predict an in-range label through the freshly-built
+  /// engine *before* the registry map is touched. Any failure —
+  /// including an injected registry.publish.validate failpoint — leaves
+  /// the currently-serving version and its version counter exactly as
+  /// they were, so a corrupt or unloadable artifact can never evict a
+  /// serving model (tests/hot_swap_test.cc, tests/chaos_test.cc).
   StatusOr<std::shared_ptr<const ServedModel>> Publish(
       const std::string& name, LoadedModel model);
 

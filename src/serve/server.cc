@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "serve/model_io.h"
@@ -82,7 +83,18 @@ class PollPoller : public Poller {
   }
 
   void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
-    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    // Retry EINTR here (not in the caller): a signal mid-wait must not
+    // be mistaken for "no events". "server.poll.eintr" simulates the
+    // interruption (arm with :every(K>=2) — every(1) never stops).
+    int n;
+    do {
+      if (GBX_FAILPOINT_EVAL("server.poll.eintr").error()) {
+        errno = EINTR;
+        n = -1;
+        continue;
+      }
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return;
     for (const pollfd& p : fds_) {
       if (p.revents == 0) continue;
@@ -123,7 +135,15 @@ class EpollPoller : public Poller {
 
   void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
     epoll_event events[64];
-    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    int n;
+    do {
+      if (GBX_FAILPOINT_EVAL("server.poll.eintr").error()) {
+        errno = EINTR;
+        n = -1;
+        continue;
+      }
+      n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
     for (int i = 0; i < n; ++i) {
       PollEvent ev;
       ev.fd = events[i].data.fd;
@@ -168,6 +188,36 @@ std::string ChecksumHex(std::uint64_t checksum) {
   return buf;
 }
 
+// --- syscall wrappers with EINTR-simulation failpoints ---------------
+// An armed `error` action makes the call report EINTR without touching
+// the socket, exercising every retry loop in this file under an
+// "EINTR storm" (tests/chaos_test.cc). Arm with :every(K>=2): the retry
+// loops re-evaluate the site, so every(1) would never stop firing.
+
+ssize_t RecvFp(int fd, char* buf, std::size_t n) {
+  if (GBX_FAILPOINT_EVAL("server.recv.eintr").error()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, n, 0);
+}
+
+ssize_t SendFp(int fd, const char* buf, std::size_t n) {
+  if (GBX_FAILPOINT_EVAL("server.send.eintr").error()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+int AcceptFp(int fd) {
+  if (GBX_FAILPOINT_EVAL("server.accept.eintr").error()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -175,6 +225,9 @@ struct Server::Impl {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     std::string payload;
+    /// clock time at enqueue — the reference point for "timeout_ms="
+    /// deadlines (time spent queued counts against the deadline).
+    double enqueue_s = 0.0;
   };
   struct Completion {
     std::uint64_t conn_id = 0;
@@ -341,8 +394,13 @@ struct Server::Impl {
 
   void Wake() {
     const char b = 'w';
-    // EAGAIN means the pipe already holds a pending wakeup — fine.
-    [[maybe_unused]] const ssize_t n = ::write(wake_w, &b, 1);
+    // EAGAIN means the pipe already holds a pending wakeup — fine. A
+    // lost EINTR'd wakeup is NOT fine (the loop could sleep a full
+    // poll timeout with completions pending), so retry those.
+    ssize_t n;
+    do {
+      n = ::write(wake_w, &b, 1);
+    } while (n < 0 && errno == EINTR);
   }
 
   // --- event loop ------------------------------------------------------
@@ -402,10 +460,10 @@ struct Server::Impl {
 
   void AcceptAll(double now_s) {
     for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd = AcceptFp(listen_fd);
       if (fd < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-        return;  // transient accept failure; the loop retries on next event
+        if (errno == EINTR) continue;  // interrupted, not drained: retry
+        return;  // EAGAIN (drained) or transient failure; poll re-arms
       }
       SetNonBlocking(fd);
       const int one = 1;
@@ -423,7 +481,11 @@ struct Server::Impl {
 
   void DrainWakePipe() {
     char buf[256];
-    while (::read(wake_r, buf, sizeof(buf)) > 0) {
+    for (;;) {
+      const ssize_t n = ::read(wake_r, buf, sizeof(buf));
+      if (n > 0) continue;
+      if (n < 0 && errno == EINTR) continue;  // interrupted != drained
+      break;  // EAGAIN: fully drained
     }
   }
 
@@ -449,7 +511,7 @@ struct Server::Impl {
     // Bounded passes per event so one firehose connection cannot starve
     // the rest; level-triggered polling re-notifies for the remainder.
     for (int pass = 0; pass < 16; ++pass) {
-      const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+      const ssize_t n = RecvFp(c->fd, buf, sizeof(buf));
       if (n > 0) {
         c->decoder.Feed(buf, static_cast<std::size_t>(n));
         c->last_progress_s = now_s;
@@ -472,7 +534,7 @@ struct Server::Impl {
       const FrameDecoder::Result r = c->decoder.Next(&payload, &error);
       if (r == FrameDecoder::Result::kFrame) {
         BumpStat(&ServerStats::frames_received);
-        EnqueueRequest(c, std::move(payload));
+        EnqueueRequest(c, std::move(payload), now_s);
         payload.clear();
       } else if (r == FrameDecoder::Result::kNeedMore) {
         break;
@@ -493,13 +555,43 @@ struct Server::Impl {
     return MaybeFlushAndClose(c, now_s);
   }
 
-  void EnqueueRequest(Connection* c, std::string payload) {
+  void EnqueueRequest(Connection* c, std::string payload, double now_s) {
     const std::uint64_t seq = c->next_seq++;
+    // Overload control: a predict request that would overflow the
+    // bounded worker queue (or one connection's pipelining window) is
+    // shed — answered right here, in sequence order via `ready`, and
+    // never buffered. Admin frames bypass the caps: "!ping" health
+    // checks and "!stat" triage must keep working at peak load.
+    const bool admin = !payload.empty() && payload[0] == '!';
+    if (!admin) {
+      const char* reason = nullptr;
+      if (opts.max_inflight_per_conn > 0 &&
+          c->in_flight >= opts.max_inflight_per_conn) {
+        reason = "connection pipeline full";
+      } else if (opts.max_queue_depth > 0) {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        if (queue.size() >= opts.max_queue_depth) reason = "worker queue full";
+      }
+      if (reason != nullptr) {
+        BumpStat(&ServerStats::requests_shed);
+        c->ready[seq] = EncodeFrame(ErrorPayload(Status::Unavailable(
+            std::string("overloaded (") + reason +
+            "); retry with backoff")));
+        return;  // caller's MaybeFlushAndClose flushes the shed reply
+      }
+    }
     ++c->in_flight;
     outstanding.fetch_add(1);
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(queue_mu);
-      queue.push_back(Request{c->id, seq, std::move(payload)});
+      queue.push_back(Request{c->id, seq, std::move(payload), now_s});
+      depth = queue.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats.queue_peak =
+          std::max(stats.queue_peak, static_cast<std::int64_t>(depth));
     }
     queue_cv.notify_one();
   }
@@ -539,9 +631,8 @@ struct Server::Impl {
   /// Returns false when the connection was closed.
   bool FlushWrites(Connection* c, double now_s) {
     while (c->out_pos < c->outbuf.size()) {
-      const ssize_t n =
-          ::send(c->fd, c->outbuf.data() + c->out_pos,
-                 c->outbuf.size() - c->out_pos, MSG_NOSIGNAL);
+      const ssize_t n = SendFp(c->fd, c->outbuf.data() + c->out_pos,
+                               c->outbuf.size() - c->out_pos);
       if (n > 0) {
         c->out_pos += static_cast<std::size_t>(n);
         c->last_progress_s = now_s;
@@ -612,7 +703,10 @@ struct Server::Impl {
         req = std::move(queue.front());
         queue.pop_front();
       }
-      Completion comp{req.conn_id, req.seq, HandleRequest(req.payload)};
+      // Chaos site: delay(ms) here stretches worker occupancy without
+      // touching the engine — how the overload battery fills the queue.
+      GBX_FAILPOINT("server.worker.delay");
+      Completion comp{req.conn_id, req.seq, HandleRequest(req)};
       {
         std::lock_guard<std::mutex> lock(comp_mu);
         completions.push_back(std::move(comp));
@@ -621,14 +715,30 @@ struct Server::Impl {
     }
   }
 
-  std::string HandleRequest(const std::string& payload) {
+  std::string HandleRequest(const Request& req) {
+    const std::string& payload = req.payload;
     if (!payload.empty() && payload[0] == '!') return HandleAdmin(payload);
     std::string name;
+    double timeout_ms = 0.0;
     std::vector<double> query;
-    const Status parsed = ParsePredictPayload(payload, &name, &query);
+    const Status parsed =
+        ParsePredictPayload(payload, &name, &timeout_ms, &query);
     if (!parsed.ok()) {
       BumpStat(&ServerStats::protocol_errors);
       return ErrorPayload(parsed);
+    }
+    if (timeout_ms > 0.0) {
+      // Deadline check at dequeue: if the client's budget was burned
+      // waiting in queue, don't burn a worker predicting into the void.
+      const double waited_ms = (clock.ElapsedSeconds() - req.enqueue_s) * 1e3;
+      if (waited_ms > timeout_ms) {
+        BumpStat(&ServerStats::deadlines_expired);
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "deadline of %g ms expired after %.1f ms in queue",
+                      timeout_ms, waited_ms);
+        return ErrorPayload(Status::DeadlineExceeded(msg));
+      }
     }
     if (name.empty()) name = opts.default_model;
     // One snapshot pins one model version for the whole request — the
@@ -670,12 +780,77 @@ struct Server::Impl {
         return ErrorPayload(Status::NotFound("no model named '" + name + "'"));
       }
       const InferenceEngineStats s = snapshot->engine->Stats();
+      const ServerStats ss = Stats();
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        depth = queue.size();
+      }
       std::ostringstream out;
       out << "ok stats " << name << " v" << snapshot->version << " requests "
           << s.requests << " batches " << s.batches << " mean_batch "
           << s.mean_batch_size << " p50_ms " << s.p50_ms << " p99_ms "
-          << s.p99_ms << " qps " << s.qps;
+          << s.p99_ms << " qps " << s.qps << " shed " << ss.requests_shed
+          << " deadline_expired " << ss.deadlines_expired << " queue_depth "
+          << depth << " queue_peak " << ss.queue_peak;
       return out.str();
+    }
+    if (cmd == "!fail") {
+      // Fault injection shares the !swap trust boundary: both let the
+      // network break the serving process on purpose.
+      if (!opts.allow_admin_swap) {
+        return ErrorPayload(Status::FailedPrecondition(
+            "admin fault injection is disabled on this server"));
+      }
+      std::string sub;
+      in >> sub;
+      if (sub == "list") {
+        const auto infos = Failpoints::Instance().List();
+        std::ostringstream out;
+        out << "ok failpoints " << infos.size()
+            << (Failpoints::kCompiledIn ? "" : " (sites compiled out)");
+        for (const auto& i : infos) {
+          out << "\n"
+              << i.name << "=" << i.spec << " evals " << i.evals << " hits "
+              << i.hits;
+        }
+        return out.str();
+      }
+      if (sub == "set") {
+        std::string arg;
+        in >> arg;
+        const std::size_t eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+          return ErrorPayload(
+              Status::InvalidArgument("usage: !fail set NAME=SPEC"));
+        }
+        if (!Failpoints::kCompiledIn) {
+          return ErrorPayload(Status::FailedPrecondition(
+              "failpoint sites are compiled out of this build "
+              "(rebuild with -DGBX_FAILPOINTS=ON)"));
+        }
+        const Status set =
+            Failpoints::Instance().Set(arg.substr(0, eq), arg.substr(eq + 1));
+        if (!set.ok()) return ErrorPayload(set);
+        return "ok failpoint " + arg;
+      }
+      if (sub == "clear") {
+        std::string name;
+        in >> name;
+        if (name.empty()) {
+          return ErrorPayload(
+              Status::InvalidArgument("usage: !fail clear NAME|*"));
+        }
+        if (name == "*") {
+          Failpoints::Instance().ClearAll();
+          return "ok failpoints cleared";
+        }
+        const Status cleared = Failpoints::Instance().Clear(name);
+        if (!cleared.ok()) return ErrorPayload(cleared);
+        return "ok failpoint " + name + "=off";
+      }
+      return ErrorPayload(Status::InvalidArgument(
+          "usage: !fail set NAME=SPEC | !fail clear NAME|* | !fail list"));
     }
     if (cmd == "!swap") {
       if (!opts.allow_admin_swap) {

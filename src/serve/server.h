@@ -30,6 +30,15 @@
 //   * mid-frame disconnects, slow-loris dribbles (see
 //     ServerOptions::idle_timeout_ms), and abrupt client exits never
 //     crash or leak — completions for dead connections are dropped;
+//   * overload sheds instead of buffering: when the worker queue (or a
+//     single connection's in-flight window) is full, new predict
+//     requests get an immediate "error UNAVAILABLE: overloaded" reply
+//     — in sequence order, connection kept open — while admin frames
+//     ("!ping", "!stat") always pass, so the server stays observable
+//     at peak (tests/chaos_test.cc);
+//   * a request carrying "timeout_ms=T" whose deadline passes while it
+//     waits in queue is answered "error DEADLINE_EXCEEDED" without
+//     wasting a worker on a prediction the client already abandoned;
 //   * Stop() drains: in-flight requests finish and their responses are
 //     flushed (bounded by drain_timeout_s) before sockets close.
 #ifndef GBX_SERVE_SERVER_H_
@@ -71,6 +80,18 @@ struct ServerOptions {
   int backlog = 128;
   /// How long Stop() waits for in-flight requests and response flushes.
   double drain_timeout_s = 5.0;
+  /// Overload control: cap on predict requests queued for the worker
+  /// pool across all connections. A request arriving at a full queue is
+  /// *shed* — answered immediately with
+  /// "error UNAVAILABLE: overloaded ..." instead of being buffered into
+  /// an ever-growing latency queue (admin commands are never shed, so
+  /// "!ping" health checks and "!stat" triage still work at peak).
+  /// 0 disables the cap.
+  std::size_t max_queue_depth = 1024;
+  /// Per-connection cap on requests awaiting a response (queued or
+  /// predicting). Bounds what one pipelining client can buffer in the
+  /// server; excess requests are shed with UNAVAILABLE. 0 disables.
+  std::uint64_t max_inflight_per_conn = 256;
 };
 
 struct ServerStats {
@@ -80,6 +101,14 @@ struct ServerStats {
   std::int64_t frames_sent = 0;
   /// Framing + payload-level errors answered (or closed) so far.
   std::int64_t protocol_errors = 0;
+  /// Requests answered "error UNAVAILABLE: overloaded" by the bounded
+  /// queues (ServerOptions::max_queue_depth / max_inflight_per_conn).
+  std::int64_t requests_shed = 0;
+  /// Requests whose "timeout_ms=" deadline expired while queued —
+  /// answered "error DEADLINE_EXCEEDED: ..." without predicting.
+  std::int64_t deadlines_expired = 0;
+  /// High-water mark of the worker queue depth since Start().
+  std::int64_t queue_peak = 0;
 };
 
 class Server {

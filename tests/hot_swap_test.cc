@@ -161,6 +161,117 @@ TEST_F(HotSwapTest, SnapshotsPinExactlyOneVersionUnderConcurrentSwaps) {
   EXPECT_EQ(current->version, kSwaps + 1);
 }
 
+// --- rollback oracle: a bad publish must never disturb the current
+// version — not the entry, not the snapshot, not the version counter ---
+
+TEST_F(HotSwapTest, FailedPublishRollsBackAtomically) {
+  const ModelBundle bundle = MakeGbKnnBundle("S1");
+  ModelRegistry registry(SmallBatchOptions());
+  ASSERT_TRUE(registry.Publish("m", servetest::LoadBundle(bundle)).ok());
+  const std::shared_ptr<const ServedModel> before = registry.Get("m");
+  ASSERT_NE(before, nullptr);
+
+  // A model with no classifier.
+  EXPECT_EQ(registry.Publish("m", LoadedModel{}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A classifier whose declared geometry is nonsense (would GBX_CHECK
+  // inside engine construction if it were not pre-validated).
+  {
+    LoadedModel broken = servetest::LoadBundle(bundle);
+    broken.dims = 0;
+    EXPECT_EQ(registry.Publish("m", std::move(broken)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    LoadedModel broken = servetest::LoadBundle(bundle);
+    broken.num_classes = 0;
+    EXPECT_EQ(registry.Publish("m", std::move(broken)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  // The rollback oracle: the surviving entry is the *same* published
+  // object, still serving, and the version counter did not advance.
+  const std::shared_ptr<const ServedModel> after = registry.Get("m");
+  EXPECT_EQ(after.get(), before.get())
+      << "failed publishes must not replace the entry";
+  EXPECT_EQ(after->version, 1);
+  const StatusOr<int> label =
+      after->engine->Predict(bundle.split.test.row(0),
+                             bundle.split.test.num_features());
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, bundle.expected[0]);
+
+  // The next *good* publish gets version 2, not 5: failed attempts
+  // never burn version numbers a client could have pinned.
+  const StatusOr<std::shared_ptr<const ServedModel>> republished =
+      registry.Publish("m", servetest::LoadBundle(bundle));
+  ASSERT_TRUE(republished.ok());
+  EXPECT_EQ((*republished)->version, 2);
+}
+
+TEST_F(HotSwapTest, CorruptArtifactSwapIsRejectedWithoutDisturbingService) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::string good_path =
+      ::testing::TempDir() + "/gbx_rollback_good.gbx";
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/gbx_rollback_corrupt.gbx";
+  const std::string truncated_path =
+      ::testing::TempDir() + "/gbx_rollback_truncated.gbx";
+  { std::ofstream(good_path) << bundle.artifact; }
+  {
+    // One flipped byte in the middle of the body: checksum mismatch.
+    std::string corrupt = bundle.artifact;
+    corrupt[corrupt.size() / 2] ^= 0x20;
+    std::ofstream(corrupt_path) << corrupt;
+  }
+  {
+    // A torn write: the first half of the artifact only.
+    std::ofstream(truncated_path)
+        << bundle.artifact.substr(0, bundle.artifact.size() / 2);
+  }
+
+  auto registry = std::make_shared<ModelRegistry>(SmallBatchOptions());
+  ASSERT_TRUE(
+      registry->Publish("default", servetest::LoadBundle(bundle)).ok());
+  Server server(registry);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+
+  // Corrupt and truncated artifacts are rejected with the typed
+  // DATA_LOSS code; a missing file with NOT_FOUND.
+  StatusOr<std::string> reply =
+      client.Call("!swap default " + corrupt_path);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rfind("error DATA_LOSS", 0), 0) << *reply;
+  reply = client.Call("!swap default " + truncated_path);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rfind("error DATA_LOSS", 0), 0) << *reply;
+  reply = client.Call("!swap default /no/such/artifact.gbx");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rfind("error NOT_FOUND", 0), 0) << *reply;
+
+  // The original version is still serving, bit-identically.
+  const Dataset& test = bundle.split.test;
+  reply = client.Call(
+      FormatPredictPayload("", test.row(0), test.num_features()));
+  ASSERT_TRUE(reply.ok());
+  const StatusOr<PredictReply> predict = ParsePredictReply(*reply);
+  ASSERT_TRUE(predict.ok()) << *reply;
+  EXPECT_EQ(predict->label, bundle.expected[0]);
+  EXPECT_EQ(predict->checksum, bundle.checksum);
+
+  // And a good swap still goes through at version 2.
+  reply = client.Call("!swap default " + good_path);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rfind("ok swapped default v2", 0), 0) << *reply;
+
+  server.Stop();
+  std::remove(good_path.c_str());
+  std::remove(corrupt_path.c_str());
+  std::remove(truncated_path.c_str());
+}
+
 // --- socket-level: "!swap" under streaming clients ---
 
 TEST_F(HotSwapTest, SocketClientsSurviveAdminSwapsWithConsistentAnswers) {
