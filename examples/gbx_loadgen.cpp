@@ -33,6 +33,19 @@
 //                           the well-behaved-client loop the server's
 //                           overload replies are designed for.
 //
+//   --admin CMD             one-shot admin client: send CMD (e.g.
+//                           "!stat default", "!metrics prom",
+//                           "!trace slow") as a single frame and print
+//                           the reply payload verbatim. The clean way
+//                           to scrape a server — gbx-wire frames are
+//                           length-prefixed, so raw nc needs hand-built
+//                           length bytes.
+//
+// --print-server-metrics (open-loop mode) scrapes "!metrics json"
+// before and after the run and prints the server-side delta — counter
+// increments and histogram count/sum growth attributable to this load —
+// next to the client-observed latency report.
+//
 // --self replaces --host/--port with an in-process server over a
 // freshly trained GB-kNN model — the self-contained form the BENCH
 // ctest smoke runs so serving regressions are measured like index
@@ -45,6 +58,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -80,6 +94,8 @@ struct Args {
   double backoff_ms = 5.0;   // full-jitter exponential backoff base
   bool ping = false;
   bool self = false;
+  std::string admin;  // one-shot admin command, e.g. "!metrics prom"
+  bool print_server_metrics = false;
   std::string dataset = "S5";
   int max_samples = 400;
   std::uint64_t seed = 7;
@@ -95,6 +111,8 @@ int Usage() {
       "  gbx_loadgen (--port N [--host H] | --self) --qps N --seconds X\n"
       "              [--connections C] [--model NAME] [--deadline-ms T]\n"
       "              [--retries R] [--backoff-ms B]\n"
+      "              [--print-server-metrics]\n"
+      "  gbx_loadgen (--port N [--host H] | --self) --admin CMD\n"
       "self-mode:    [--dataset S1..S13] [--max-samples N] [--seed N]\n");
   return 2;
 }
@@ -110,6 +128,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->ping = true;
     } else if (flag == "--self") {
       args->self = true;
+    } else if (flag == "--print-server-metrics") {
+      args->print_server_metrics = true;
     } else if (!(v = next())) {
       std::fprintf(stderr, "gbx_loadgen: %s needs a value\n", flag.c_str());
       return false;
@@ -141,6 +161,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->max_samples = std::atoi(v);
     } else if (flag == "--seed") {
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--admin") {
+      args->admin = v;
     } else {
       std::fprintf(stderr, "gbx_loadgen: unknown flag %s\n", flag.c_str());
       return false;
@@ -156,6 +178,149 @@ StatusOr<int> LabelFromReply(const std::string& payload) {
     return Status::Internal("server answered: " + payload);
   }
   return label;
+}
+
+/// One round trip on a fresh connection: CMD frame out, reply frame in.
+StatusOr<std::string> FetchAdminReply(const Args& args,
+                                      const std::string& cmd) {
+  StatusOr<int> fd = ConnectTcp(args.host, args.port, 2.0);
+  if (!fd.ok()) return fd.status();
+  const Status sent = SendFrame(*fd, cmd);
+  const StatusOr<std::string> reply =
+      sent.ok() ? RecvFrame(*fd) : StatusOr<std::string>(sent);
+  ::close(*fd);
+  return reply;
+}
+
+int RunAdmin(const Args& args) {
+  const StatusOr<std::string> reply = FetchAdminReply(args, args.admin);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "gbx_loadgen: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply->c_str());
+  return reply->rfind("error ", 0) == 0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// --print-server-metrics: scrape "!metrics json" and diff two scrapes.
+//
+// The parser below reads ONLY the exposition common/metrics.h emits
+// (flat {"metrics":[...]} array, known field order, no nesting beyond
+// the labels object) — it is a scraper for our own stable wire format,
+// not a general JSON parser.
+
+struct MetricSample {
+  std::string type;       // counter | gauge | histogram
+  double value = 0.0;     // counter/gauge
+  long long count = 0;    // histogram observations
+  double sum = 0.0;       // histogram total (ms for latency families)
+};
+
+/// Extracts `"field":<number>` from one metric object.
+bool JsonNumber(const std::string& obj, const std::string& field,
+                double* out) {
+  const std::string key = "\"" + field + "\":";
+  const std::size_t at = obj.find(key);
+  if (at == std::string::npos) return false;
+  *out = std::atof(obj.c_str() + at + key.size());
+  return true;
+}
+
+/// Extracts `"field":"<text>"` (no unescaping: our names/labels/types
+/// never contain escapes).
+bool JsonString(const std::string& obj, const std::string& field,
+                std::string* out) {
+  const std::string key = "\"" + field + "\":\"";
+  const std::size_t at = obj.find(key);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + key.size();
+  const std::size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = obj.substr(begin, end - begin);
+  return true;
+}
+
+/// "ok metrics json\n{...}" -> map from "name{labels}" to sample.
+std::map<std::string, MetricSample> ParseMetricsJson(
+    const std::string& reply) {
+  std::map<std::string, MetricSample> out;
+  const std::size_t body_at = reply.find('\n');
+  if (body_at == std::string::npos) return out;
+  const std::string body = reply.substr(body_at + 1);
+  // Walk the top-level array, slicing one {...} object per metric by
+  // brace depth (label objects nest one deep).
+  std::size_t i = body.find('[');
+  if (i == std::string::npos) return out;
+  while (++i < body.size()) {
+    if (body[i] != '{') continue;
+    int depth = 0;
+    std::size_t j = i;
+    for (; j < body.size(); ++j) {
+      if (body[j] == '{') ++depth;
+      if (body[j] == '}' && --depth == 0) break;
+    }
+    if (j >= body.size()) break;
+    const std::string obj = body.substr(i, j - i + 1);
+    i = j;
+    std::string name, type;
+    if (!JsonString(obj, "name", &name) || !JsonString(obj, "type", &type)) {
+      continue;
+    }
+    std::string key = name;
+    const std::size_t labels_at = obj.find("\"labels\":{");
+    if (labels_at != std::string::npos) {
+      const std::size_t lbegin = labels_at + 9;
+      const std::size_t lend = obj.find('}', lbegin);
+      if (lend != std::string::npos) {
+        key += obj.substr(lbegin, lend - lbegin + 1);
+      }
+    }
+    MetricSample s;
+    s.type = type;
+    if (type == "histogram") {
+      double count = 0.0;
+      JsonNumber(obj, "count", &count);
+      s.count = static_cast<long long>(count);
+      JsonNumber(obj, "sum", &s.sum);
+    } else {
+      JsonNumber(obj, "value", &s.value);
+    }
+    out[key] = s;
+  }
+  return out;
+}
+
+/// Prints what the server observed between the two scrapes: counter
+/// increments and histogram growth, skipping series the run never
+/// touched (and gauges, which are instantaneous, not cumulative).
+void PrintMetricsDelta(const std::map<std::string, MetricSample>& before,
+                       const std::map<std::string, MetricSample>& after) {
+  std::printf("server metrics delta (!metrics json, before -> after):\n");
+  int printed = 0;
+  for (const auto& [key, b] : after) {
+    const auto prev = before.find(key);
+    const MetricSample zero;
+    const MetricSample& a = prev == before.end() ? zero : prev->second;
+    if (b.type == "counter") {
+      const long long delta =
+          static_cast<long long>(b.value) - static_cast<long long>(a.value);
+      if (delta == 0) continue;
+      std::printf("  %-46s +%lld\n", key.c_str(), delta);
+      ++printed;
+    } else if (b.type == "histogram") {
+      const long long dcount = b.count - a.count;
+      if (dcount == 0) continue;
+      const double dsum = b.sum - a.sum;
+      std::printf("  %-46s +%lld obs, mean %.3f\n", key.c_str(), dcount,
+                  dcount > 0 ? dsum / dcount : 0.0);
+      ++printed;
+    }
+  }
+  if (printed == 0) {
+    std::printf("  (no deltas — metrics sites compiled out?)\n");
+  }
 }
 
 int RunPing(const Args& args) {
@@ -304,6 +469,13 @@ int RunOpenLoop(const Args& args) {
               args.qps, args.seconds, connections, total, dims,
               args.model.empty() ? "default" : args.model.c_str());
 
+  std::map<std::string, MetricSample> metrics_before;
+  if (args.print_server_metrics) {
+    const StatusOr<std::string> scrape =
+        FetchAdminReply(args, "!metrics json");
+    if (scrape.ok()) metrics_before = ParseMetricsJson(*scrape);
+  }
+
   std::atomic<int> next_index{0};
   // Failure taxonomy mirroring the server's typed replies: retryable
   // classes (shed, deadline, transport) are distinguished from
@@ -416,6 +588,16 @@ int RunOpenLoop(const Args& args) {
   std::printf("latency (from scheduled send): p50 %.3f ms, p99 %.3f ms, "
               "max %.3f ms\n",
               pct(0.50), pct(0.99), all.empty() ? 0.0 : all.back());
+  if (args.print_server_metrics) {
+    const StatusOr<std::string> scrape =
+        FetchAdminReply(args, "!metrics json");
+    if (scrape.ok()) {
+      PrintMetricsDelta(metrics_before, ParseMetricsJson(*scrape));
+    } else {
+      std::fprintf(stderr, "gbx_loadgen: !metrics scrape failed: %s\n",
+                   scrape.status().ToString().c_str());
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -456,9 +638,10 @@ int RunSelfHosted(Args args) {
               args.dataset.c_str(), server.port(), model.num_balls());
   args.host = "127.0.0.1";
   args.port = server.port();
-  const int rc = args.ping        ? RunPing(args)
-                 : !args.queries.empty() ? RunReplay(args)
-                                         : RunOpenLoop(args);
+  const int rc = args.ping                ? RunPing(args)
+                 : !args.admin.empty()    ? RunAdmin(args)
+                 : !args.queries.empty()  ? RunReplay(args)
+                                          : RunOpenLoop(args);
   server.Stop();
   return rc;
 }
@@ -474,6 +657,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (args.ping) return RunPing(args);
+  if (!args.admin.empty()) return RunAdmin(args);
   if (!args.queries.empty()) return RunReplay(args);
   return RunOpenLoop(args);
 }

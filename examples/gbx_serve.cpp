@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "data/csv.h"
 #include "data/paper_suite.h"
 #include "index/index_strategy.h"
@@ -87,6 +88,8 @@ struct Args {
   double idle_timeout_ms = 0.0;
   long max_queue = -1;     // < 0: ServerOptions default; 0 disables
   long max_inflight = -1;  // per-connection cap; same convention
+  int metrics_dump_sec = 0;  // > 0: periodic Prometheus dump to stderr
+  double slow_trace_ms = -1.0;  // < 0: ServerOptions default
   // Runtime-only ball-center scan strategy for GB-kNN (never persisted
   // in the artifact): auto | flat | tree | balltree.
   IndexStrategy index_strategy = IndexStrategy::kAuto;
@@ -109,6 +112,9 @@ int Usage() {
       "                    [--batch N] [--delay-ms X] [--poll]\n"
       "                    [--idle-timeout-ms X] [--max-queue N]\n"
       "                    [--max-inflight N]   (overload shed caps; 0 = off)\n"
+      "                    [--metrics-dump-sec N]  (periodic Prometheus dump\n"
+      "                    to stderr) [--slow-trace-ms X]  (span-tree log\n"
+      "                    threshold; 0 = off)\n"
       "  gbx_serve info    --model-file FILE\n"
       "common: --index-strategy auto|flat|tree|balltree\n"
       "        (GB-kNN center scan; runtime-only, artifacts never\n"
@@ -176,6 +182,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->max_queue = std::atol(v);
     } else if (flag == "--max-inflight") {
       args->max_inflight = std::atol(v);
+    } else if (flag == "--metrics-dump-sec") {
+      args->metrics_dump_sec = std::atoi(v);
+    } else if (flag == "--slow-trace-ms") {
+      args->slow_trace_ms = std::atof(v);
     } else if (flag == "--index-strategy") {
       if (!ParseIndexStrategy(v, &args->index_strategy)) {
         std::fprintf(stderr,
@@ -496,6 +506,7 @@ int RunServe(const Args& args) {
     sopts.max_inflight_per_conn =
         static_cast<std::uint64_t>(args.max_inflight);
   }
+  if (args.slow_trace_ms >= 0.0) sopts.slow_trace_ms = args.slow_trace_ms;
   Server server(registry, sopts);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -511,8 +522,24 @@ int RunServe(const Args& args) {
   g_serve_stop.store(false);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  // --metrics-dump-sec N: a poor operator's scraper — dump the full
+  // Prometheus exposition to stderr every N seconds, so a plain
+  // `gbx_serve serve ... 2>metrics.log` run leaves a time series behind
+  // without any client wired to "!metrics".
+  Stopwatch dump_watch;
+  int dumps = 0;
   while (!g_serve_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (args.metrics_dump_sec > 0 &&
+        dump_watch.ElapsedSeconds() >=
+            static_cast<double>(args.metrics_dump_sec) * (dumps + 1)) {
+      ++dumps;
+      const std::string text =
+          metrics::MetricsRegistry::Default().PrometheusText();
+      std::fprintf(stderr, "# gbx metrics dump %d (t=%.1fs)\n%s",
+                   dumps, dump_watch.ElapsedSeconds(), text.c_str());
+      std::fflush(stderr);
+    }
   }
   std::printf("draining...\n");
   server.Stop();

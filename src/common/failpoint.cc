@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace gbx {
 
 namespace {
@@ -208,6 +210,13 @@ FailpointHit Failpoints::Eval(const char* name) {
     ++entry.hits;
     ++lifetime_hits_[name];
     hit = entry.hit;
+    // Mirror the fire into the metrics registry so "!metrics" shows
+    // which faults a chaos run actually exercised. Fires are rare and
+    // we already hold mu_, so the registry lookup cost is irrelevant.
+    metrics::MetricsRegistry::Default()
+        .GetCounter("gbx_failpoint_hits_total", {{"name", name}},
+                    "Failpoint fires by site")
+        ->Inc();
     if (entry.once) {
       points_.erase(it);
       armed_count_.fetch_sub(1, std::memory_order_relaxed);

@@ -1,0 +1,162 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace gbx {
+namespace logging {
+
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (s == nullptr) return LogLevel::kInfo;
+  const std::string v(s);
+  if (v == "debug" || v == "DEBUG") return LogLevel::kDebug;
+  if (v == "info" || v == "INFO") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "WARN") return LogLevel::kWarn;
+  if (v == "error" || v == "ERROR") return LogLevel::kError;
+  if (v == "off" || v == "OFF" || v == "none" || v == "0") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level(
+      static_cast<int>(ParseLevel(std::getenv("GBX_LOG"))));
+  return level;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& Sink() {
+  static LogSink sink;  // empty = stderr
+  return sink;
+}
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void AppendValue(std::string& line, std::string_view v) {
+  if (!NeedsQuoting(v)) {
+    line.append(v);
+    return;
+  }
+  line.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '\\': line += "\\\\"; break;
+      case '"': line += "\\\""; break;
+      case '\n': line += "\\n"; break;
+      case '\t': line += "\\t"; break;
+      default: line.push_back(c);
+    }
+  }
+  line.push_back('"');
+}
+
+void AppendTimestamp(std::string& line) {
+  // Wall-clock ISO-8601 UTC with millisecond precision.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  // Sized for the worst case snprintf can prove (full INT_MIN fields),
+  // not the 24 bytes a sane clock produces — keeps -Wformat-truncation
+  // quiet under -Werror.
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+  line += buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         MinLevel().load(std::memory_order_relaxed);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSinkForTest(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
+}
+
+LogLine::LogLine(LogLevel level, std::string_view event) {
+  line_.reserve(96);
+  line_ += "ts=";
+  AppendTimestamp(line_);
+  line_ += " level=";
+  line_ += LogLevelName(level);
+  line_ += " event=";
+  AppendValue(line_, event);
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::string_view value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  AppendValue(line_, value);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, bool value) {
+  return Kv(key, std::string_view(value ? "true" : "false"));
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::int64_t value) {
+  return Kv(key, std::string_view(std::to_string(value)));
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::uint64_t value) {
+  return Kv(key, std::string_view(std::to_string(value)));
+}
+
+LogLine& LogLine::Kv(std::string_view key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return Kv(key, std::string_view(buf));
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sink()) {
+    Sink()(line_);
+  } else {
+    std::fprintf(stderr, "%s\n", line_.c_str());
+  }
+}
+
+}  // namespace logging
+}  // namespace gbx

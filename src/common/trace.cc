@@ -1,0 +1,176 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/log.h"
+
+namespace gbx {
+namespace trace {
+
+Trace::Trace(std::uint64_t id, std::string name)
+    : id_(id), name_(std::move(name)) {
+  TraceSpan root;
+  root.id = 0;
+  root.parent = -1;
+  root.name = name_;
+  spans_.push_back(std::move(root));
+}
+
+int Trace::AddSpan(std::string name, double start_ms, double duration_ms,
+                   int parent, std::string note) {
+  TraceSpan s;
+  s.id = static_cast<int>(spans_.size());
+  s.parent = parent;
+  s.name = std::move(name);
+  s.start_ms = start_ms;
+  s.duration_ms = duration_ms;
+  s.note = std::move(note);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Trace::Annotate(int id, const std::string& note) {
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  std::string& n = spans_[static_cast<std::size_t>(id)].note;
+  if (!n.empty()) n.push_back(' ');
+  n += note;
+}
+
+void Trace::Finish(double total_ms) {
+  if (!spans_.empty()) spans_[0].duration_ms = total_ms;
+}
+
+namespace {
+
+void FormatSpanTree(const Trace& t, int id, int depth, std::string& out) {
+  const auto& spans = t.spans();
+  const TraceSpan& s = spans[static_cast<std::size_t>(id)];
+  char buf[64];
+  for (int i = 0; i < depth; ++i) out += "  ";
+  out += s.name;
+  std::snprintf(buf, sizeof(buf), " @%.3fms +%.3fms", s.start_ms,
+                s.duration_ms);
+  out += buf;
+  if (!s.note.empty()) {
+    out += " [";
+    out += s.note;
+    out.push_back(']');
+  }
+  out.push_back('\n');
+  for (const TraceSpan& child : spans) {
+    if (child.parent == id) FormatSpanTree(t, child.id, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatTrace(const Trace& t) {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "trace id=%llu name=%s total_ms=%.3f",
+                static_cast<unsigned long long>(t.id()), t.name().c_str(),
+                t.total_ms());
+  out += buf;
+  // The root span's annotation ("model=default", "deadline_expired")
+  // rides on the header line.
+  if (!t.spans().empty() && !t.spans()[0].note.empty()) {
+    out += " [";
+    out += t.spans()[0].note;
+    out.push_back(']');
+  }
+  out.push_back('\n');
+  if (!t.spans().empty()) {
+    // Children of the root, in insertion (chronological) order.
+    for (const TraceSpan& s : t.spans()) {
+      if (s.parent == 0) FormatSpanTree(t, s.id, 1, out);
+    }
+  }
+  return out;
+}
+
+TraceRing& TraceRing::Default() {
+  static TraceRing* instance = new TraceRing();
+  return *instance;
+}
+
+TraceRing::TraceRing(std::size_t recent_capacity, std::size_t slow_capacity)
+    : recent_capacity_(recent_capacity), slow_capacity_(slow_capacity) {}
+
+void TraceRing::set_slow_threshold_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+double TraceRing::slow_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+void TraceRing::Record(Trace&& t) {
+  bool slow = false;
+  double threshold = 0.0;
+  std::string slow_tree;
+  std::uint64_t slow_id = 0;
+  double slow_total = 0.0;
+  std::string slow_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recorded_;
+    threshold = slow_threshold_ms_;
+    slow = threshold > 0.0 && t.total_ms() >= threshold;
+    if (slow) {
+      slow_id = t.id();
+      slow_total = t.total_ms();
+      slow_name = t.name();
+      slow_tree = FormatTrace(t);
+      slow_.push_back(t);  // copy: the same trace also goes to recent_
+      if (slow_.size() > slow_capacity_) slow_.pop_front();
+    }
+    recent_.push_back(std::move(t));
+    if (recent_.size() > recent_capacity_) recent_.pop_front();
+  }
+  if (slow) {
+    // Emit outside the ring lock; the logger serialises on its own.
+    GBX_SLOG(kWarn, "trace.slow")
+        .Kv("trace_id", slow_id)
+        .Kv("name", slow_name)
+        .Kv("total_ms", slow_total)
+        .Kv("threshold_ms", threshold)
+        .Kv("spans", slow_tree);
+  }
+}
+
+std::vector<Trace> TraceRing::Recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Trace> out;
+  for (auto it = recent_.rbegin(); it != recent_.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<Trace> TraceRing::Slow(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Trace> out;
+  for (auto it = slow_.rbegin(); it != slow_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::int64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  slow_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace trace
+}  // namespace gbx

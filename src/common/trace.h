@@ -1,0 +1,110 @@
+// Per-request tracing: a Trace is a small tree of named spans with
+// start offsets and durations (milliseconds, relative to the trace
+// origin), carried alongside a request through the serving path so a
+// reply's latency can be attributed stage by stage (queue wait, decode,
+// batch assembly, compute, encode).
+//
+// A Trace is built by one thread at a time (the serving path hands it
+// off through its request queue, which orders the accesses), so the
+// object itself is unsynchronised. Finished traces go into the
+// process-wide TraceRing: a bounded ring of recent traces plus a
+// second ring of slow ones (total duration >= the slow threshold).
+// Crossing the threshold also emits the span tree through the
+// structured logger (common/log.h) at warn level.
+#ifndef GBX_COMMON_TRACE_H_
+#define GBX_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gbx {
+namespace trace {
+
+struct TraceSpan {
+  int id = 0;            ///< index in Trace::spans(); 0 is the root
+  int parent = -1;       ///< parent span id; -1 for the root
+  std::string name;
+  double start_ms = 0;   ///< offset from the trace origin
+  double duration_ms = 0;
+  std::string note;      ///< free-form annotation ("batch=7", "model=m1")
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::uint64_t id, std::string name);
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  /// Total duration: the root span's duration.
+  double total_ms() const {
+    return spans_.empty() ? 0.0 : spans_[0].duration_ms;
+  }
+
+  /// Adds a span with explicit timing; returns its id. The root span
+  /// (id 0) is created by the constructor with zero duration — set it
+  /// via Finish().
+  int AddSpan(std::string name, double start_ms, double duration_ms,
+              int parent = 0, std::string note = "");
+
+  /// Appends to span `id`'s annotation.
+  void Annotate(int id, const std::string& note);
+
+  /// Sets the root span's duration (the request's total latency).
+  void Finish(double total_ms);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::string name_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// One trace as an indented span tree, one span per line:
+///   trace id=42 name=predict total_ms=1.234
+///     queue_wait 0.000ms +0.514ms
+///     ...
+std::string FormatTrace(const Trace& t);
+
+/// Process-wide bounded ring of finished traces. Record() takes a
+/// short mutex (the serving path calls it once per request, after the
+/// reply bytes are already queued).
+class TraceRing {
+ public:
+  static TraceRing& Default();
+
+  explicit TraceRing(std::size_t recent_capacity = 256,
+                     std::size_t slow_capacity = 64);
+
+  /// Slow threshold in ms; traces at or above it land in the slow ring
+  /// and are logged. <= 0 disables slow capture. Default 100 ms.
+  void set_slow_threshold_ms(double ms);
+  double slow_threshold_ms() const;
+
+  void Record(Trace&& t);
+
+  /// Most recent / slowest-ring traces, newest first, at most `n`.
+  std::vector<Trace> Recent(std::size_t n) const;
+  std::vector<Trace> Slow(std::size_t n) const;
+
+  std::int64_t recorded() const;  ///< lifetime Record() count
+  void Clear();                   ///< test teardown
+
+ private:
+  const std::size_t recent_capacity_;
+  const std::size_t slow_capacity_;
+  mutable std::mutex mu_;
+  std::deque<Trace> recent_;
+  std::deque<Trace> slow_;
+  double slow_threshold_ms_ = 100.0;
+  std::int64_t recorded_ = 0;
+};
+
+}  // namespace trace
+}  // namespace gbx
+
+#endif  // GBX_COMMON_TRACE_H_

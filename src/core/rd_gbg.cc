@@ -1,10 +1,12 @@
 #include "core/rd_gbg.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/scaler.h"
@@ -145,6 +147,14 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   const int threads = ResolveNumThreads(config.num_threads);
   const int grain = ParallelGrain(p);
 
+  // Phase timers (gbx_core_phase_ms{phase=...}): total granulation time
+  // plus the accumulated r_conf pass. Behind metrics::Enabled() because
+  // the r_conf probe adds two clock reads per candidate — near-zero
+  // when armed, literally zero when GBX_METRICS=0.
+  const bool metrics_on = metrics::Enabled();
+  const auto fit_start = std::chrono::steady_clock::now();
+  double rconf_accum_ms = 0.0;
+
   Matrix x = config.scale_features ? MinMaxScaler().FitTransform(dataset.x())
                                    : dataset.x();
   const std::vector<int>& labels = dataset.y();
@@ -277,6 +287,8 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
         // schedules below — the sublinear BallSurfaceIndex query and
         // the chunked parallel flat scan at any thread count — all
         // produce the identical double.
+        std::chrono::steady_clock::time_point rconf_start;
+        if (metrics_on) rconf_start = std::chrono::steady_clock::now();
         double r_conf = std::numeric_limits<double>::infinity();
         const int nballs = static_cast<int>(balls.size());
         if (surface != nullptr) {
@@ -316,6 +328,11 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
           }
         }
         r_conf = std::max(r_conf, 0.0);
+        if (metrics_on) {
+          rconf_accum_ms += std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - rconf_start)
+                                .count();
+        }
         const double r_conf2 = r_conf * r_conf;
 
         double r2 = cr2;
@@ -439,6 +456,18 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   std::sort(result.noise_indices.begin(), result.noise_indices.end());
   std::sort(result.orphan_indices.begin(), result.orphan_indices.end());
   result.balls = GranularBallSet(std::move(balls), std::move(x), q);
+  if (metrics_on) {
+    auto& reg = metrics::MetricsRegistry::Default();
+    static const std::string help =
+        "Core algorithm phase durations (ms); phases: rdgbg_fit, "
+        "rdgbg_rconf, gbknn_fit, gbknn_index_build, gbknn_predict_batch";
+    reg.GetHistogram("gbx_core_phase_ms", {{"phase", "rdgbg_fit"}}, help)
+        ->Observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - fit_start)
+                      .count());
+    reg.GetHistogram("gbx_core_phase_ms", {{"phase", "rdgbg_rconf"}}, help)
+        ->Observe(rconf_accum_ms);
+  }
   return result;
 }
 

@@ -1,12 +1,35 @@
 #include "ml/gb_knn.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "index/index_strategy.h"
 
 namespace gbx {
+
+namespace {
+
+// Phase timers share the gbx_core_phase_ms family with RD-GBG
+// (core/rd_gbg.cc). Call sites gate on metrics::Enabled() and cache the
+// histogram pointer in a function-local static, so the armed cost is
+// two clock reads and the disarmed cost is one relaxed atomic load.
+metrics::Histogram* PhaseHistogram(const char* phase) {
+  return metrics::MetricsRegistry::Default().GetHistogram(
+      "gbx_core_phase_ms", {{"phase", phase}},
+      "Core algorithm phase durations (ms); phases: rdgbg_fit, "
+      "rdgbg_rconf, gbknn_fit, gbknn_index_build, gbknn_predict_batch");
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 GbKnnClassifier::GbKnnClassifier(RdGbgConfig gbg, int k)
     : gbg_config_(gbg), k_(k), effective_seed_(gbg.seed) {
@@ -15,6 +38,8 @@ GbKnnClassifier::GbKnnClassifier(RdGbgConfig gbg, int k)
 
 void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
   GBX_CHECK_GT(train.size(), 0);
+  const bool metrics_on = metrics::Enabled();
+  const auto fit_start = std::chrono::steady_clock::now();
   RdGbgConfig cfg = gbg_config_;
   if (rng != nullptr) {
     cfg.seed = (static_cast<std::uint64_t>(rng->NextU32()) << 32) |
@@ -32,6 +57,10 @@ void GbKnnClassifier::Fit(const Dataset& train, Pcg32* rng) {
   balls_ = std::move(result.balls);
   num_classes_ = train.num_classes();
   RebuildCenterIndex();
+  if (metrics_on) {
+    static metrics::Histogram* h = PhaseHistogram("gbknn_fit");
+    h->Observe(MsSince(fit_start));
+  }
 }
 
 void GbKnnClassifier::Restore(GranularBallSet balls, MinMaxScaler scaler,
@@ -63,6 +92,11 @@ IndexStrategy GbKnnClassifier::resolved_index_strategy() const {
 }
 
 void GbKnnClassifier::RebuildCenterIndex() {
+  // RAII: the early returns below (unfitted, flat backend) are builds
+  // too, just trivial ones.
+  static metrics::Histogram* build_hist = PhaseHistogram("gbknn_index_build");
+  metrics::ScopedTimerMs build_timer(metrics::Enabled() ? build_hist
+                                                        : nullptr);
   center_index_.reset();
   if (!fitted()) return;
   const int m = balls_.size();
@@ -181,6 +215,10 @@ int GbKnnClassifier::Predict(const double* x) const {
 }
 
 std::vector<int> GbKnnClassifier::PredictBatch(const Matrix& x) const {
+  static metrics::Histogram* predict_hist =
+      PhaseHistogram("gbknn_predict_batch");
+  metrics::ScopedTimerMs predict_timer(metrics::Enabled() ? predict_hist
+                                                          : nullptr);
   std::vector<int> out(x.rows());
   ParallelFor(x.rows(), gbg_config_.num_threads,
               [&](int i) { out[i] = Predict(x.Row(i)); });

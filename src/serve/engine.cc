@@ -8,6 +8,15 @@
 
 namespace gbx {
 
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 InferenceEngine::InferenceEngine(LoadedModel model,
                                  InferenceEngineOptions options)
     : model_(std::move(model)), options_(options) {
@@ -16,6 +25,22 @@ InferenceEngine::InferenceEngine(LoadedModel model,
   GBX_CHECK_GT(model_.dims, 0);
   options_.max_batch_size = std::max(1, options_.max_batch_size);
   options_.latency_window = std::max(1, options_.latency_window);
+  auto& reg = metrics::MetricsRegistry::Default();
+  m_requests_ = reg.GetCounter("gbx_engine_requests_total", {},
+                               "Predictions served by inference engines");
+  m_batches_ = reg.GetCounter("gbx_engine_batches_total", {},
+                              "Micro-batches dispatched");
+  m_latency_ms_ =
+      reg.GetHistogram("gbx_engine_request_ms", {},
+                       "Predict latency: enqueue to label available (ms)");
+  m_batch_size_ = reg.GetHistogram(
+      "gbx_engine_batch_size", {}, "Queries per dispatched micro-batch",
+      metrics::Histogram::ExponentialBounds(1.0, 2.0, 12));
+  m_coalesce_delay_ms_ =
+      reg.GetHistogram("gbx_engine_coalesce_delay_ms", {},
+                       "Batch open to dispatch: leader coalescing wait (ms)");
+  m_compute_ms_ = reg.GetHistogram(
+      "gbx_engine_compute_ms", {}, "Classifier::PredictBatch duration (ms)");
 }
 
 Status InferenceEngine::ValidateQuery(const double* x, int dims) const {
@@ -33,21 +58,26 @@ Status InferenceEngine::ValidateQuery(const double* x, int dims) const {
   return Status::Ok();
 }
 
-StatusOr<int> InferenceEngine::Predict(const double* x, int dims) {
+StatusOr<int> InferenceEngine::Predict(const double* x, int dims,
+                                       PredictTiming* timing) {
   // Chaos site: "engine.predict" with delay(ms) stretches the predict
   // path (overload/deadline batteries); error fails the prediction.
   GBX_FAILPOINT_RETURN_ERROR("engine.predict");
   GBX_RETURN_IF_ERROR(ValidateQuery(x, dims));
   Stopwatch watch;
+  const auto entry_tp = std::chrono::steady_clock::now();
 
   std::shared_ptr<MicroBatch> batch;
   int slot = 0;
   bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (first_enqueue_s_ < 0) first_enqueue_s_ = lifetime_.ElapsedSeconds();
+    double expected = -1.0;
+    first_enqueue_s_.compare_exchange_strong(
+        expected, lifetime_.ElapsedSeconds(), std::memory_order_relaxed);
     if (pending_ == nullptr) {
       pending_ = std::make_shared<MicroBatch>();
+      pending_->created_tp = entry_tp;
       leader = true;
     }
     batch = pending_;
@@ -84,11 +114,14 @@ StatusOr<int> InferenceEngine::Predict(const double* x, int dims) {
   }
 
   const double ms = watch.ElapsedMillis();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-    RecordLatency(ms);
-    last_complete_s_ = lifetime_.ElapsedSeconds();
+  RecordCompletion(ms, 1);
+  if (timing != nullptr) {
+    // `batch` is done: its timing fields are immutable now.
+    timing->batch_assembly_ms =
+        std::max(0.0, MsBetween(entry_tp, batch->dispatch_tp));
+    timing->compute_ms = batch->compute_ms;
+    timing->batch_size = batch->count;
+    timing->total_ms = ms;
   }
   return batch->labels[slot];
 }
@@ -105,72 +138,78 @@ StatusOr<std::vector<int>> InferenceEngine::PredictBatch(const Matrix& x) {
   if (x.rows() == 0) return std::vector<int>{};
 
   Stopwatch watch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (first_enqueue_s_ < 0) first_enqueue_s_ = lifetime_.ElapsedSeconds();
-  }
+  double expected = -1.0;
+  first_enqueue_s_.compare_exchange_strong(
+      expected, lifetime_.ElapsedSeconds(), std::memory_order_relaxed);
   std::vector<int> labels = model_.classifier->PredictBatch(x);
   const double ms = watch.ElapsedMillis();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    requests_ += x.rows();
-    ++batches_;
-    for (int i = 0; i < x.rows(); ++i) RecordLatency(ms);
-    last_complete_s_ = lifetime_.ElapsedSeconds();
+  for (int i = 0; i < x.rows(); ++i) {
+    latency_.Observe(ms);
+    m_latency_ms_->Observe(ms);
   }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  m_batches_->Inc();
+  m_batch_size_->Observe(static_cast<double>(x.rows()));
+  m_compute_ms_->Observe(ms);
+  requests_.fetch_add(x.rows(), std::memory_order_relaxed);
+  m_requests_->Inc(x.rows());
+  metrics::detail::AtomicMax(last_complete_s_, lifetime_.ElapsedSeconds());
   return labels;
 }
 
 void InferenceEngine::Dispatch(const std::shared_ptr<MicroBatch>& batch) {
   // `batch` is closed: no appender can touch it anymore, so reading the
   // queries outside the lock is safe.
+  const auto dispatch_tp = std::chrono::steady_clock::now();
   Matrix m(batch->count, model_.dims);
   std::copy(batch->queries.begin(), batch->queries.end(),
             m.mutable_data().begin());
   std::vector<int> labels = model_.classifier->PredictBatch(m);
+  const double compute_ms =
+      MsBetween(dispatch_tp, std::chrono::steady_clock::now());
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch->labels = std::move(labels);
+    batch->dispatch_tp = dispatch_tp;
+    batch->compute_ms = compute_ms;
     batch->done = true;
-    ++batches_;
   }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  m_batches_->Inc();
+  m_batch_size_->Observe(static_cast<double>(batch->count));
+  m_coalesce_delay_ms_->Observe(
+      std::max(0.0, MsBetween(batch->created_tp, dispatch_tp)));
+  m_compute_ms_->Observe(compute_ms);
   cv_.notify_all();
 }
 
-void InferenceEngine::RecordLatency(double ms) {
-  const std::size_t window =
-      static_cast<std::size_t>(options_.latency_window);
-  if (latencies_ms_.size() < window) {
-    latencies_ms_.push_back(ms);
-  } else {
-    latencies_ms_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % window;
-  }
+void InferenceEngine::RecordCompletion(double ms, std::int64_t n_requests) {
+  requests_.fetch_add(n_requests, std::memory_order_relaxed);
+  m_requests_->Inc(n_requests);
+  latency_.Observe(ms);
+  m_latency_ms_->Observe(ms);
+  metrics::detail::AtomicMax(last_complete_s_, lifetime_.ElapsedSeconds());
 }
 
 InferenceEngineStats InferenceEngine::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock-free: relaxed loads and a histogram snapshot. Never contends
+  // with Predict() callers (the old implementation sorted a 16k-entry
+  // sliding window under mu_ on every call).
   InferenceEngineStats s;
-  s.requests = requests_;
-  s.batches = batches_;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
   s.mean_batch_size =
-      batches_ > 0 ? static_cast<double>(requests_) / batches_ : 0.0;
-  if (!latencies_ms_.empty()) {
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto nearest_rank = [&](double q) {
-      const std::size_t rank = static_cast<std::size_t>(
-          std::ceil(q * static_cast<double>(sorted.size())));
-      return sorted[std::min(sorted.size() - 1, std::max<std::size_t>(rank, 1) - 1)];
-    };
-    s.p50_ms = nearest_rank(0.50);
-    s.p99_ms = nearest_rank(0.99);
-    s.max_ms = sorted.back();
+      s.batches > 0 ? static_cast<double>(s.requests) / s.batches : 0.0;
+  const metrics::HistogramSnapshot snap = latency_.Snapshot();
+  if (snap.count > 0) {
+    s.p50_ms = snap.Quantile(0.50);
+    s.p99_ms = snap.Quantile(0.99);
+    s.max_ms = snap.max;
   }
-  if (requests_ > 0 && first_enqueue_s_ >= 0 &&
-      last_complete_s_ > first_enqueue_s_) {
-    s.qps = static_cast<double>(requests_) /
-            (last_complete_s_ - first_enqueue_s_);
+  const double first = first_enqueue_s_.load(std::memory_order_relaxed);
+  const double last = last_complete_s_.load(std::memory_order_relaxed);
+  if (s.requests > 0 && first >= 0 && last > first) {
+    s.qps = static_cast<double>(s.requests) / (last - first);
   }
   return s;
 }

@@ -15,17 +15,24 @@
 // (enforced by tests/serve_test.cc).
 //
 // The engine tracks request count, batch count, request latency
-// percentiles (p50/p99/max over a sliding window), and sustained QPS,
-// exposed as an InferenceEngineStats snapshot.
+// percentiles (p50/p99/max estimated from a fixed-bucket histogram —
+// common/metrics.h), and sustained QPS, exposed as an
+// InferenceEngineStats snapshot. Stats() is lock-free: it never
+// contends with Predict() callers. The engine also feeds the
+// process-wide metrics registry (gbx_engine_* families) for `!metrics`
+// exposition.
 #ifndef GBX_SERVE_ENGINE_H_
 #define GBX_SERVE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "serve/model_io.h"
@@ -39,8 +46,25 @@ struct InferenceEngineOptions {
   /// partial batch. 0 disables coalescing (every request dispatches
   /// immediately).
   double max_batch_delay_ms = 0.2;
-  /// How many recent request latencies the percentile window keeps.
+  /// Deprecated: the percentile window was replaced by a fixed-bucket
+  /// histogram (common/metrics.h); the field is kept so existing
+  /// construction sites keep compiling. Ignored.
   int latency_window = 1 << 14;
+};
+
+/// Per-request latency attribution filled in by Predict() when the
+/// caller passes a non-null out-param (the serving front-end attaches
+/// these to its request traces — common/trace.h).
+struct PredictTiming {
+  /// Enqueue into the micro-batch -> the batch's dispatch began
+  /// (leader coalescing wait, from this request's perspective).
+  double batch_assembly_ms = 0.0;
+  /// Classifier::PredictBatch duration for the batch this request rode.
+  double compute_ms = 0.0;
+  /// Queries in that batch.
+  int batch_size = 0;
+  /// Enqueue -> label available (what the latency histogram records).
+  double total_ms = 0.0;
 };
 
 /// Point-in-time engine statistics.
@@ -74,7 +98,8 @@ class InferenceEngine {
   /// micro-batch has been dispatched. Rejects wrong-arity and
   /// non-finite queries with InvalidArgument instead of poisoning the
   /// batch.
-  StatusOr<int> Predict(const double* x, int dims);
+  StatusOr<int> Predict(const double* x, int dims,
+                        PredictTiming* timing = nullptr);
   StatusOr<int> Predict(const std::vector<double>& x) {
     return Predict(x.data(), static_cast<int>(x.size()));
   }
@@ -99,6 +124,9 @@ class InferenceEngine {
     bool closed = false;  // no longer accepting followers
     bool done = false;    // labels are ready
     std::vector<int> labels;
+    std::chrono::steady_clock::time_point created_tp{};
+    std::chrono::steady_clock::time_point dispatch_tp{};
+    double compute_ms = 0.0;  // PredictBatch duration (set with done)
   };
 
   /// Validates query arity and finiteness.
@@ -107,7 +135,8 @@ class InferenceEngine {
   /// Runs `batch` through the model and publishes the labels.
   void Dispatch(const std::shared_ptr<MicroBatch>& batch);
 
-  void RecordLatency(double ms);
+  /// Completion-side bookkeeping shared by Predict/PredictBatch.
+  void RecordCompletion(double ms, std::int64_t n_requests);
 
   LoadedModel model_;
   InferenceEngineOptions options_;
@@ -116,14 +145,24 @@ class InferenceEngine {
   std::condition_variable cv_;
   std::shared_ptr<MicroBatch> pending_;  // open batch accepting queries
 
-  // Stats (guarded by mu_).
-  std::int64_t requests_ = 0;
-  std::int64_t batches_ = 0;
-  std::vector<double> latencies_ms_;  // ring buffer of latency_window
-  std::size_t latency_next_ = 0;
+  // Stats: all atomic / lock-free so Stats() never contends with the
+  // predict path. `latency_` is a per-instance histogram (NOT shared
+  // through the registry, whose families outlive any one engine).
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> batches_{0};
+  metrics::Histogram latency_;
   Stopwatch lifetime_;
-  double first_enqueue_s_ = -1.0;
-  double last_complete_s_ = -1.0;
+  std::atomic<double> first_enqueue_s_{-1.0};
+  std::atomic<double> last_complete_s_{-1.0};
+
+  // Registry-side families (process totals for `!metrics`). Cached at
+  // construction; owned by MetricsRegistry::Default().
+  metrics::Counter* m_requests_;
+  metrics::Counter* m_batches_;
+  metrics::Histogram* m_latency_ms_;
+  metrics::Histogram* m_batch_size_;
+  metrics::Histogram* m_coalesce_delay_ms_;
+  metrics::Histogram* m_compute_ms_;
 };
 
 }  // namespace gbx

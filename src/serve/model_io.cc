@@ -17,11 +17,40 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "core/gb_io.h"
 
 namespace gbx {
 
 namespace {
+
+// Artifact I/O metrics: save/load durations plus failures broken down
+// by op and status code (gbx_model_io_* families). The per-code
+// counters are registered lazily — failures are rare, so the registry
+// lock on that path costs nothing that matters.
+metrics::Histogram* SaveMsHistogram() {
+  static metrics::Histogram* h = metrics::MetricsRegistry::Default().GetHistogram(
+      "gbx_model_io_save_ms", {}, "SaveModel duration (ms)");
+  return h;
+}
+
+metrics::Histogram* LoadMsHistogram() {
+  static metrics::Histogram* h = metrics::MetricsRegistry::Default().GetHistogram(
+      "gbx_model_io_load_ms", {}, "LoadModel duration (ms)");
+  return h;
+}
+
+void RecordIoFailure(const char* op, const Status& status) {
+  metrics::MetricsRegistry::Default()
+      .GetCounter("gbx_model_io_errors_total",
+                  {{"op", op}, {"code", StatusCodeName(status.code())}},
+                  "Model artifact I/O failures by op and status code")
+      ->Inc();
+  GBX_SLOG(kWarn, "model_io.failed")
+      .Kv("op", op)
+      .Kv("error", status.ToString());
+}
 
 constexpr char kMagic[] = "gbx-model v1";
 constexpr char kChecksumPrefix[] = "checksum fnv1a ";
@@ -407,11 +436,17 @@ std::string ModelToString(const KnnClassifier& model) {
 }
 
 Status SaveModel(const GbKnnClassifier& model, const std::string& path) {
-  return WriteFileAtomic(ModelToString(model), path);
+  metrics::ScopedTimerMs timer(SaveMsHistogram());
+  const Status status = WriteFileAtomic(ModelToString(model), path);
+  if (!status.ok()) RecordIoFailure("save", status);
+  return status;
 }
 
 Status SaveModel(const KnnClassifier& model, const std::string& path) {
-  return WriteFileAtomic(ModelToString(model), path);
+  metrics::ScopedTimerMs timer(SaveMsHistogram());
+  const Status status = WriteFileAtomic(ModelToString(model), path);
+  if (!status.ok()) RecordIoFailure("save", status);
+  return status;
 }
 
 Status SaveModel(const Classifier& model, const std::string& path) {
@@ -421,8 +456,10 @@ Status SaveModel(const Classifier& model, const std::string& path) {
   if (const auto* knn = dynamic_cast<const KnnClassifier*>(&model)) {
     return SaveModel(*knn, path);
   }
-  return Status::InvalidArgument("no gbx-model serialization for " +
-                                 model.name());
+  const Status status = Status::InvalidArgument(
+      "no gbx-model serialization for " + model.name());
+  RecordIoFailure("save", status);
+  return status;
 }
 
 StatusOr<LoadedModel> ModelFromString(const std::string& text) {
@@ -465,12 +502,19 @@ StatusOr<LoadedModel> ModelFromString(const std::string& text) {
 }
 
 StatusOr<LoadedModel> LoadModel(const std::string& path) {
+  metrics::ScopedTimerMs timer(LoadMsHistogram());
+  const auto fail = [&](Status status) {
+    RecordIoFailure("load", status);
+    return status;
+  };
   std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+  if (!in) return fail(Status::NotFound("cannot open " + path));
   std::stringstream buffer;
   buffer << in.rdbuf();
-  if (in.bad()) return Status::Internal("read error on " + path);
-  return ModelFromString(buffer.str());
+  if (in.bad()) return fail(Status::Internal("read error on " + path));
+  StatusOr<LoadedModel> model = ModelFromString(buffer.str());
+  if (!model.ok()) return fail(model.status());
+  return model;
 }
 
 }  // namespace gbx

@@ -26,6 +26,14 @@
 //             "!fail clear NAME|*"      failpoint.h) in the serving
 //             "!fail list"              process; FAILED_PRECONDITION
 //                                       when sites are compiled out
+//             "!metrics [prom|json]"    scrape the process metrics
+//                                       registry (common/metrics.h) ->
+//                                       "ok metrics FORMAT" on line 1,
+//                                       exposition body from line 2
+//             "!trace last|slow [N]"    the N most recent / slowest
+//                                       request span trees (common/
+//                                       trace.h) -> "ok traces N" then
+//                                       one formatted tree per trace
 //
 // Response payloads are one frame per request, in request order per
 // connection:

@@ -4,10 +4,48 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/log.h"
+#include "common/metrics.h"
 
 namespace gbx {
 
 namespace {
+
+/// Registry-lifecycle metrics (gbx_registry_* families): publish
+/// attempts by result, publish latency (engine build + validation
+/// probe), swaps (publishes that replaced a live version) and rollbacks
+/// (failed publishes that left the live version untouched).
+struct RegistryMetrics {
+  metrics::Counter* publish_ok;
+  metrics::Counter* publish_error;
+  metrics::Counter* swaps;
+  metrics::Counter* rollbacks;
+  metrics::Histogram* publish_ms;
+
+  static RegistryMetrics& Get() {
+    static RegistryMetrics* m = [] {
+      auto& reg = metrics::MetricsRegistry::Default();
+      auto* out = new RegistryMetrics();
+      out->publish_ok =
+          reg.GetCounter("gbx_registry_publish_total", {{"result", "ok"}},
+                         "Model publishes by result");
+      out->publish_error =
+          reg.GetCounter("gbx_registry_publish_total", {{"result", "error"}},
+                         "Model publishes by result");
+      out->swaps = reg.GetCounter(
+          "gbx_registry_swaps_total", {},
+          "Publishes that replaced an already-serving version");
+      out->rollbacks = reg.GetCounter(
+          "gbx_registry_rollbacks_total", {},
+          "Failed publishes rejected before the version swap");
+      out->publish_ms = reg.GetHistogram(
+          "gbx_registry_publish_ms", {},
+          "Publish latency: engine build + validation probe (ms)");
+      return out;
+    }();
+    return *m;
+  }
+};
 
 bool ValidName(const std::string& name) {
   if (name.empty()) return false;
@@ -56,19 +94,32 @@ ModelRegistry::ModelRegistry(InferenceEngineOptions engine_options)
 
 StatusOr<std::shared_ptr<const ServedModel>> ModelRegistry::Publish(
     const std::string& name, LoadedModel model) {
+  RegistryMetrics& rm = RegistryMetrics::Get();
+  metrics::ScopedTimerMs publish_timer(rm.publish_ms);
+  // A failed publish of a name that is already serving leaves the live
+  // version untouched — the rollback the counters below account for.
+  const auto fail = [&](Status status) {
+    rm.publish_error->Inc();
+    if (Get(name) != nullptr) rm.rollbacks->Inc();
+    GBX_SLOG(kWarn, "registry.publish.failed")
+        .Kv("model", name)
+        .Kv("error", status.ToString());
+    return status;
+  };
   if (!ValidName(name)) {
-    return Status::InvalidArgument(
+    return fail(Status::InvalidArgument(
         "model name '" + name +
-        "' is not a routing token ([A-Za-z0-9_.-]+ required)");
+        "' is not a routing token ([A-Za-z0-9_.-]+ required)"));
   }
   if (model.classifier == nullptr) {
-    return Status::InvalidArgument("model '" + name + "' has no classifier");
+    return fail(
+        Status::InvalidArgument("model '" + name + "' has no classifier"));
   }
   if (model.dims < 1 || model.num_classes < 1) {
-    return Status::InvalidArgument(
+    return fail(Status::InvalidArgument(
         "model '" + name + "' declares dims=" + std::to_string(model.dims) +
         " classes=" + std::to_string(model.num_classes) +
-        " (both must be >= 1)");
+        " (both must be >= 1)"));
   }
   auto entry = std::make_shared<ServedModel>();
   entry->name = name;
@@ -81,11 +132,24 @@ StatusOr<std::shared_ptr<const ServedModel>> ModelRegistry::Publish(
   // model (the rollback oracle in tests/hot_swap_test.cc).
   entry->engine =
       std::make_unique<InferenceEngine>(std::move(model), engine_options_);
-  GBX_RETURN_IF_ERROR(ValidateEngine(*entry->engine, name));
-  std::lock_guard<std::mutex> lock(mu_);
-  entry->version = ++next_version_[name];
-  std::shared_ptr<const ServedModel> published = std::move(entry);
-  models_[name] = published;
+  const Status validated = ValidateEngine(*entry->engine, name);
+  if (!validated.ok()) return fail(validated);
+  std::shared_ptr<const ServedModel> published;
+  bool swapped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->version = ++next_version_[name];
+    published = std::move(entry);
+    swapped = models_.count(name) > 0;
+    models_[name] = published;
+  }
+  rm.publish_ok->Inc();
+  if (swapped) rm.swaps->Inc();
+  publish_timer.StopAndRecord();
+  GBX_SLOG(kInfo, "registry.publish")
+      .Kv("model", name)
+      .Kv("version", published->version)
+      .Kv("swapped", swapped);
   return published;
 }
 

@@ -27,8 +27,11 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "serve/model_io.h"
 
 namespace gbx {
@@ -284,9 +287,82 @@ struct Server::Impl {
   /// to (or dropped with) their connection — the drain gate.
   std::atomic<std::int64_t> outstanding{0};
 
-  mutable std::mutex stats_mu;
-  ServerStats stats;
   Stopwatch clock;
+
+  // --- stats: a view over the process-wide metrics registry ------------
+  //
+  // The counters are process totals (gbx_server_* families, shared by
+  // every Server in the process and scraped via "!metrics"); Stats()
+  // reports per-server numbers by subtracting the baseline snapshotted
+  // at Start(). queue_peak is a high-water mark, not a counter, so the
+  // per-server value lives in a local atomic (the registry gauge keeps
+  // the process-wide peak).
+  metrics::Counter* m_accepted;
+  metrics::Counter* m_closed;
+  metrics::Counter* m_frames_rx;
+  metrics::Counter* m_frames_tx;
+  metrics::Counter* m_proto_err;
+  metrics::Counter* m_shed;
+  metrics::Counter* m_deadline;
+  metrics::Counter* m_req_ok;
+  metrics::Counter* m_req_error;
+  metrics::Gauge* g_queue_depth;
+  metrics::Gauge* g_queue_peak;
+  metrics::Gauge* g_conns_open;
+  metrics::Histogram* h_queue_wait;
+  metrics::Histogram* h_decode;
+  metrics::Histogram* h_batch_assembly;
+  metrics::Histogram* h_compute;
+  metrics::Histogram* h_encode;
+  metrics::Histogram* h_request;
+  ServerStats baseline;  // registry counter values at Start()
+  std::atomic<std::int64_t> queue_peak_local{0};
+  std::atomic<std::uint64_t> next_trace_id{1};
+
+  Impl() {
+    auto& reg = metrics::MetricsRegistry::Default();
+    m_accepted = reg.GetCounter("gbx_server_connections_accepted_total", {},
+                                "TCP connections accepted");
+    m_closed = reg.GetCounter("gbx_server_connections_closed_total", {},
+                              "TCP connections closed");
+    m_frames_rx = reg.GetCounter("gbx_server_frames_received_total", {},
+                                 "Request frames decoded");
+    m_frames_tx = reg.GetCounter("gbx_server_frames_sent_total", {},
+                                 "Response frames queued for send");
+    m_proto_err = reg.GetCounter("gbx_server_protocol_errors_total", {},
+                                 "Framing and payload errors");
+    m_shed = reg.GetCounter("gbx_server_requests_shed_total", {},
+                            "Requests shed by overload control");
+    m_deadline = reg.GetCounter("gbx_server_deadlines_expired_total", {},
+                                "Requests expired in queue");
+    m_req_ok = reg.GetCounter("gbx_server_requests_total",
+                              {{"result", "ok"}}, "Predict requests handled");
+    m_req_error = reg.GetCounter("gbx_server_requests_total",
+                                 {{"result", "error"}},
+                                 "Predict requests handled");
+    g_queue_depth = reg.GetGauge("gbx_server_queue_depth", {},
+                                 "Worker queue depth");
+    g_queue_peak = reg.GetGauge("gbx_server_queue_peak", {},
+                                "Worker queue high-water mark");
+    g_conns_open = reg.GetGauge("gbx_server_connections_open", {},
+                                "Currently open connections");
+    const std::string stage_help =
+        "Per-stage serving latency (ms); stages: queue_wait, decode, "
+        "batch_assembly, compute, encode";
+    h_queue_wait = reg.GetHistogram("gbx_server_stage_ms",
+                                    {{"stage", "queue_wait"}}, stage_help);
+    h_decode = reg.GetHistogram("gbx_server_stage_ms", {{"stage", "decode"}},
+                                stage_help);
+    h_batch_assembly = reg.GetHistogram(
+        "gbx_server_stage_ms", {{"stage", "batch_assembly"}}, stage_help);
+    h_compute = reg.GetHistogram("gbx_server_stage_ms", {{"stage", "compute"}},
+                                 stage_help);
+    h_encode = reg.GetHistogram("gbx_server_stage_ms", {{"stage", "encode"}},
+                                stage_help);
+    h_request = reg.GetHistogram(
+        "gbx_server_request_ms", {},
+        "End-to-end server time per predict request (ms)");
+  }
 
   // --- lifecycle -------------------------------------------------------
 
@@ -345,6 +421,17 @@ struct Server::Impl {
     poller->Add(listen_fd, false);
     poller->Add(wake_r, false);
 
+    // Per-server stats = registry totals minus this baseline.
+    baseline.connections_accepted = m_accepted->Value();
+    baseline.connections_closed = m_closed->Value();
+    baseline.frames_received = m_frames_rx->Value();
+    baseline.frames_sent = m_frames_tx->Value();
+    baseline.protocol_errors = m_proto_err->Value();
+    baseline.requests_shed = m_shed->Value();
+    baseline.deadlines_expired = m_deadline->Value();
+    queue_peak_local.store(0);
+    trace::TraceRing::Default().set_slow_threshold_ms(opts.slow_trace_ms);
+
     const int n_workers =
         std::max(1, std::min(ResolveNumThreads(opts.num_workers), 64));
     stop_requested.store(false);
@@ -355,11 +442,18 @@ struct Server::Impl {
       workers.emplace_back([this] { WorkerLoop(); });
     }
     loop = std::thread([this] { LoopMain(); });
+    GBX_SLOG(kInfo, "server.start")
+        .Kv("host", opts.host)
+        .Kv("port", bound_port)
+        .Kv("workers", n_workers)
+        .Kv("max_queue_depth", static_cast<std::int64_t>(opts.max_queue_depth))
+        .Kv("slow_trace_ms", opts.slow_trace_ms);
     return Status::Ok();
   }
 
   void Stop() {
     if (!running.exchange(false)) return;
+    GBX_SLOG(kInfo, "server.stop").Kv("port", bound_port);
     stop_requested.store(true);
     Wake();
     loop.join();
@@ -475,7 +569,8 @@ struct Server::Impl {
       conns_by_id[conn->id] = conn.get();
       poller->Add(fd, false);
       conns[fd] = std::move(conn);
-      BumpStat(&ServerStats::connections_accepted);
+      m_accepted->Inc();
+      g_conns_open->Add(1);
     }
   }
 
@@ -533,7 +628,7 @@ struct Server::Impl {
     for (;;) {
       const FrameDecoder::Result r = c->decoder.Next(&payload, &error);
       if (r == FrameDecoder::Result::kFrame) {
-        BumpStat(&ServerStats::frames_received);
+        m_frames_rx->Inc();
         EnqueueRequest(c, std::move(payload), now_s);
         payload.clear();
       } else if (r == FrameDecoder::Result::kNeedMore) {
@@ -542,7 +637,7 @@ struct Server::Impl {
         // Framing is unrecoverable: answer a structured error *after*
         // the responses already owed on this connection, then close.
         if (!c->closing) {
-          BumpStat(&ServerStats::protocol_errors);
+          m_proto_err->Inc();
           const std::uint64_t seq = c->next_seq++;
           c->ready[seq] =
               EncodeFrame(ErrorPayload(Status::InvalidArgument(error)));
@@ -573,7 +668,7 @@ struct Server::Impl {
         if (queue.size() >= opts.max_queue_depth) reason = "worker queue full";
       }
       if (reason != nullptr) {
-        BumpStat(&ServerStats::requests_shed);
+        m_shed->Inc();
         c->ready[seq] = EncodeFrame(ErrorPayload(Status::Unavailable(
             std::string("overloaded (") + reason +
             "); retry with backoff")));
@@ -588,10 +683,13 @@ struct Server::Impl {
       queue.push_back(Request{c->id, seq, std::move(payload), now_s});
       depth = queue.size();
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu);
-      stats.queue_peak =
-          std::max(stats.queue_peak, static_cast<std::int64_t>(depth));
+    g_queue_depth->Set(static_cast<std::int64_t>(depth));
+    g_queue_peak->SetMax(static_cast<std::int64_t>(depth));
+    std::int64_t peak = queue_peak_local.load(std::memory_order_relaxed);
+    while (peak < static_cast<std::int64_t>(depth) &&
+           !queue_peak_local.compare_exchange_weak(
+               peak, static_cast<std::int64_t>(depth),
+               std::memory_order_relaxed)) {
     }
     queue_cv.notify_one();
   }
@@ -623,7 +721,7 @@ struct Server::Impl {
       c->outbuf += it->second;
       c->ready.erase(it);
       ++c->next_to_send;
-      BumpStat(&ServerStats::frames_sent);
+      m_frames_tx->Inc();
     }
     return FlushWrites(c, now_s);
   }
@@ -678,7 +776,7 @@ struct Server::Impl {
       }
     }
     for (Connection* c : victims) {
-      BumpStat(&ServerStats::protocol_errors);
+      m_proto_err->Inc();
       CloseConn(c);
     }
   }
@@ -688,7 +786,8 @@ struct Server::Impl {
     ::close(c->fd);
     conns_by_id.erase(c->id);
     conns.erase(c->fd);  // destroys *c
-    BumpStat(&ServerStats::connections_closed);
+    m_closed->Inc();
+    g_conns_open->Sub(1);
   }
 
   // --- workers ---------------------------------------------------------
@@ -696,13 +795,16 @@ struct Server::Impl {
   void WorkerLoop() {
     for (;;) {
       Request req;
+      std::size_t depth = 0;
       {
         std::unique_lock<std::mutex> lock(queue_mu);
         queue_cv.wait(lock, [this] { return queue_closed || !queue.empty(); });
         if (queue.empty()) return;  // closed and drained
         req = std::move(queue.front());
         queue.pop_front();
+        depth = queue.size();
       }
+      g_queue_depth->Set(static_cast<std::int64_t>(depth));
       // Chaos site: delay(ms) here stretches worker occupancy without
       // touching the engine — how the overload battery fills the queue.
       GBX_FAILPOINT("server.worker.delay");
@@ -718,39 +820,86 @@ struct Server::Impl {
   std::string HandleRequest(const Request& req) {
     const std::string& payload = req.payload;
     if (!payload.empty() && payload[0] == '!') return HandleAdmin(payload);
+
+    // Stage attribution: the request's trace origin is its *enqueue*
+    // into the worker queue, so queue wait is span one and every stage
+    // offset is relative to that instant. Span durations also feed the
+    // gbx_server_stage_ms histograms.
+    const double dequeue_s = clock.ElapsedSeconds();
+    const double queue_wait_ms = std::max(0.0, (dequeue_s - req.enqueue_s) * 1e3);
+    h_queue_wait->Observe(queue_wait_ms);
+    trace::Trace tr(next_trace_id.fetch_add(1, std::memory_order_relaxed),
+                    "predict");
+    tr.AddSpan("queue_wait", 0.0, queue_wait_ms);
+    Stopwatch server_watch;  // dequeue -> reply encoded
+    double cursor_ms = queue_wait_ms;
+
+    const auto finish = [&](std::string reply, bool ok) {
+      const double total_ms = queue_wait_ms + server_watch.ElapsedMillis();
+      (ok ? m_req_ok : m_req_error)->Inc();
+      h_request->Observe(total_ms);
+      tr.Finish(total_ms);
+      trace::TraceRing::Default().Record(std::move(tr));
+      return reply;
+    };
+
     std::string name;
     double timeout_ms = 0.0;
     std::vector<double> query;
+    Stopwatch decode_watch;
     const Status parsed =
         ParsePredictPayload(payload, &name, &timeout_ms, &query);
+    const double decode_ms = decode_watch.ElapsedMillis();
+    h_decode->Observe(decode_ms);
+    tr.AddSpan("decode", cursor_ms, decode_ms);
+    cursor_ms += decode_ms;
     if (!parsed.ok()) {
-      BumpStat(&ServerStats::protocol_errors);
-      return ErrorPayload(parsed);
+      m_proto_err->Inc();
+      return finish(ErrorPayload(parsed), false);
     }
     if (timeout_ms > 0.0) {
       // Deadline check at dequeue: if the client's budget was burned
       // waiting in queue, don't burn a worker predicting into the void.
-      const double waited_ms = (clock.ElapsedSeconds() - req.enqueue_s) * 1e3;
+      const double waited_ms = (dequeue_s - req.enqueue_s) * 1e3;
       if (waited_ms > timeout_ms) {
-        BumpStat(&ServerStats::deadlines_expired);
+        m_deadline->Inc();
         char msg[128];
         std::snprintf(msg, sizeof(msg),
                       "deadline of %g ms expired after %.1f ms in queue",
                       timeout_ms, waited_ms);
-        return ErrorPayload(Status::DeadlineExceeded(msg));
+        tr.Annotate(0, "deadline_expired");
+        return finish(ErrorPayload(Status::DeadlineExceeded(msg)), false);
       }
     }
     if (name.empty()) name = opts.default_model;
+    tr.Annotate(0, "model=" + name);
     // One snapshot pins one model version for the whole request — the
     // hot-swap consistency point.
     const std::shared_ptr<const ServedModel> snapshot = registry->Get(name);
     if (snapshot == nullptr) {
-      return ErrorPayload(Status::NotFound("no model named '" + name + "'"));
+      return finish(
+          ErrorPayload(Status::NotFound("no model named '" + name + "'")),
+          false);
     }
-    const StatusOr<int> label = snapshot->engine->Predict(query);
-    if (!label.ok()) return ErrorPayload(label.status());
-    return "ok " + std::to_string(*label) + " fnv1a " +
-           ChecksumHex(snapshot->checksum);
+    PredictTiming timing;
+    const StatusOr<int> label = snapshot->engine->Predict(
+        query.data(), static_cast<int>(query.size()), &timing);
+    h_batch_assembly->Observe(timing.batch_assembly_ms);
+    h_compute->Observe(timing.compute_ms);
+    tr.AddSpan("batch_assembly", cursor_ms, timing.batch_assembly_ms, 0,
+               "batch=" + std::to_string(timing.batch_size));
+    cursor_ms += timing.batch_assembly_ms;
+    tr.AddSpan("compute", cursor_ms, timing.compute_ms);
+    if (!label.ok()) return finish(ErrorPayload(label.status()), false);
+    // Encode starts once Predict returns (assembly + compute + wakeup).
+    cursor_ms = queue_wait_ms + server_watch.ElapsedMillis();
+    Stopwatch encode_watch;
+    std::string reply = "ok " + std::to_string(*label) + " fnv1a " +
+                        ChecksumHex(snapshot->checksum);
+    const double encode_ms = encode_watch.ElapsedMillis();
+    h_encode->Observe(encode_ms);
+    tr.AddSpan("encode", cursor_ms, encode_ms);
+    return finish(std::move(reply), true);
   }
 
   std::string HandleAdmin(const std::string& payload) {
@@ -793,6 +942,40 @@ struct Server::Impl {
           << s.p99_ms << " qps " << s.qps << " shed " << ss.requests_shed
           << " deadline_expired " << ss.deadlines_expired << " queue_depth "
           << depth << " queue_peak " << ss.queue_peak;
+      return out.str();
+    }
+    if (cmd == "!metrics") {
+      // Registry exposition. First line is "ok metrics FORMAT"; the
+      // scrape body follows verbatim from the second line on.
+      std::string fmt;
+      in >> fmt;
+      if (fmt.empty()) fmt = "prom";
+      auto& reg = metrics::MetricsRegistry::Default();
+      if (fmt == "prom") return "ok metrics prom\n" + reg.PrometheusText();
+      if (fmt == "json") return "ok metrics json\n" + reg.JsonText();
+      return ErrorPayload(
+          Status::InvalidArgument("usage: !metrics [prom|json]"));
+    }
+    if (cmd == "!trace") {
+      std::string which;
+      in >> which;
+      std::size_t n = 8;
+      if (std::size_t arg = 0; in >> arg) n = std::max<std::size_t>(1, arg);
+      auto& ring = trace::TraceRing::Default();
+      std::vector<trace::Trace> traces;
+      if (which == "last") {
+        traces = ring.Recent(n);
+      } else if (which == "slow") {
+        traces = ring.Slow(n);
+      } else {
+        return ErrorPayload(
+            Status::InvalidArgument("usage: !trace last|slow [N]"));
+      }
+      std::ostringstream out;
+      out << "ok traces " << traces.size();
+      for (const trace::Trace& t : traces) {
+        out << "\n" << FormatTrace(t);
+      }
       return out.str();
     }
     if (cmd == "!fail") {
@@ -878,14 +1061,19 @@ struct Server::Impl {
 
   // --- stats -----------------------------------------------------------
 
-  void BumpStat(std::int64_t ServerStats::* field) {
-    std::lock_guard<std::mutex> lock(stats_mu);
-    stats.*field += 1;
-  }
-
   ServerStats Stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu);
-    return stats;
+    // Registry totals minus the Start() baseline: exact per-server
+    // counts from the shared process-wide counters.
+    ServerStats s;
+    s.connections_accepted = m_accepted->Value() - baseline.connections_accepted;
+    s.connections_closed = m_closed->Value() - baseline.connections_closed;
+    s.frames_received = m_frames_rx->Value() - baseline.frames_received;
+    s.frames_sent = m_frames_tx->Value() - baseline.frames_sent;
+    s.protocol_errors = m_proto_err->Value() - baseline.protocol_errors;
+    s.requests_shed = m_shed->Value() - baseline.requests_shed;
+    s.deadlines_expired = m_deadline->Value() - baseline.deadlines_expired;
+    s.queue_peak = queue_peak_local.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

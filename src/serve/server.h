@@ -92,8 +92,18 @@ struct ServerOptions {
   /// predicting). Bounds what one pipelining client can buffer in the
   /// server; excess requests are shed with UNAVAILABLE. 0 disables.
   std::uint64_t max_inflight_per_conn = 256;
+  /// Predict requests whose end-to-end server time (queue wait through
+  /// encode) reaches this land in the slow-trace ring and are logged
+  /// with their full span tree ("!trace slow", common/trace.h).
+  /// <= 0 disables slow capture.
+  double slow_trace_ms = 100.0;
 };
 
+/// Point-in-time server statistics. Since PR 8 this is a *view* over
+/// the process-wide metrics registry (common/metrics.h, the gbx_server_*
+/// families): each Server snapshots the registry counters at Start()
+/// and reports the deltas, so per-server numbers stay exact while
+/// "!metrics" exposes the same source of truth process-wide.
 struct ServerStats {
   std::int64_t connections_accepted = 0;
   std::int64_t connections_closed = 0;

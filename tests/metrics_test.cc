@@ -1,8 +1,17 @@
+// Two metric worlds share this battery: the ML evaluation metrics
+// (ml/metrics.h — accuracy, confusion matrices, AUC) and the process
+// observability metrics (common/metrics.h — counters, gauges,
+// histograms, the registry behind "!metrics").
 #include "ml/metrics.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/metrics.h"
 
 namespace gbx {
 namespace {
@@ -107,6 +116,212 @@ TEST(MetricsDeathTest, SizeMismatchAborts) {
 
 TEST(MetricsDeathTest, AucNeedsBothClasses) {
   EXPECT_DEATH(BinaryAuc({1, 1}, {0.5, 0.6}), "GBX_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// common/metrics.h: the observability registry.
+//
+// Observation sites compile to no-ops under -DGBX_METRICS=OFF, so the
+// semantic assertions below skip there — the OFF build is the BENCH
+// escape hatch, not a supported test configuration.
+
+#define SKIP_IF_METRICS_COMPILED_OUT()                              \
+  if (!metrics::kCompiledIn) {                                      \
+    GTEST_SKIP() << "metrics sites compiled out (GBX_METRICS=OFF)"; \
+  }
+
+/// Test threads honoring GBX_THREADS like the serve batteries do.
+int MetricsTestThreads() {
+  if (const char* env = std::getenv("GBX_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 4;
+}
+
+TEST(ObsCounterTest, IncrementsAreExactUnderConcurrency) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  metrics::Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  const int threads = MetricsTestThreads();
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Relaxed atomics trade ordering, never counts.
+  EXPECT_EQ(c.Value(), static_cast<std::int64_t>(threads) * kPerThread);
+}
+
+TEST(ObsGaugeTest, SetAddAndHighWaterMark) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  metrics::Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+  g.SetMax(7);  // below current: no effect
+  EXPECT_EQ(g.Value(), 12);
+  g.SetMax(40);
+  EXPECT_EQ(g.Value(), 40);
+}
+
+TEST(ObsHistogramTest, ExactCountSumAndBucketEdges) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  // Buckets (le): 1, 10, 100, +Inf.
+  metrics::Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // -> le=1
+  h.Observe(1.0);    // boundary: le is inclusive -> le=1
+  h.Observe(7.0);    // -> le=10
+  h.Observe(1000.0); // -> +Inf
+  const metrics::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.sum, 1008.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2);  // 0.5 and the 1.0 boundary
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 0);
+  EXPECT_EQ(s.counts[3], 1);
+}
+
+TEST(ObsHistogramTest, QuantilesAreMonotonicAndClampedToRange) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  metrics::Histogram h;  // default exponential latency bounds
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.01);  // 0.01..10 ms
+  const metrics::HistogramSnapshot s = h.Snapshot();
+  double prev = s.min;
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double est = s.Quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    EXPECT_GE(est, s.min);
+    EXPECT_LE(est, s.max);  // p99 can never exceed the observed max
+    prev = est;
+  }
+  // The interpolated median of a uniform ramp lands near the truth.
+  EXPECT_NEAR(s.Quantile(0.5), 5.0, 2.0);
+}
+
+TEST(ObsHistogramTest, MergeAddsCountsAndKeepsExtremes) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  metrics::Histogram a({1.0, 10.0});
+  metrics::Histogram b({1.0, 10.0});
+  a.Observe(0.5);
+  b.Observe(50.0);
+  metrics::HistogramSnapshot s = a.Snapshot();
+  s.Merge(b.Snapshot());
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.sum, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
+TEST(ObsHistogramTest, ExponentialBoundsDoubleEachStep) {
+  const std::vector<double> bounds =
+      metrics::Histogram::ExponentialBounds(0.001, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  }
+}
+
+TEST(ObsRegistryTest, SameSeriesSamePointerDistinctLabelsDistinct) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  metrics::Counter* a =
+      reg.GetCounter("obs_test_total", {{"result", "ok"}}, "test series");
+  metrics::Counter* b =
+      reg.GetCounter("obs_test_total", {{"result", "ok"}});
+  metrics::Counter* c =
+      reg.GetCounter("obs_test_total", {{"result", "error"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ObsRegistryTest, KindClashYieldsUsableDetachedInstrument) {
+  auto& reg = metrics::MetricsRegistry::Default();
+  metrics::Counter* c = reg.GetCounter("obs_test_clash", {}, "");
+  ASSERT_NE(c, nullptr);
+  // Same series name as a different kind: the registry must not crash
+  // or corrupt the existing series — it hands back a detached instance.
+  metrics::Gauge* g = reg.GetGauge("obs_test_clash", {}, "");
+  ASSERT_NE(g, nullptr);
+  g->Set(3);
+  c->Inc();
+  SUCCEED();
+}
+
+TEST(ObsRegistryTest, PrometheusTextIsWellFormed) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  auto& reg = metrics::MetricsRegistry::Default();
+  reg.GetCounter("obs_prom_total", {{"kind", "x"}}, "prom shape test")
+      ->Inc(3);
+  metrics::Histogram* h =
+      reg.GetHistogram("obs_prom_ms", {}, "prom histogram", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(99.0);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# HELP obs_prom_total prom shape test"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE obs_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_prom_total{kind=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_prom_ms histogram"), std::string::npos);
+  // Cumulative buckets end at +Inf and agree with _count.
+  EXPECT_NE(text.find("obs_prom_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_prom_ms_count 2"), std::string::npos);
+  // Every non-comment line is "name{labels} value" or "name value".
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << "bad line: " << line;
+  }
+}
+
+TEST(ObsRegistryTest, JsonTextCarriesHistogramSummary) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  auto& reg = metrics::MetricsRegistry::Default();
+  metrics::Histogram* h =
+      reg.GetHistogram("obs_json_ms", {{"stage", "t"}}, "", {1.0, 10.0});
+  h->Observe(2.0);
+  const std::string json = reg.JsonText();
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"obs_json_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"stage\":\"t\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  for (const char* field : {"\"count\":", "\"sum\":", "\"min\":",
+                            "\"max\":", "\"mean\":", "\"p50\":", "\"p90\":",
+                            "\"p99\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(ObsScopedTimerTest, RecordsExactlyOneObservation) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  metrics::Histogram h({1.0, 1000.0});
+  {
+    metrics::ScopedTimerMs timer(&h);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1);
+  {
+    metrics::ScopedTimerMs timer(&h);
+    timer.StopAndRecord();
+  }  // destructor must not double-record after StopAndRecord
+  EXPECT_EQ(h.Snapshot().count, 2);
+  {
+    metrics::ScopedTimerMs noop(nullptr);  // disarmed: no crash, no record
+  }
+  EXPECT_EQ(h.Snapshot().count, 2);
 }
 
 }  // namespace

@@ -7,13 +7,18 @@
 // protocol works. Client/caller counts honor GBX_THREADS via the shared
 // servetest fixture.
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "data/paper_suite.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -246,6 +251,163 @@ TEST_F(ServerTest, AdminProtocolAnswersPingListAndStat) {
   payload = client.Call("!frobnicate");
   ASSERT_TRUE(payload.ok());
   EXPECT_EQ(payload->rfind("error INVALID_ARGUMENT", 0), 0) << *payload;
+}
+
+// ---------------------------------------------------------------------------
+// Observability battery: "!metrics" and "!trace" over the wire.
+
+/// Extracts the value of the first Prometheus series whose line starts
+/// with `series` (full "name{labels}" or bare name). -1 when absent.
+double PromValue(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(series, 0) == 0 && line.size() > series.size() &&
+        line[series.size()] == ' ') {
+      return std::atof(line.c_str() + series.size() + 1);
+    }
+  }
+  return -1.0;
+}
+
+/// Sum of `name` span durations in a formatted trace payload; lines
+/// look like "  queue_wait @0.000ms +0.514ms".
+double SpanDurationMs(const std::string& payload, const std::string& name) {
+  double total = 0.0;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string span, at, plus;
+    if (!(fields >> span >> at >> plus)) continue;
+    if (span != name || plus.size() < 4 || plus[0] != '+') continue;
+    total += std::atof(plus.c_str() + 1);
+  }
+  return total;
+}
+
+TEST_F(ServerTest, MetricsAdminScrapesPromAndJson) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle));
+  const Dataset& test = bundle.split.test;
+
+  TestClient client(server->port());
+  const int n = std::min(16, test.size());
+  for (int i = 0; i < n; ++i) {
+    const StatusOr<std::string> payload = client.Call(
+        FormatPredictPayload("", test.row(i), test.num_features()));
+    ASSERT_TRUE(payload.ok());
+  }
+
+  // Bare "!metrics" defaults to prom; an unknown format is a usage
+  // error that leaves the connection open.
+  StatusOr<std::string> payload = client.Call("!metrics bogus");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("error INVALID_ARGUMENT", 0), 0) << *payload;
+
+  payload = client.Call("!metrics");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok metrics prom\n", 0), 0) << *payload;
+
+  payload = client.Call("!metrics prom");
+  ASSERT_TRUE(payload.ok());
+  ASSERT_EQ(payload->rfind("ok metrics prom\n", 0), 0) << *payload;
+  const std::string prom = payload->substr(payload->find('\n') + 1);
+
+  payload = client.Call("!metrics json");
+  ASSERT_TRUE(payload.ok());
+  ASSERT_EQ(payload->rfind("ok metrics json\n", 0), 0) << *payload;
+  const std::string json = payload->substr(payload->find('\n') + 1);
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u) << json;
+  EXPECT_EQ(json.substr(json.size() - 2), "]}") << json;
+
+  if (!metrics::kCompiledIn) {
+    GTEST_SKIP() << "metrics sites compiled out: exposition is all-zero";
+  }
+  // The registry is process-global and cumulative across tests, so
+  // assert lower bounds, not exact counts.
+  EXPECT_GE(PromValue(prom, "gbx_server_requests_total{result=\"ok\"}"), n)
+      << prom;
+  EXPECT_GE(PromValue(prom, "gbx_server_frames_received_total"), n + 3);
+  EXPECT_GE(PromValue(prom, "gbx_engine_requests_total"), n);
+  EXPECT_GE(
+      PromValue(prom, "gbx_server_request_ms_count"),
+      PromValue(prom, "gbx_server_requests_total{result=\"ok\"}") - 1.0);
+  EXPECT_NE(prom.find("# TYPE gbx_server_stage_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gbx_server_stage_ms_bucket{stage=\"compute\","
+                      "le=\"+Inf\"}"),
+            std::string::npos)
+      << prom;
+
+  // Monotonic re-scrape: another predict can only grow the counters.
+  const double before =
+      PromValue(prom, "gbx_server_requests_total{result=\"ok\"}");
+  ASSERT_TRUE(client
+                  .Call(FormatPredictPayload("", test.row(0),
+                                             test.num_features()))
+                  .ok());
+  payload = client.Call("!metrics prom");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_GE(PromValue(*payload, "gbx_server_requests_total{result=\"ok\"}"),
+            before + 1.0);
+}
+
+TEST_F(ServerTest, TraceAttributionFitsClientObservedLatency) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle));
+  const Dataset& test = bundle.split.test;
+
+  TestClient client(server->port());
+  const auto sent = std::chrono::steady_clock::now();
+  const StatusOr<std::string> predict = client.Call(
+      FormatPredictPayload("", test.row(0), test.num_features()));
+  const double client_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - sent)
+                               .count();
+  ASSERT_TRUE(predict.ok());
+  ASSERT_EQ(predict->rfind("ok ", 0), 0) << *predict;
+
+  StatusOr<std::string> payload = client.Call("!trace last 1");
+  ASSERT_TRUE(payload.ok());
+  ASSERT_EQ(payload->rfind("ok traces 1\n", 0), 0) << *payload;
+  EXPECT_NE(payload->find("name=predict"), std::string::npos) << *payload;
+  for (const char* span : {"queue_wait", "decode", "compute", "encode"}) {
+    EXPECT_NE(payload->find(span), std::string::npos)
+        << "missing span " << span << " in: " << *payload;
+  }
+  // The server's own attribution must fit inside what the client saw:
+  // queue wait + compute happen strictly between send and receive.
+  // (1 ms slack: client and server round timestamps independently.)
+  const double attributed = SpanDurationMs(*payload, "queue_wait") +
+                            SpanDurationMs(*payload, "compute");
+  EXPECT_LE(attributed, client_ms + 1.0) << *payload;
+
+  payload = client.Call("!trace bogus");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("error INVALID_ARGUMENT", 0), 0) << *payload;
+}
+
+TEST_F(ServerTest, SlowTraceThresholdRoutesToSlowRing) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  ServerOptions opts;
+  opts.slow_trace_ms = 0.0001;  // everything is "slow"
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle), opts);
+  const Dataset& test = bundle.split.test;
+
+  TestClient client(server->port());
+  ASSERT_TRUE(client
+                  .Call(FormatPredictPayload("", test.row(0),
+                                             test.num_features()))
+                  .ok());
+  const StatusOr<std::string> payload = client.Call("!trace slow 4");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok traces ", 0), 0) << *payload;
+  EXPECT_NE(*payload, "ok traces 0") << "slow ring empty";
+  EXPECT_NE(payload->find("name=predict"), std::string::npos) << *payload;
 }
 
 TEST_F(ServerTest, RestartsCleanlyAndStopIsIdempotent) {

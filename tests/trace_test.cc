@@ -1,0 +1,206 @@
+// Request tracing (common/trace.h) and the structured logger
+// (common/log.h): span-tree construction and formatting, ring
+// eviction, the slow-trace threshold emitting through the logger, and
+// the logger's level filter and key=value quoting.
+#include "common/trace.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace gbx {
+namespace {
+
+using logging::LogEnabled;
+using logging::LogLevel;
+using logging::SetLogSinkForTest;
+using logging::SetMinLogLevel;
+using trace::FormatTrace;
+using trace::Trace;
+using trace::TraceRing;
+
+/// Captures GBX_SLOG output for the duration of a test.
+class LogCapture {
+ public:
+  LogCapture() {
+    SetLogSinkForTest([this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  ~LogCapture() { SetLogSinkForTest(nullptr); }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(TraceTest, RootSpanAndChildrenCarryTiming) {
+  Trace t(42, "predict");
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_EQ(t.spans()[0].parent, -1);
+  EXPECT_EQ(t.spans()[0].name, "predict");
+
+  const int queue = t.AddSpan("queue_wait", 0.0, 0.5);
+  const int compute = t.AddSpan("compute", 0.6, 1.2, 0, "batch=4");
+  t.AddSpan("matrix_fill", 0.6, 0.1, compute);
+  t.Finish(2.0);
+
+  EXPECT_EQ(t.total_ms(), 2.0);
+  ASSERT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.spans()[static_cast<std::size_t>(queue)].duration_ms, 0.5);
+  EXPECT_EQ(t.spans()[3].parent, compute);
+  EXPECT_EQ(t.spans()[static_cast<std::size_t>(compute)].note, "batch=4");
+}
+
+TEST(TraceTest, AnnotateAppendsAndIgnoresBadIds) {
+  Trace t(1, "predict");
+  t.Annotate(0, "model=m1");
+  t.Annotate(0, "deadline_expired");
+  EXPECT_EQ(t.spans()[0].note, "model=m1 deadline_expired");
+  t.Annotate(99, "ignored");   // out of range: no-op, no crash
+  t.Annotate(-1, "ignored");
+  EXPECT_EQ(t.spans().size(), 1u);
+}
+
+TEST(TraceTest, FormatRendersIndentedTreeInParentOrder) {
+  Trace t(7, "predict");
+  const int compute = t.AddSpan("compute", 0.5, 1.0);
+  t.AddSpan("encode", 1.5, 0.1);
+  t.AddSpan("matrix_fill", 0.5, 0.2, compute);
+  t.Finish(1.75);
+  const std::string text = FormatTrace(t);
+  EXPECT_NE(text.find("trace id=7 name=predict total_ms=1.750"),
+            std::string::npos)
+      << text;
+  // Children indent under their parent; the nested child indents twice.
+  EXPECT_NE(text.find("\n  compute @0.500ms +1.000ms"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n    matrix_fill @0.500ms +0.200ms"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n  encode @1.500ms +0.100ms"), std::string::npos)
+      << text;
+  // matrix_fill (a compute child) renders before the sibling encode.
+  EXPECT_LT(text.find("matrix_fill"), text.find("encode"));
+
+  // The root annotation rides on the header line.
+  t.Annotate(0, "model=m1");
+  EXPECT_NE(FormatTrace(t).find("total_ms=1.750 [model=m1]\n"),
+            std::string::npos)
+      << FormatTrace(t);
+}
+
+Trace MakeTrace(std::uint64_t id, double total_ms) {
+  Trace t(id, "predict");
+  t.AddSpan("compute", 0.0, total_ms);
+  t.Finish(total_ms);
+  return t;
+}
+
+TEST(TraceRingTest, RecentKeepsNewestFirstAndEvictsOldest) {
+  TraceRing ring(/*recent_capacity=*/4, /*slow_capacity=*/2);
+  ring.set_slow_threshold_ms(0);  // slow capture off for this test
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    ring.Record(MakeTrace(id, 1.0));
+  }
+  EXPECT_EQ(ring.recorded(), 6);
+  const std::vector<Trace> recent = ring.Recent(10);
+  ASSERT_EQ(recent.size(), 4u);  // capacity evicted ids 1 and 2
+  EXPECT_EQ(recent[0].id(), 6u);
+  EXPECT_EQ(recent[3].id(), 3u);
+  EXPECT_EQ(ring.Recent(2).size(), 2u);
+  EXPECT_EQ(ring.Recent(2)[0].id(), 6u);
+  EXPECT_TRUE(ring.Slow(10).empty());
+}
+
+TEST(TraceRingTest, SlowThresholdCapturesAndLogs) {
+  LogCapture capture;
+  SetMinLogLevel(LogLevel::kWarn);
+  TraceRing ring(8, 8);
+  ring.set_slow_threshold_ms(10.0);
+  ring.Record(MakeTrace(1, 5.0));    // under threshold
+  ring.Record(MakeTrace(2, 10.0));   // at threshold: slow
+  ring.Record(MakeTrace(3, 250.0));  // over: slow
+  SetMinLogLevel(LogLevel::kInfo);
+
+  const std::vector<Trace> slow = ring.Slow(10);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].id(), 3u);
+  EXPECT_EQ(slow[1].id(), 2u);
+
+  // Each slow trace emitted one trace.slow warn line with its span tree.
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("level=warn"), std::string::npos) << line;
+    EXPECT_NE(line.find("event=trace.slow"), std::string::npos) << line;
+    EXPECT_NE(line.find("compute"), std::string::npos) << line;
+  }
+}
+
+TEST(TraceRingTest, NonPositiveThresholdDisablesSlowCapture) {
+  LogCapture capture;
+  TraceRing ring(8, 8);
+  ring.set_slow_threshold_ms(0.0);
+  ring.Record(MakeTrace(1, 1e6));
+  EXPECT_TRUE(ring.Slow(10).empty());
+  EXPECT_TRUE(capture.lines().empty());
+  EXPECT_EQ(ring.Recent(10).size(), 1u);
+}
+
+TEST(TraceRingTest, ClearEmptiesRingsButKeepsLifetimeCount) {
+  TraceRing ring(8, 8);
+  ring.set_slow_threshold_ms(0);
+  ring.Record(MakeTrace(1, 1.0));
+  ring.Record(MakeTrace(2, 1.0));
+  ring.Clear();
+  EXPECT_TRUE(ring.Recent(10).empty());
+  EXPECT_TRUE(ring.Slow(10).empty());
+}
+
+TEST(LogTest, LevelFilterGatesEmission) {
+  LogCapture capture;
+  SetMinLogLevel(LogLevel::kWarn);
+  GBX_SLOG(kInfo, "filtered.out").Kv("k", 1);
+  GBX_SLOG(kWarn, "let.through").Kv("k", 2);
+  SetMinLogLevel(LogLevel::kInfo);
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("event=let.through"), std::string::npos);
+  EXPECT_NE(lines[0].find("k=2"), std::string::npos);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST(LogTest, ValuesWithSpacesOrQuotesAreQuoted) {
+  LogCapture capture;
+  GBX_SLOG(kInfo, "quoting")
+      .Kv("plain", "word")
+      .Kv("spaced", "two words")
+      .Kv("quoted", "say \"hi\"")
+      .Kv("flag", true)
+      .Kv("ratio", 1.5);
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("plain=word"), std::string::npos) << line;
+  EXPECT_NE(line.find("spaced=\"two words\""), std::string::npos) << line;
+  EXPECT_NE(line.find("quoted=\"say \\\"hi\\\"\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("flag=true"), std::string::npos) << line;
+  EXPECT_NE(line.find("ts="), std::string::npos) << line;
+  EXPECT_NE(line.find("level=info"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace gbx
