@@ -23,6 +23,16 @@
 //                         dimensionalities where box pruning has died.
 //   BM_GbKnnPredict     — end-to-end GB-kNN inference: a fitted model
 //                         serving a query batch under each strategy.
+//   BM_CenterScanPairwise / BM_CenterScanKernel — the surface-score
+//                         scan itself: the per-pair EuclideanDistance
+//                         loop GB-kNN used through PR 5 vs the batched
+//                         SoA kernel (src/simd/) per dispatch level
+//                         (simd axis: 0 scalar, 1 neon, 2 avx2,
+//                         3 avx512; unsupported levels skip). The
+//                         kernel speedup table in README comes from
+//                         these rows.
+//   BM_GbKnnPredictSampled — the approximate tier's recall/speed curve:
+//                         kSampled at recall ∈ {0.5, 0.9, 0.99, 1.0}.
 //
 // kAuto's thresholds in index/index_strategy.cc are picked from these
 // curves. Every strategy produces bit-identical results, so rows differ
@@ -45,6 +55,7 @@
 #include "index/ball_tree.h"
 #include "index/dynamic_kd_tree.h"
 #include "ml/gb_knn.h"
+#include "simd/simd.h"
 
 namespace gbx {
 namespace {
@@ -310,6 +321,71 @@ BENCHMARK(BM_CenterSurfaceKnnStructured)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The surface-score scan isolated from selection: score every ball
+// against every query, no partial_sort — a pure distance-kernel
+// apples-to-apples. Pairwise is the loop shape GbKnnClassifier::Predict
+// and the r_conf pass used through PR 5 (per-pair EuclideanDistance
+// over row-major centers); Kernel is the batched SoA scan per forced
+// dispatch level. Both serial: the pool parallelism lives a level up
+// either way.
+constexpr int kScanQueries = 200;
+
+void BM_CenterScanPairwise(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const BallSet& balls = CachedBalls(m, d);
+  const Matrix& queries = CachedBalls(kScanQueries, d).centers;
+  std::vector<double> scores(m);
+  for (auto _ : state) {
+    for (int qi = 0; qi < kScanQueries; ++qi) {
+      const double* q = queries.Row(qi);
+      for (int i = 0; i < m; ++i) {
+        const double dist = EuclideanDistance(q, balls.centers.Row(i), d);
+        const double r = balls.radii[i];
+        scores[i] = dist <= r ? dist - r : dist;
+      }
+      benchmark::DoNotOptimize(scores.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kScanQueries);
+}
+
+void BM_CenterScanKernel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const auto level = static_cast<simd::Level>(state.range(2));
+  if (!simd::Supported(level)) {
+    state.SkipWithError("simd level unsupported on this host");
+    return;
+  }
+  simd::SetLevelForTest(level);
+  const BallSet& balls = CachedBalls(m, d);
+  const SoaMatrix soa = SoaMatrix::FromMatrix(balls.centers);
+  const Matrix& queries = CachedBalls(kScanQueries, d).centers;
+  std::vector<double> scores(m);
+  for (auto _ : state) {
+    for (int qi = 0; qi < kScanQueries; ++qi) {
+      simd::SurfaceScores(queries.Row(qi), soa, balls.radii.data(), 0, m,
+                          scores.data());
+      benchmark::DoNotOptimize(scores.data());
+    }
+  }
+  simd::ReresolveFromEnvForTest();  // restore the process-wide level
+  state.SetItemsProcessed(state.iterations() * kScanQueries);
+}
+
+BENCHMARK(BM_CenterScanPairwise)
+    ->ArgNames({"n", "d"})
+    ->ArgsProduct({{16000}, {2, 10, 32, 128}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_CenterScanKernel)
+    ->ArgNames({"n", "d", "simd"})
+    ->ArgsProduct({{16000}, {2, 10, 32, 128}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 const Dataset& CachedBlobs(int n) {
   static std::map<int, Dataset> cache;
   auto it = cache.find(n);
@@ -356,14 +432,40 @@ void BM_GbKnnPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * queries.size());
 }
 
-// strategy:4 is kAuto. Re-measured under GBX_THREADS ∈ {1, 4, 8}, the
-// strategy margins (and therefore kAuto's pick) are thread-invariant —
-// batch prediction parallelizes over queries for every strategy —
-// which is exactly why ResolveCenterIndexStrategy keeps its bars
-// independent of the worker count (rationale in index_strategy.cc).
+// strategy:4 is kAuto, strategy:5 kSampled at its default recall 1.0
+// (the bit-identical configuration — the speed curve below recall 1 is
+// BM_GbKnnPredictSampled's). Re-measured under GBX_THREADS ∈ {1, 4, 8},
+// the strategy margins (and therefore kAuto's pick) are
+// thread-invariant — batch prediction parallelizes over queries for
+// every strategy — which is exactly why ResolveCenterIndexStrategy
+// keeps its bars independent of the worker count (rationale in
+// index_strategy.cc).
 BENCHMARK(BM_GbKnnPredict)
     ->ArgNames({"n", "strategy"})
-    ->ArgsProduct({{1000, 5000, 20000}, {0, 1, 2, 4}})
+    ->ArgsProduct({{1000, 5000, 20000}, {0, 1, 2, 4, 5}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The approximate tier's speed side (tests/recall_test.cc measures the
+// recall side): kSampled at recall ∈ {0.5, 0.9, 0.99, 1.0} — the
+// `recall` axis is percent.
+void BM_GbKnnPredictSampled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int recall_pct = static_cast<int>(state.range(1));
+  GbKnnClassifier model = CachedModel(n, IndexStrategy::kSampled);
+  model.set_recall_target(recall_pct / 100.0);
+  const Dataset& queries = CachedBlobs(2000);
+  for (auto _ : state) {
+    const std::vector<int> out = model.PredictBatch(queries.x());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["balls"] = model.num_balls();
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+
+BENCHMARK(BM_GbKnnPredictSampled)
+    ->ArgNames({"n", "recall"})
+    ->ArgsProduct({{20000}, {50, 90, 99, 100}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -3,13 +3,17 @@
 // normal console output and additionally tees every measured run into a
 // flat JSON array of rows
 //     {"op": "RdGbgStrategy", "n": 20000, "d": 8, "strategy": "balltree",
-//      "ms": 123.4}
-// — the machine-readable perf trajectory committed as BENCH_pr5.json and
-// uploaded as a CI artifact. Rows carry the benchmark's ArgNames
-// verbatim (n, d, threads, ...) plus the adjusted real time in the
-// benchmark's declared unit (every suite here uses milliseconds); the
-// `strategy` argument is translated through the IndexStrategy naming so
-// downstream tooling never has to know the enum encoding.
+//      "simd": "avx512", "ms": 123.4}
+// — the machine-readable perf trajectory committed as BENCH_pr5.json /
+// BENCH_pr9.json and uploaded as a CI artifact. Rows carry the
+// benchmark's ArgNames verbatim (n, d, threads, ...) plus the adjusted
+// real time in the benchmark's declared unit (every suite here uses
+// milliseconds); the `strategy` and `simd` arguments are translated
+// through the IndexStrategy / simd::Level naming so downstream tooling
+// never has to know the enum encodings. Every row carries a `simd`
+// field: the benchmark's own axis when it sweeps dispatch levels
+// explicitly, else the process-wide active level (GBX_SIMD-resolved) —
+// so a perf row is never ambiguous about which kernels produced it.
 #ifndef GBX_BENCH_BENCH_JSON_H_
 #define GBX_BENCH_BENCH_JSON_H_
 
@@ -21,13 +25,14 @@
 #include <vector>
 
 #include "index/index_strategy.h"
+#include "simd/simd.h"
 
 namespace gbx {
 namespace benchjson {
 
 /// The one strategy-axis encoding shared by every suite and by the JSON
 /// reporter's name mapping below: 0 flat, 1 tree (KD), 2 balltree,
-/// 3 surface (BallSurfaceIndex vs flat gap scan), 4 auto.
+/// 3 surface (BallSurfaceIndex vs flat gap scan), 4 auto, 5 sampled.
 inline IndexStrategy StrategyFromAxis(int value) {
   switch (value) {
     case 1:
@@ -36,6 +41,8 @@ inline IndexStrategy StrategyFromAxis(int value) {
       return IndexStrategy::kBallTree;
     case 4:
       return IndexStrategy::kAuto;
+    case 5:
+      return IndexStrategy::kSampled;
     default:
       return IndexStrategy::kFlat;
   }
@@ -98,6 +105,8 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
         return "surface";
       case 4:
         return "auto";
+      case 5:
+        return "sampled";
     }
     return "unknown";
   }
@@ -111,6 +120,7 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
     std::string fields;
     std::size_t start = 0;
     bool first_segment = true;
+    bool has_simd = false;
     while (start <= name.size()) {
       std::size_t slash = name.find('/', start);
       if (slash == std::string::npos) slash = name.size();
@@ -133,11 +143,22 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
       if (key == "strategy") {
         std::snprintf(buf, sizeof(buf), ", \"strategy\": \"%s\"",
                       StrategyName(std::stoll(value)));
+      } else if (key == "simd") {
+        // Explicit dispatch-level axis (simd::Level enum ints).
+        has_simd = true;
+        std::snprintf(buf, sizeof(buf), ", \"simd\": \"%s\"",
+                      simd::LevelName(
+                          static_cast<simd::Level>(std::stoll(value))));
       } else {
         std::snprintf(buf, sizeof(buf), ", \"%s\": %s", key.c_str(),
                       value.c_str());
       }
       fields += buf;
+    }
+    if (!has_simd) {
+      fields += ", \"simd\": \"";
+      fields += simd::ActiveName();
+      fields += "\"";
     }
     char row[512];
     std::snprintf(row, sizeof(row), "{\"op\": \"%s\"%s, \"ms\": %.4f}",

@@ -91,8 +91,10 @@ struct Args {
   int metrics_dump_sec = 0;  // > 0: periodic Prometheus dump to stderr
   double slow_trace_ms = -1.0;  // < 0: ServerOptions default
   // Runtime-only ball-center scan strategy for GB-kNN (never persisted
-  // in the artifact): auto | flat | tree | balltree.
+  // in the artifact): auto | flat | tree | balltree | sampled.
   IndexStrategy index_strategy = IndexStrategy::kAuto;
+  // Target recall of the sampled strategy, in (0, 1]; 1.0 = exact.
+  double recall = 1.0;
 };
 
 int Usage() {
@@ -116,9 +118,11 @@ int Usage() {
       "                    to stderr) [--slow-trace-ms X]  (span-tree log\n"
       "                    threshold; 0 = off)\n"
       "  gbx_serve info    --model-file FILE\n"
-      "common: --index-strategy auto|flat|tree|balltree\n"
+      "common: --index-strategy auto|flat|tree|balltree|sampled\n"
       "        (GB-kNN center scan; runtime-only, artifacts never\n"
-      "        persist it)\n");
+      "        persist it)\n"
+      "        --recall F   (sampled strategy's target recall in (0,1];\n"
+      "        default 1.0 = exact; ignored by the other strategies)\n");
   return 2;
 }
 
@@ -189,8 +193,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--index-strategy") {
       if (!ParseIndexStrategy(v, &args->index_strategy)) {
         std::fprintf(stderr,
-                     "gbx_serve: --index-strategy wants auto|flat|tree|balltree, "
-                     "got '%s'\n",
+                     "gbx_serve: --index-strategy wants "
+                     "auto|flat|tree|balltree|sampled, got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (flag == "--recall") {
+      args->recall = std::atof(v);
+      if (!(args->recall > 0.0 && args->recall <= 1.0)) {
+        std::fprintf(stderr, "gbx_serve: --recall wants (0,1], got '%s'\n",
                      v);
         return false;
       }
@@ -311,6 +322,7 @@ StatusOr<LoadedModel> LoadModelAt(const std::string& path, const Args& args) {
     if (auto* gbknn =
             dynamic_cast<GbKnnClassifier*>(model->classifier.get())) {
       gbknn->set_index_strategy(args.index_strategy);
+      gbknn->set_recall_target(args.recall);
     }
   }
   return model;

@@ -51,6 +51,10 @@
 #include "index/index_strategy.h"  // IWYU pragma: export
 #include "index/kd_tree.h"         // IWYU pragma: export
 
+// simd/ — batched flat-scan distance kernels behind runtime dispatch
+// (GBX_SIMD: scalar|neon|avx2|avx512|auto); bit-exact across levels.
+#include "simd/simd.h"          // IWYU pragma: export
+
 // core/ — the paper's algorithms: granular balls, RD-GBG generation
 // (Alg. 1), GBABS borderline sampling (Alg. 2), and ball-set persistence.
 #include "core/gb_io.h"         // IWYU pragma: export

@@ -41,4 +41,36 @@ void Matrix::AppendRow(const double* row, int n) {
   ++rows_;
 }
 
+void SoaMatrix::AppendRow(const double* row) {
+  if (rows_ % kSoaBlock == 0) {
+    // Open a fresh zero-padded block.
+    data_.resize(data_.size() + static_cast<std::size_t>(cols_) * kSoaBlock,
+                 0.0);
+  }
+  const int lane = rows_ % kSoaBlock;
+  double* block = data_.data() + static_cast<std::size_t>(rows_ / kSoaBlock) *
+                                     cols_ * kSoaBlock;
+  for (int c = 0; c < cols_; ++c) {
+    block[static_cast<std::size_t>(c) * kSoaBlock + lane] = row[c];
+  }
+  ++rows_;
+}
+
+void SoaMatrix::GatherRows(const Matrix& m, const int* indices, int count) {
+  Clear();
+  cols_ = m.cols();
+  Reserve(count);
+  for (int i = 0; i < count; ++i) {
+    GBX_DCHECK(indices[i] >= 0 && indices[i] < m.rows());
+    AppendRow(m.Row(indices[i]));
+  }
+}
+
+SoaMatrix SoaMatrix::FromMatrix(const Matrix& m) {
+  SoaMatrix out(m.cols());
+  out.Reserve(m.rows());
+  for (int r = 0; r < m.rows(); ++r) out.AppendRow(m.Row(r));
+  return out;
+}
+
 }  // namespace gbx

@@ -69,6 +69,77 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Lane width of the SoA blocked layout below. Fixed at 8 on every
+/// architecture — the layout is part of the numeric contract (a model
+/// packed on an AVX-512 host must stream identically through the NEON
+/// and scalar kernels), so it never tracks the native vector width.
+/// 8 doubles is one AVX-512 register, two AVX2 registers, four NEON
+/// registers, and a 64-byte cache line either way.
+inline constexpr int kSoaBlock = 8;
+
+/// Structure-of-arrays blocked matrix: rows are grouped into blocks of
+/// kSoaBlock, and within a block the storage is column-major — element
+/// (r, c) lives at data()[((r/8)*cols + c)*8 + r%8]. A batched distance
+/// kernel walking dimension c therefore loads 8 rows' c-th coordinates
+/// as one contiguous vector, which is what lets src/simd/ vectorize
+/// *across rows* while keeping each row's accumulation order identical
+/// to the scalar SquaredDistance loop (the bit-exactness contract).
+/// The final partial block is zero-padded; kernels never read padding
+/// (partial blocks take the per-lane scalar path).
+class SoaMatrix {
+ public:
+  SoaMatrix() = default;
+  explicit SoaMatrix(int cols) : cols_(cols) { GBX_CHECK_GE(cols, 0); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Drops all rows but keeps the allocation (tile-buffer reuse in hot
+  /// loops) and the column count.
+  void Clear() {
+    rows_ = 0;
+    data_.clear();
+  }
+
+  void Reserve(int rows) {
+    GBX_CHECK_GE(rows, 0);
+    data_.reserve(BlocksFor(rows) * static_cast<std::size_t>(cols_) *
+                  kSoaBlock);
+  }
+
+  /// Appends one row given as cols() contiguous doubles.
+  void AppendRow(const double* row);
+
+  /// Clear() + append rows `indices[0..count)` of `m` in order — the
+  /// gather-pack used to tile scattered candidate rows into a reusable
+  /// SoA scratch buffer. Adopts m's column count.
+  void GatherRows(const Matrix& m, const int* indices, int count);
+
+  static SoaMatrix FromMatrix(const Matrix& m);
+
+  /// Strided single-element read (tests / cold paths).
+  double At(int r, int c) const {
+    GBX_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[BlockOffset(r, c)];
+  }
+
+  const double* data() const { return data_.data(); }
+
+ private:
+  static std::size_t BlocksFor(int rows) {
+    return (static_cast<std::size_t>(rows) + kSoaBlock - 1) / kSoaBlock;
+  }
+  std::size_t BlockOffset(int r, int c) const {
+    return (static_cast<std::size_t>(r / kSoaBlock) * cols_ + c) * kSoaBlock +
+           r % kSoaBlock;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
 /// Squared Euclidean distance between two length-d vectors. Defined
 /// inline so the per-element loop can vectorize at every call site
 /// instead of paying a cross-TU call per pair; distance-heavy hot loops

@@ -13,10 +13,17 @@
 #include "index/ball_surface_index.h"
 #include "index/ball_tree.h"
 #include "index/dynamic_kd_tree.h"
+#include "simd/simd.h"
 
 namespace gbx {
 
 namespace {
+
+// Tile size of the flat candidate fill's gather-pack: scattered U-rows
+// are packed into a thread-local SoA scratch this many at a time, so
+// the batched distance kernel streams L1-resident blocks. 256 rows ×
+// typical dims keeps the scratch well under 32 KiB.
+constexpr int kCandidateTile = 256;
 
 // Lifecycle of a sample during granulation.
 enum class SampleState : std::uint8_t {
@@ -168,6 +175,12 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
   active.reserve(n);
   std::vector<DistEntry> entries;
   std::vector<double> chunk_mins;  // per-chunk r_conf gap minima
+  // SoA mirror of `balls` streamed by the fused r_conf gap kernel
+  // (simd::MinSurfaceGap), maintained only while the flat scan is live
+  // — the BallSurfaceIndex takes over past surface_threshold and the
+  // mirror stops growing.
+  SoaMatrix ball_centers_soa(p);
+  std::vector<double> ball_radii;
 
   // Tree strategy: instead of re-scanning the whole undivided set per
   // candidate, a tree follows U — every sample that leaves U (noise,
@@ -305,22 +318,19 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
           // fold.
           const int nchunks = (nballs + grain - 1) / grain;
           chunk_mins.resize(nchunks);
-          const GranularBall* ball_data = balls.data();
           double* chunk_min = chunk_mins.data();
+          GBX_DCHECK(ball_centers_soa.rows() == nballs);
           ParallelForRange(
               nchunks, 1, ParallelThreads(nballs, p, threads),
               [&](int cbegin, int cend) {
                 for (int ci = cbegin; ci < cend; ++ci) {
                   const int lo = ci * grain;
                   const int hi = std::min(nballs, lo + grain);
-                  double m = std::numeric_limits<double>::infinity();
-                  for (int i = lo; i < hi; ++i) {
-                    m = std::min(
-                        m, EuclideanDistance(cx, ball_data[i].center.data(),
-                                             p) -
-                               ball_data[i].radius);
-                  }
-                  chunk_min[ci] = m;
+                  // Fused gap kernel over the SoA mirror — bit-identical
+                  // to folding EuclideanDistance − radius in row order
+                  // (simd.h contract), on every dispatch level.
+                  chunk_min[ci] = simd::MinSurfaceGap(
+                      cx, ball_centers_soa, ball_radii.data(), lo, hi);
                 }
               });
           for (int ci = 0; ci < nchunks; ++ci) {
@@ -384,6 +394,11 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
           for (const GranularBall& gb : balls) {
             surface->Insert(gb.center.data(), gb.radius);
           }
+        } else {
+          // Flat r_conf stays live: grow its SoA mirror in lockstep.
+          const GranularBall& added = balls.back();
+          ball_centers_soa.AppendRow(added.center.data());
+          ball_radii.push_back(added.radius);
         }
       };
 
@@ -425,14 +440,27 @@ RdGbgResult GenerateRdGbg(const Dataset& dataset, const RdGbgConfig& config) {
       {
         const int* act = active.data();
         DistEntry* out = entries.data();
-        ParallelForRange(m, grain, ParallelThreads(m, p, threads),
-                         [&](int begin, int end) {
-                           for (int j = begin; j < end; ++j) {
-                             out[j] = DistEntry{
-                                 SquaredDistance(cx, x.Row(act[j]), p),
-                                 act[j]};
-                           }
-                         });
+        ParallelForRange(
+            m, grain, ParallelThreads(m, p, threads),
+            [&](int begin, int end) {
+              // Gather-pack each tile of scattered U-rows into a
+              // thread-local SoA scratch, then one batched kernel call
+              // fills the tile — per-row arithmetic identical to
+              // SquaredDistance (simd.h contract). thread_local: pool
+              // workers are long-lived, so the scratch amortizes across
+              // candidates.
+              thread_local SoaMatrix tile;
+              thread_local std::vector<double> d2;
+              for (int t = begin; t < end; t += kCandidateTile) {
+                const int cnt = std::min(end - t, kCandidateTile);
+                tile.GatherRows(x, act + t, cnt);
+                d2.resize(cnt);
+                simd::SquaredDistanceBatch(cx, tile, 0, cnt, d2.data());
+                for (int j = 0; j < cnt; ++j) {
+                  out[t + j] = DistEntry{d2[j], act[t + j]};
+                }
+              }
+            });
       }
       LazySortedPrefix neighbors(&entries, initial_block);
       run_candidate(neighbors);

@@ -112,6 +112,8 @@ const char* IndexStrategyName(IndexStrategy strategy) {
       return "tree";
     case IndexStrategy::kBallTree:
       return "balltree";
+    case IndexStrategy::kSampled:
+      return "sampled";
   }
   return "auto";
 }
@@ -125,6 +127,8 @@ bool ParseIndexStrategy(const std::string& text, IndexStrategy* out) {
     *out = IndexStrategy::kTree;
   } else if (text == "balltree") {
     *out = IndexStrategy::kBallTree;
+  } else if (text == "sampled") {
+    *out = IndexStrategy::kSampled;
   } else {
     return false;
   }
@@ -134,6 +138,11 @@ bool ParseIndexStrategy(const std::string& text, IndexStrategy* out) {
 IndexStrategy ResolveRdGbgIndexStrategy(IndexStrategy requested, int n,
                                         int dims, int num_threads,
                                         const Matrix* points) {
+  // Granulation is always exact: an approximate candidate scan would
+  // change the balls — and therefore the model bytes — so a kSampled
+  // request degrades to kAuto here and only takes effect at inference
+  // (GB-kNN's center scan).
+  if (requested == IndexStrategy::kSampled) requested = IndexStrategy::kAuto;
   if (requested != IndexStrategy::kAuto) return requested;
   const bool kd_tree =
       (dims <= kRdGbgTreeMaxDimsLow && n >= kRdGbgTreeMinPoints) ||
@@ -164,6 +173,7 @@ int ResolveRdGbgSurfaceThreshold(IndexStrategy requested, int dims,
     case IndexStrategy::kBallTree:
       return 0;
     case IndexStrategy::kAuto:
+    case IndexStrategy::kSampled:  // exact during granulation, like kAuto
       break;
   }
   if (num_threads <= 1) return kSurfaceMinBallsSerial;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "index/index_strategy.h"
+#include "simd/simd.h"
 
 namespace gbx {
 
@@ -27,6 +30,17 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Applies the training min-max transform to one raw query.
+std::vector<double> ScaleQuery(const MinMaxScaler& scaler, const double* x,
+                               int p) {
+  Matrix tmp(1, p);
+  for (int j = 0; j < p; ++j) tmp.At(0, j) = x[j];
+  const Matrix scaled = scaler.Transform(tmp);
+  std::vector<double> q(p);
+  for (int j = 0; j < p; ++j) q[j] = scaled.At(0, j);
+  return q;
 }
 
 }  // namespace
@@ -86,9 +100,13 @@ void GbKnnClassifier::set_index_strategy(IndexStrategy strategy) {
 }
 
 IndexStrategy GbKnnClassifier::resolved_index_strategy() const {
-  if (center_index_ == nullptr) return IndexStrategy::kFlat;
-  return center_index_->kd != nullptr ? IndexStrategy::kTree
-                                      : IndexStrategy::kBallTree;
+  return resolved_;
+}
+
+void GbKnnClassifier::set_recall_target(double recall) {
+  GBX_CHECK_MSG(recall > 0.0 && recall <= 1.0,
+                "GB-kNN: recall target must be in (0, 1]");
+  recall_target_ = recall;
 }
 
 void GbKnnClassifier::RebuildCenterIndex() {
@@ -98,6 +116,8 @@ void GbKnnClassifier::RebuildCenterIndex() {
   metrics::ScopedTimerMs build_timer(metrics::Enabled() ? build_hist
                                                         : nullptr);
   center_index_.reset();
+  flat_centers_.reset();
+  resolved_ = IndexStrategy::kFlat;
   if (!fitted()) return;
   const int m = balls_.size();
   const int p = balls_.scaled_features().cols();
@@ -130,12 +150,35 @@ void GbKnnClassifier::RebuildCenterIndex() {
       materialize(&centers, &radii);
     }
   }
-  if (backend != IndexStrategy::kTree &&
-      backend != IndexStrategy::kBallTree) {
+  if (backend == IndexStrategy::kTree || backend == IndexStrategy::kBallTree) {
+    center_index_ = std::make_shared<const CenterIndex>(
+        std::move(centers), std::move(radii), backend);
+    resolved_ = backend;
     return;
   }
-  center_index_ = std::make_shared<const CenterIndex>(
-      std::move(centers), std::move(radii), backend);
+  // Flat or sampled: pack the centers into the SoA blocked layout the
+  // SIMD surface-score kernel streams (src/simd/simd.h).
+  auto flat = std::make_shared<FlatCenters>();
+  flat->soa = SoaMatrix(p);
+  flat->soa.Reserve(m);
+  flat->radii.resize(m);
+  if (backend == IndexStrategy::kSampled) {
+    flat->order.resize(m);
+    for (int i = 0; i < m; ++i) flat->order[i] = i;
+    // Seed keyed on the ball count alone, so the same model gives the
+    // same permutation in every process — a restored artifact served
+    // under kSampled predicts identically wherever it runs.
+    Pcg32 perm_rng(0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(m));
+    perm_rng.Shuffle(&flat->order);
+    resolved_ = IndexStrategy::kSampled;
+  }
+  for (int t = 0; t < m; ++t) {
+    const GranularBall& ball =
+        balls_.ball(flat->order.empty() ? t : flat->order[t]);
+    flat->soa.AppendRow(ball.center.data());
+    flat->radii[t] = ball.radius;
+  }
+  flat_centers_ = std::move(flat);
 }
 
 int GbKnnClassifier::VoteOverNearest(
@@ -153,65 +196,83 @@ int GbKnnClassifier::VoteOverNearest(
   return best;
 }
 
-int GbKnnClassifier::PredictWithCenterTree(const CenterIndex& index,
-                                           const std::vector<double>& q,
-                                           int k) const {
-  // KNearestSurface ranks balls by the flat scan's exact (score, index)
-  // order — score = dist - r inside, dist outside, computed with the
-  // identical arithmetic — so its top-k IS the flat partial_sort's
-  // top-k, bit for bit, whichever tree backend is behind it.
-  const std::vector<Neighbor> top = index.KNearestSurface(q.data(), k);
-  GBX_DCHECK(static_cast<int>(top.size()) == k);
-  std::vector<std::pair<double, int>> dists;
-  dists.reserve(top.size());
-  for (const Neighbor& nb : top) dists.emplace_back(nb.distance, nb.index);
-  return VoteOverNearest(dists, k);
+std::vector<std::pair<double, int>> GbKnnClassifier::ScoredTopK(
+    const std::vector<double>& q, int k) const {
+  const std::shared_ptr<const CenterIndex> index = center_index_;
+  if (index != nullptr) {
+    // KNearestSurface ranks balls by the flat scan's exact (score,
+    // index) order — score = dist - r inside, dist outside, computed
+    // with the identical arithmetic — so its top-k IS the flat
+    // partial_sort's top-k, bit for bit, whichever tree backend is
+    // behind it.
+    const std::vector<Neighbor> top = index->KNearestSurface(q.data(), k);
+    GBX_DCHECK(static_cast<int>(top.size()) == k);
+    std::vector<std::pair<double, int>> dists;
+    dists.reserve(top.size());
+    for (const Neighbor& nb : top) dists.emplace_back(nb.distance, nb.index);
+    return dists;
+  }
+
+  // Flat scan through the SIMD surface-score kernel. The score fill
+  // writes disjoint slots, so it parallelizes over the pool without
+  // changing the values (the kernel is bit-exact on every dispatch
+  // level); the partial_sort stays serial and deterministic. Under
+  // PredictBatch the outer per-query loop already owns the workers and
+  // this inner loop runs serially (nested parallel regions serialize) —
+  // the fan-out only matters for single large-model Predict calls (the
+  // latency-bound serving path).
+  const std::shared_ptr<const FlatCenters> flat = flat_centers_;
+  GBX_CHECK(flat != nullptr);
+  const int m = flat->soa.rows();
+  const int p = flat->soa.cols();
+  // kSampled scans the permutation prefix sized by the recall knob; at
+  // recall 1.0 the prefix is everything and the result is bit-identical
+  // to the exact scan (same pair set, same total order).
+  int scan = m;
+  if (resolved_ == IndexStrategy::kSampled && recall_target_ < 1.0) {
+    scan = std::min(
+        m, std::max(k, static_cast<int>(std::ceil(recall_target_ * m))));
+  }
+  std::vector<double> scores(scan);
+  std::vector<std::pair<double, int>> dists(scan);
+  ParallelForRange(
+      scan, ParallelGrain(p),
+      ParallelThreads(scan, p, ResolveNumThreads(gbg_config_.num_threads)),
+      [&](int begin, int end) {
+        simd::SurfaceScores(q.data(), flat->soa, flat->radii.data(), begin,
+                            end, scores.data());
+        if (flat->order.empty()) {
+          for (int i = begin; i < end; ++i) dists[i] = {scores[i], i};
+        } else {
+          for (int i = begin; i < end; ++i) {
+            dists[i] = {scores[i], flat->order[i]};
+          }
+        }
+      });
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  dists.resize(k);
+  return dists;
 }
 
 int GbKnnClassifier::Predict(const double* x) const {
   GBX_CHECK_MSG(fitted(),
                 "GB-kNN: Predict called before Fit/Restore (empty ball set)");
   const int p = balls_.scaled_features().cols();
-  // Scale the query like the training features.
-  std::vector<double> q(p);
-  {
-    Matrix tmp(1, p);
-    for (int j = 0; j < p; ++j) tmp.At(0, j) = x[j];
-    const Matrix scaled = scaler_.Transform(tmp);
-    for (int j = 0; j < p; ++j) q[j] = scaled.At(0, j);
-  }
-
   // Ball score: a query inside a ball (pure, non-overlapping region) is
   // decided by it — score = dist - r < 0, unique by the non-overlap
   // invariant. Outside every ball, the nearest *center* wins. (Plain
   // dist - r for far queries lets large-radius balls dominate under
   // high-dimensional distance concentration.)
   const int k = std::min(k_, balls_.size());
-  const std::shared_ptr<const CenterIndex> index = center_index_;
-  if (index != nullptr) return PredictWithCenterTree(*index, q, k);
+  return VoteOverNearest(ScoredTopK(ScaleQuery(scaler_, x, p), k), k);
+}
 
-  // Flat scan: the score fill writes disjoint per-ball slots, so it
-  // parallelizes over the pool without changing the values; the
-  // partial_sort stays serial and deterministic. Under PredictBatch the
-  // outer per-query loop already owns the workers and this inner loop
-  // runs serially (nested parallel regions serialize) — the fan-out
-  // only matters for single large-model Predict calls (the
-  // latency-bound serving path).
-  const int m = balls_.size();
-  std::vector<std::pair<double, int>> dists(m);
-  ParallelForRange(
-      m, ParallelGrain(p),
-      ParallelThreads(m, p, ResolveNumThreads(gbg_config_.num_threads)),
-      [&](int begin, int end) {
-        for (int i = begin; i < end; ++i) {
-          const GranularBall& ball = balls_.ball(i);
-          const double dist =
-              EuclideanDistance(q.data(), ball.center.data(), p);
-          dists[i] = {dist <= ball.radius ? dist - ball.radius : dist, i};
-        }
-      });
-  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
-  return VoteOverNearest(dists, k);
+std::vector<std::pair<double, int>> GbKnnClassifier::TopScoredBalls(
+    const double* x, int k) const {
+  GBX_CHECK_MSG(fitted(), "GB-kNN: TopScoredBalls before Fit/Restore");
+  GBX_CHECK_GE(k, 1);
+  const int p = balls_.scaled_features().cols();
+  return ScoredTopK(ScaleQuery(scaler_, x, p), std::min(k, balls_.size()));
 }
 
 std::vector<int> GbKnnClassifier::PredictBatch(const Matrix& x) const {

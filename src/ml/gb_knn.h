@@ -55,26 +55,49 @@ class GbKnnClassifier : public Classifier {
   const GranularBallSet& balls() const { return balls_; }
 
   /// Chooses how Predict scans the ball centers: kFlat is the exhaustive
-  /// per-query scan (score fill parallelized over the pool for large
-  /// ball sets), kTree a KD-tree and kBallTree a metric ball-tree over
-  /// the centers, built once at Fit/Restore and shared by Predict /
-  /// PredictBatch / the serving engine; kAuto resolves by ball count,
-  /// dimensionality, and worker count. Every strategy returns
+  /// per-query scan (SIMD surface-score kernel over the SoA center
+  /// layout, parallelized over the pool for large ball sets), kTree a
+  /// KD-tree and kBallTree a metric ball-tree over the centers, built
+  /// once at Fit/Restore and shared by Predict / PredictBatch / the
+  /// serving engine; kAuto resolves by ball count, dimensionality, and
+  /// worker count; kSampled scans a seeded fixed-permutation prefix
+  /// sized by set_recall_target. Every EXACT strategy returns
   /// bit-identical predictions — both trees rank balls by the flat
   /// scan's exact (score, index) order via KNearestSurface, whose
-  /// subtree bound is a certain score lower bound — so the knob is pure
-  /// runtime state: model artifacts never persist it, and a model saved
-  /// under one strategy predicts identically under the others
-  /// (tests/roundtrip_fuzz_test.cc). Re-resolves and rebuilds/drops the
-  /// tree immediately when fitted; a no-op when `strategy` is already
-  /// set. NOT safe to call concurrently with in-flight
-  /// Predict/PredictBatch — flip the knob before serving starts (as
-  /// gbx_serve does at load).
+  /// subtree bound is a certain score lower bound — and kSampled at
+  /// recall 1.0 scans everything, so it is bit-identical too (the pair
+  /// total order makes the permuted fill converge to the same top-k).
+  /// The knob is pure runtime state: model artifacts never persist it,
+  /// and a model saved under one strategy predicts identically under
+  /// the other exact ones (tests/roundtrip_fuzz_test.cc). Re-resolves
+  /// and rebuilds/drops the backend immediately when fitted; a no-op
+  /// when `strategy` is already set. NOT safe to call concurrently with
+  /// in-flight Predict/PredictBatch — flip the knob before serving
+  /// starts (as gbx_serve does at load).
   void set_index_strategy(IndexStrategy strategy);
   IndexStrategy index_strategy() const { return gbg_config_.index_strategy; }
   /// What Predict will actually use: kTree / kBallTree when a center
-  /// index is built, kFlat otherwise (always kFlat before Fit/Restore).
+  /// index is built, kSampled when the sampled tier is active, kFlat
+  /// otherwise (always kFlat before Fit/Restore).
   IndexStrategy resolved_index_strategy() const;
+
+  /// Target recall of the kSampled tier, in (0, 1]; default 1.0. The
+  /// candidate prefix scanned per query is max(k, ceil(recall * m)) of
+  /// the m balls — a uniform sample via the fixed permutation, so the
+  /// expected fraction of the exact top-k recovered is >= recall, and
+  /// prefixes nest: raising the knob can only add candidates, making
+  /// measured recall monotone in it (tests/recall_test.cc). Ignored by
+  /// every other strategy. Pure runtime state, never persisted; safe to
+  /// change between (not during) predictions without a rebuild.
+  void set_recall_target(double recall);
+  double recall_target() const { return recall_target_; }
+
+  /// The k (score, ball-index) pairs Predict votes over, ascending by
+  /// the (score, index) total order. Exposes the candidate ranking so
+  /// tests can measure the sampled tier's recall against the exact
+  /// scan; `x` is an unscaled query like Predict's.
+  std::vector<std::pair<double, int>> TopScoredBalls(const double* x,
+                                                     int k) const;
 
  private:
   // Ball centers as a matrix, radii as per-center weights, and one tree
@@ -105,11 +128,28 @@ class GbKnnClassifier : public Classifier {
     }
   };
 
-  /// (Re)derives the resolved strategy and builds or drops the center
-  /// tree. Called by Fit/Restore/set_index_strategy.
+  // Flat-scan backend: centers and radii in the SoA blocked layout the
+  // SIMD kernels stream (src/simd/simd.h). `order[t]` maps SoA row t
+  // back to its ball index — identity (empty vector) for the exact
+  // scan, a seeded fixed permutation under kSampled so every candidate
+  // prefix is a uniform sample and prefixes nest (recall monotone in
+  // the knob by construction, and the same across processes: the seed
+  // derives from the ball count alone). shared_ptr for the same
+  // copyability/move-stability reasons as CenterIndex.
+  struct FlatCenters {
+    SoaMatrix soa;
+    std::vector<double> radii;
+    std::vector<int> order;  // empty = identity
+  };
+
+  /// (Re)derives the resolved strategy and builds the center tree or
+  /// the SoA flat backend. Called by Fit/Restore/set_index_strategy.
   void RebuildCenterIndex();
-  int PredictWithCenterTree(const CenterIndex& index,
-                            const std::vector<double>& q, int k) const;
+  /// The top-k (score, ball) pairs for a scaled query — the shared core
+  /// of Predict and TopScoredBalls, dispatching on the resolved
+  /// backend.
+  std::vector<std::pair<double, int>> ScoredTopK(const std::vector<double>& q,
+                                                 int k) const;
   int VoteOverNearest(const std::vector<std::pair<double, int>>& dists,
                       int k) const;
 
@@ -120,6 +160,9 @@ class GbKnnClassifier : public Classifier {
   MinMaxScaler scaler_;
   int num_classes_ = 0;
   std::shared_ptr<const CenterIndex> center_index_;
+  std::shared_ptr<const FlatCenters> flat_centers_;
+  IndexStrategy resolved_ = IndexStrategy::kFlat;
+  double recall_target_ = 1.0;
 };
 
 }  // namespace gbx

@@ -32,7 +32,10 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "index/index_strategy.h"
+#include "ml/gb_knn.h"
 #include "serve/model_io.h"
+#include "simd/simd.h"
 
 namespace gbx {
 
@@ -942,6 +945,16 @@ struct Server::Impl {
           << s.p99_ms << " qps " << s.qps << " shed " << ss.requests_shed
           << " deadline_expired " << ss.deadlines_expired << " queue_depth "
           << depth << " queue_peak " << ss.queue_peak;
+      // Scan configuration: the SIMD dispatch level is process-global;
+      // strategy/recall are per-model runtime knobs (GB-kNN only —
+      // other classifiers have no center scan and report nothing).
+      out << " simd " << simd::ActiveName();
+      if (const auto* gbknn = dynamic_cast<const GbKnnClassifier*>(
+              snapshot->engine->model().classifier.get())) {
+        out << " strategy "
+            << IndexStrategyName(gbknn->resolved_index_strategy())
+            << " recall " << gbknn->recall_target();
+      }
       return out.str();
     }
     if (cmd == "!metrics") {

@@ -1,0 +1,75 @@
+// Internal: per-ISA kernel tables and the shared scalar row helpers.
+// Each kernels_<isa>.cc translation unit compiles unconditionally; when
+// its ISA macro is absent (wrong arch, or the compiler lacks the flag)
+// the TU exports a null table and dispatch skips the level. The scalar
+// helpers live here so every level's partial-block (head/tail) path is
+// literally the same code as the scalar reference — one definition, no
+// drift.
+#ifndef GBX_SIMD_KERNELS_H_
+#define GBX_SIMD_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/matrix.h"
+
+namespace gbx {
+namespace simd {
+namespace internal {
+
+struct Ops {
+  void (*squared_distance_batch)(const double* q, const SoaMatrix& points,
+                                 int begin, int end, double* out);
+  double (*min_surface_gap)(const double* q, const SoaMatrix& centers,
+                            const double* radii, int begin, int end);
+  void (*surface_scores)(const double* q, const SoaMatrix& centers,
+                         const double* radii, int begin, int end, double* out);
+};
+
+/// Null when the level is not compiled into this binary.
+const Ops* ScalarOps();
+const Ops* NeonOps();
+const Ops* Avx2Ops();
+const Ops* Avx512Ops();
+
+/// Base of row's lane within its block: element j of the row is at
+/// RowBase(...)[j * kSoaBlock].
+inline const double* RowBase(const SoaMatrix& m, int row) {
+  return m.data() +
+         static_cast<std::size_t>(row / kSoaBlock) * m.cols() * kSoaBlock +
+         row % kSoaBlock;
+}
+
+/// The scalar reference row kernel: the same sequential accumulation as
+/// SquaredDistance (common/matrix.h), reading one SoA lane. (q[j]-x[j])²
+/// equals (x[j]-q[j])² bitwise, so operand order is free; accumulation
+/// order is not, and stays strictly j-ascending.
+inline double RowSquaredDistance(const double* q, const SoaMatrix& m,
+                                 int row) {
+  const double* base = RowBase(m, row);
+  double s = 0.0;
+  const int d = m.cols();
+  for (int j = 0; j < d; ++j) {
+    const double diff = q[j] - base[static_cast<std::size_t>(j) * kSoaBlock];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double RowSurfaceGap(const double* q, const SoaMatrix& m,
+                            const double* radii, int row) {
+  return std::sqrt(RowSquaredDistance(q, m, row)) - radii[row];
+}
+
+inline double RowSurfaceScore(const double* q, const SoaMatrix& m,
+                              const double* radii, int row) {
+  const double dist = std::sqrt(RowSquaredDistance(q, m, row));
+  const double r = radii[row];
+  return dist <= r ? dist - r : dist;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace gbx
+
+#endif  // GBX_SIMD_KERNELS_H_

@@ -1,0 +1,122 @@
+// AVX-512F kernels: one SoA block = one 8-lane register. Same
+// lane-per-row design and contraction rules as kernels_avx2.cc; the
+// cross-lane min reduction spills to memory and folds with std::min
+// rather than trusting _mm512_reduce_min_pd's NaN behavior.
+#include "simd/kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace gbx {
+namespace simd {
+namespace internal {
+namespace {
+
+inline const double* BlockBase(const SoaMatrix& m, int row) {
+  return m.data() +
+         static_cast<std::size_t>(row / kSoaBlock) * m.cols() * kSoaBlock;
+}
+
+inline __m512d BlockSquaredDistance(const double* q, const double* block,
+                                    int d) {
+  __m512d acc = _mm512_setzero_pd();
+  for (int j = 0; j < d; ++j) {
+    const __m512d qj = _mm512_set1_pd(q[j]);
+    const __m512d diff = _mm512_sub_pd(
+        qj, _mm512_loadu_pd(block + static_cast<std::size_t>(j) * kSoaBlock));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+  }
+  return acc;
+}
+
+void SquaredDistanceBatchAvx512(const double* q, const SoaMatrix& points,
+                                int begin, int end, double* out) {
+  const int d = points.cols();
+  int i = begin;
+  for (; i < end && i % kSoaBlock != 0; ++i) {
+    out[i] = RowSquaredDistance(q, points, i);
+  }
+  for (; i + kSoaBlock <= end; i += kSoaBlock) {
+    _mm512_storeu_pd(out + i,
+                     BlockSquaredDistance(q, BlockBase(points, i), d));
+  }
+  for (; i < end; ++i) out[i] = RowSquaredDistance(q, points, i);
+}
+
+double MinSurfaceGapAvx512(const double* q, const SoaMatrix& centers,
+                           const double* radii, int begin, int end) {
+  double best = std::numeric_limits<double>::infinity();
+  int i = begin;
+  for (; i < end && i % kSoaBlock != 0; ++i) {
+    best = std::min(best, RowSurfaceGap(q, centers, radii, i));
+  }
+  __m512d m = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  const int d = centers.cols();
+  for (; i + kSoaBlock <= end; i += kSoaBlock) {
+    const __m512d dist =
+        _mm512_sqrt_pd(BlockSquaredDistance(q, BlockBase(centers, i), d));
+    const __m512d gap = _mm512_sub_pd(dist, _mm512_loadu_pd(radii + i));
+    // VMINPD keeps the SECOND source on NaN: min(gap, m) drops NaN gaps
+    // like the scalar std::min fold.
+    m = _mm512_min_pd(gap, m);
+  }
+  alignas(64) double lanes[kSoaBlock];
+  _mm512_store_pd(lanes, m);
+  for (int l = 0; l < kSoaBlock; ++l) best = std::min(best, lanes[l]);
+  for (; i < end; ++i) {
+    best = std::min(best, RowSurfaceGap(q, centers, radii, i));
+  }
+  return best;
+}
+
+void SurfaceScoresAvx512(const double* q, const SoaMatrix& centers,
+                         const double* radii, int begin, int end,
+                         double* out) {
+  const int d = centers.cols();
+  int i = begin;
+  for (; i < end && i % kSoaBlock != 0; ++i) {
+    out[i] = RowSurfaceScore(q, centers, radii, i);
+  }
+  for (; i + kSoaBlock <= end; i += kSoaBlock) {
+    const __m512d dist =
+        _mm512_sqrt_pd(BlockSquaredDistance(q, BlockBase(centers, i), d));
+    const __m512d r = _mm512_loadu_pd(radii + i);
+    // Ordered <= is false on NaN: lanes with NaN dist keep dist, as the
+    // scalar ternary does.
+    const __mmask8 le = _mm512_cmp_pd_mask(dist, r, _CMP_LE_OQ);
+    _mm512_storeu_pd(out + i, _mm512_mask_sub_pd(dist, le, dist, r));
+  }
+  for (; i < end; ++i) out[i] = RowSurfaceScore(q, centers, radii, i);
+}
+
+const Ops kAvx512Ops = {
+    SquaredDistanceBatchAvx512,
+    MinSurfaceGapAvx512,
+    SurfaceScoresAvx512,
+};
+
+}  // namespace
+
+const Ops* Avx512Ops() { return &kAvx512Ops; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace gbx
+
+#else  // !defined(__AVX512F__)
+
+namespace gbx {
+namespace simd {
+namespace internal {
+
+const Ops* Avx512Ops() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace gbx
+
+#endif  // defined(__AVX512F__)

@@ -1,0 +1,105 @@
+// Batched flat-scan kernels behind a runtime dispatch shim. The three
+// kernels cover the system's distance-dominated hot loops — RD-GBG's
+// per-candidate squared-distance fill, the Eq.-4 conflict-radius
+// (r_conf) gap scan, and GB-kNN's surface-score scan — each streaming a
+// SoaMatrix (common/matrix.h) so one vector register holds the same
+// coordinate of kSoaBlock rows.
+//
+// Bit-exactness contract: every level computes, per row, the EXACT
+// arithmetic of the scalar reference — a sequential
+// `s += (q[j]-x[j])*(q[j]-x[j])` accumulation in dimension order, no
+// FMA contraction (kernel TUs build with -ffp-contract=off), sqrt and
+// min/compare with IEEE semantics matching the scalar `std::sqrt` /
+// `std::min` / ternary forms. Vectorization is across rows (one lane =
+// one row), never across dimensions, so no reassociation happens and
+// scalar/AVX2/AVX-512/NEON agree bit for bit on every non-NaN output —
+// including infinities and signed zeros. NaN outputs are NaN on every
+// level, but the payload/sign bits are unspecified: IEEE leaves which
+// operand's NaN propagates through `+`/`*` to the implementation, and
+// the compiler may commute those operands differently per TU. NaN
+// never survives into model artifacts or responses (min folds and
+// ordered compares drop it), so payload identity is not part of the
+// contract. tests/simd_kernel_test.cc enforces all of this on every
+// level the host can run.
+//
+// Dispatch: the active level resolves once from cpuid, overridable via
+// the GBX_SIMD env var (scalar|neon|avx2|avx512|auto). Requesting a
+// level the binary or CPU cannot run falls back to the best supported
+// level below it (with a warning log), so forcing GBX_SIMD=avx512 on
+// an AVX2-only host degrades gracefully — CI exercises exactly that.
+// The level is pure runtime state: it never changes any computed value
+// (see contract above), so model artifacts and serve responses are
+// byte-identical across levels.
+#ifndef GBX_SIMD_SIMD_H_
+#define GBX_SIMD_SIMD_H_
+
+#include <string>
+
+#include "common/matrix.h"
+
+namespace gbx {
+namespace simd {
+
+/// Ordered by preference: dispatch resolution falls DOWN this order.
+enum class Level : int {
+  kScalar = 0,
+  kNeon = 1,    // aarch64 ASIMD (2 doubles/vector)
+  kAvx2 = 2,    // x86-64 AVX2 (4 doubles/vector)
+  kAvx512 = 3,  // x86-64 AVX-512F (8 doubles/vector)
+};
+
+/// "scalar" / "neon" / "avx2" / "avx512".
+const char* LevelName(Level level);
+
+/// Parses a LevelName (exact match). Returns false and leaves `*out`
+/// untouched on anything else ("auto" is not a Level; see ResolveLevel).
+bool ParseLevel(const std::string& text, Level* out);
+
+/// True when the level's kernels are compiled into this binary.
+bool Compiled(Level level);
+
+/// True when the level is compiled in AND the host CPU can run it.
+bool Supported(Level level);
+
+/// Resolution policy, exposed for tests: nullptr/""/"auto" picks the
+/// best supported level; a recognized but unsupported level falls back
+/// to the best supported level below it; an unrecognized value warns
+/// and picks the best supported level.
+Level ResolveLevel(const char* requested);
+
+/// The level the kernel entry points below dispatch to. Resolved from
+/// the GBX_SIMD env var (ResolveLevel) on first use, then cached.
+Level Active();
+const char* ActiveName();
+
+/// Test hooks. SetLevelForTest checks Supported(level);
+/// ReresolveFromEnvForTest re-reads GBX_SIMD (setenv + reresolve is how
+/// the oracle battery walks every dispatch path in one process). Not
+/// safe to call concurrently with in-flight kernel calls.
+void SetLevelForTest(Level level);
+void ReresolveFromEnvForTest();
+
+/// out[i] = squared Euclidean distance from `q` to row i of `points`,
+/// for i in [begin, end). `out` is indexed absolutely (caller provides
+/// at least `end` slots). Bit-identical to SquaredDistance(q, row, d)
+/// per row on every level.
+void SquaredDistanceBatch(const double* q, const SoaMatrix& points, int begin,
+                          int end, double* out);
+
+/// The fused Eq.-4 gap scan: min over i in [begin, end) of
+/// ||q - center_i|| - radii[i], +infinity for an empty range. NaN gaps
+/// are dropped exactly like the scalar std::min fold. Bit-identical to
+/// folding EuclideanDistance(q, center, d) - radii[i] in row order.
+double MinSurfaceGap(const double* q, const SoaMatrix& centers,
+                     const double* radii, int begin, int end);
+
+/// out[i] = GB-kNN surface score of row i: dist <= r ? dist - r : dist
+/// with dist = ||q - center_i||, for i in [begin, end); `out` indexed
+/// absolutely. Bit-identical to the scalar ternary per row.
+void SurfaceScores(const double* q, const SoaMatrix& centers,
+                   const double* radii, int begin, int end, double* out);
+
+}  // namespace simd
+}  // namespace gbx
+
+#endif  // GBX_SIMD_SIMD_H_

@@ -17,6 +17,7 @@
 #include "ml/gb_knn.h"
 #include "ml/knn.h"
 #include "serve/model_io.h"
+#include "simd/simd.h"
 
 namespace gbx {
 namespace {
@@ -214,6 +215,70 @@ TEST_P(RoundTripFuzzTest, GbKnnArtifactIsIndexStrategyAgnostic) {
   ball_model.Fit(ds, &fit_rng_ball);
   ASSERT_EQ(ball_model.resolved_index_strategy(), IndexStrategy::kBallTree);
   EXPECT_EQ(ModelToString(ball_model), text);
+
+  // The sampled tier as well: training under kSampled granulates
+  // exactly (the tier only shapes inference), so the artifact bytes
+  // match, and the restored model at recall 1.0 predicts bit-identically
+  // to every exact backend.
+  gbg.index_strategy = IndexStrategy::kSampled;
+  GbKnnClassifier sampled_model(gbg, 1 + GetParam() % 4);
+  Pcg32 fit_rng_sampled(2);
+  sampled_model.Fit(ds, &fit_rng_sampled);
+  ASSERT_EQ(sampled_model.resolved_index_strategy(), IndexStrategy::kSampled);
+  EXPECT_EQ(ModelToString(sampled_model), text);
+  restored->set_index_strategy(IndexStrategy::kSampled);
+  ASSERT_EQ(restored->resolved_index_strategy(), IndexStrategy::kSampled);
+  EXPECT_EQ(restored->PredictBatch(ds.x()), expected);
+}
+
+// The SIMD dispatch level is pure runtime state with a bit-exactness
+// contract (src/simd/simd.h): an artifact trained under ANY dispatch
+// level must be byte-identical to one trained under every other level
+// the host supports, and a model restored from it must predict
+// bit-identically whichever level serves it. This is what makes a
+// heterogeneous fleet (AVX-512 trainers, AVX2 or scalar servers — or
+// GBX_SIMD=scalar canaries) safe.
+TEST_P(RoundTripFuzzTest, GbKnnArtifactIsSimdLevelAgnostic) {
+  const Dataset ds = RandomDataset(7000 + GetParam());
+  RdGbgConfig gbg;
+  gbg.seed = 7500 + GetParam();
+
+  struct PerLevel {
+    simd::Level level;
+    std::string artifact;
+    std::vector<int> predictions;
+  };
+  std::vector<PerLevel> runs;
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kNeon,
+                            simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (!simd::Supported(level)) continue;
+    simd::SetLevelForTest(level);
+    GbKnnClassifier model(gbg, 1 + GetParam() % 4);
+    Pcg32 fit_rng(3);
+    model.Fit(ds, &fit_rng);
+    runs.push_back({level, ModelToString(model), model.PredictBatch(ds.x())});
+  }
+  simd::ReresolveFromEnvForTest();
+  ASSERT_GE(runs.size(), 1u);  // scalar always runs
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].artifact, runs[0].artifact)
+        << simd::LevelName(runs[i].level) << " vs "
+        << simd::LevelName(runs[0].level);
+    EXPECT_EQ(runs[i].predictions, runs[0].predictions)
+        << simd::LevelName(runs[i].level);
+  }
+
+  // Cross-serve: restore the first level's artifact, predict under each
+  // other level.
+  const StatusOr<LoadedModel> loaded = ModelFromString(runs[0].artifact);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const PerLevel& run : runs) {
+    simd::SetLevelForTest(run.level);
+    EXPECT_EQ(loaded->classifier->PredictBatch(ds.x()), runs[0].predictions)
+        << "served under " << simd::LevelName(run.level);
+  }
+  simd::ReresolveFromEnvForTest();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest, ::testing::Range(0, 8));

@@ -18,6 +18,7 @@
 #include "serve/engine.h"
 #include "serve/model_io.h"
 #include "serve_test_util.h"
+#include "simd/simd.h"
 
 namespace gbx {
 namespace {
@@ -261,6 +262,55 @@ TEST_F(EngineTest, DirectBatchPathMatchesAndCounts) {
   EXPECT_EQ(*got, bundle.expected);
   EXPECT_EQ(engine->Stats().requests, bundle.split.test.size());
   EXPECT_EQ(engine->Stats().batches, 1);
+}
+
+// An artifact trained under whatever level fitted the bundle must serve
+// bit-identically under EVERY dispatch level the host supports — the
+// end-to-end half of the simd kernel contract: same artifact, same
+// engine, forced level, identical labels under concurrent callers.
+TEST_F(EngineTest, ServesIdenticallyUnderEveryDispatchLevel) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S5");
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kNeon,
+                            simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (!simd::Supported(level)) continue;
+    simd::SetLevelForTest(level);
+    const std::unique_ptr<InferenceEngine> engine = MakeEngine(bundle);
+    EXPECT_EQ(ConcurrentPredict(engine.get(), bundle.split.test),
+              bundle.expected)
+        << "level " << simd::LevelName(level);
+  }
+  simd::ReresolveFromEnvForTest();
+}
+
+// The sampled tier behind the engine — the gbx_serve load path
+// (artifact -> set_index_strategy -> set_recall_target -> engine):
+// recall 1.0 serves the exact labels; a lower knob still serves
+// deterministically (batch composition and caller threading never leak
+// into predictions).
+TEST_F(EngineTest, SampledStrategyServesDeterministically) {
+  const servetest::ModelBundle bundle = servetest::MakeGbKnnBundle("S5");
+  auto make_sampled_engine = [&bundle](double recall) {
+    LoadedModel model = servetest::LoadBundle(bundle);
+    auto* gbknn = dynamic_cast<GbKnnClassifier*>(model.classifier.get());
+    GBX_CHECK(gbknn != nullptr);
+    gbknn->set_index_strategy(IndexStrategy::kSampled);
+    GBX_CHECK(gbknn->resolved_index_strategy() == IndexStrategy::kSampled);
+    gbknn->set_recall_target(recall);
+    return std::make_unique<InferenceEngine>(std::move(model),
+                                             servetest::SmallBatchOptions());
+  };
+
+  // recall 1.0 (the default): exact labels through the engine.
+  const std::unique_ptr<InferenceEngine> exact = make_sampled_engine(1.0);
+  EXPECT_EQ(ConcurrentPredict(exact.get(), bundle.split.test),
+            bundle.expected);
+
+  // Below 1.0: approximate but deterministic — two engines over the
+  // same artifact and knob agree label for label under concurrency.
+  const std::unique_ptr<InferenceEngine> a = make_sampled_engine(0.6);
+  const std::unique_ptr<InferenceEngine> b = make_sampled_engine(0.6);
+  EXPECT_EQ(ConcurrentPredict(a.get(), bundle.split.test),
+            ConcurrentPredict(b.get(), bundle.split.test));
 }
 
 TEST_F(EngineTest, RejectsMalformedQueriesAndKeepsServing) {
