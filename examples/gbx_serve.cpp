@@ -95,6 +95,14 @@ struct Args {
   IndexStrategy index_strategy = IndexStrategy::kAuto;
   // Target recall of the sampled strategy, in (0, 1]; 1.0 = exact.
   double recall = 1.0;
+  // Graceful degradation (serve subcommand): "off" (default) or "auto".
+  std::string degrade = "off";
+  // Ladder floor for per-request recall under --degrade auto.
+  double min_recall = 0.5;
+  // Controller tick period; < 0 keeps the DegradeOptions default.
+  double degrade_tick_ms = -1.0;
+  // > 0 arms the worker watchdog (stall deadline in ms).
+  double worker_stall_ms = 0.0;
 };
 
 int Usage() {
@@ -117,6 +125,11 @@ int Usage() {
       "                    [--metrics-dump-sec N]  (periodic Prometheus dump\n"
       "                    to stderr) [--slow-trace-ms X]  (span-tree log\n"
       "                    threshold; 0 = off)\n"
+      "                    [--degrade auto|off]  (overload recall ladder;\n"
+      "                    default off) [--min-recall F]  (ladder floor,\n"
+      "                    (0,1], default 0.5) [--degrade-tick-ms X]\n"
+      "                    [--worker-stall-ms X]  (watchdog deadline;\n"
+      "                    0 = off)\n"
       "  gbx_serve info    --model-file FILE\n"
       "common: --index-strategy auto|flat|tree|balltree|sampled\n"
       "        (GB-kNN center scan; runtime-only, artifacts never\n"
@@ -200,11 +213,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--recall") {
       args->recall = std::atof(v);
-      if (!(args->recall > 0.0 && args->recall <= 1.0)) {
-        std::fprintf(stderr, "gbx_serve: --recall wants (0,1], got '%s'\n",
+      // Typed rejection, not clamping: shared with Server::Start()'s
+      // option validation so CLI and embedded callers agree.
+      if (const Status s = ValidateRecall(args->recall, "--recall");
+          !s.ok()) {
+        std::fprintf(stderr, "gbx_serve: %s\n", s.ToString().c_str());
+        return false;
+      }
+    } else if (flag == "--min-recall") {
+      args->min_recall = std::atof(v);
+      if (const Status s = ValidateRecall(args->min_recall, "--min-recall");
+          !s.ok()) {
+        std::fprintf(stderr, "gbx_serve: %s\n", s.ToString().c_str());
+        return false;
+      }
+    } else if (flag == "--degrade") {
+      args->degrade = v;
+      if (args->degrade != "auto" && args->degrade != "off") {
+        std::fprintf(stderr, "gbx_serve: --degrade wants auto|off, got '%s'\n",
                      v);
         return false;
       }
+    } else if (flag == "--degrade-tick-ms") {
+      args->degrade_tick_ms = std::atof(v);
+    } else if (flag == "--worker-stall-ms") {
+      args->worker_stall_ms = std::atof(v);
     } else {
       std::fprintf(stderr, "gbx_serve: unknown flag %s\n", flag.c_str());
       return false;
@@ -321,7 +354,19 @@ StatusOr<LoadedModel> LoadModelAt(const std::string& path, const Args& args) {
     // apply this process's choice to the restored model.
     if (auto* gbknn =
             dynamic_cast<GbKnnClassifier*>(model->classifier.get())) {
-      gbknn->set_index_strategy(args.index_strategy);
+      IndexStrategy strategy = args.index_strategy;
+      if (args.degrade == "auto" && strategy != IndexStrategy::kSampled) {
+        // The degradation ladder lowers per-request recall through the
+        // sampled tier; other strategies would silently ignore it. At
+        // recall 1.0 the sampled tier scans every center, so this
+        // substitution costs nothing while the server is healthy.
+        strategy = IndexStrategy::kSampled;
+        std::fprintf(stderr,
+                     "gbx_serve: --degrade auto forces "
+                     "--index-strategy sampled for %s\n",
+                     path.c_str());
+      }
+      gbknn->set_index_strategy(strategy);
       gbknn->set_recall_target(args.recall);
     }
   }
@@ -519,6 +564,12 @@ int RunServe(const Args& args) {
         static_cast<std::uint64_t>(args.max_inflight);
   }
   if (args.slow_trace_ms >= 0.0) sopts.slow_trace_ms = args.slow_trace_ms;
+  sopts.degrade_auto = args.degrade == "auto";
+  sopts.degrade.min_recall = args.min_recall;
+  if (args.degrade_tick_ms > 0.0) {
+    sopts.degrade.tick_interval_ms = args.degrade_tick_ms;
+  }
+  sopts.worker_stall_ms = args.worker_stall_ms;
   Server server(registry, sopts);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -563,6 +614,12 @@ int RunServe(const Args& args) {
               static_cast<long long>(s.frames_received),
               static_cast<long long>(s.frames_sent),
               static_cast<long long>(s.protocol_errors));
+  std::printf("overload stats: %lld shed, %lld degraded, "
+              "%lld ladder transitions, %lld worker stalls\n",
+              static_cast<long long>(s.requests_shed),
+              static_cast<long long>(s.requests_degraded),
+              static_cast<long long>(s.degrade_transitions),
+              static_cast<long long>(s.worker_stalls));
   for (const auto& m : registry->List()) {
     std::printf("model %s v%d:\n", m->name.c_str(), m->version);
     PrintStats(*m->engine, stdout);

@@ -34,6 +34,23 @@
 //   * over the wire  "!fail set name=spec" / "!fail clear name|*" /
 //     "!fail list" on a serving front-end (serve/server.h).
 //
+// Site inventory (grep GBX_FAILPOINT for ground truth):
+//
+//   model_io.save.{open,write,fsync,rename}   artifact I/O failures
+//   model_io.save.crash_before_rename         torn-write crash window
+//   registry.publish.validate                 hot-swap probe failure
+//   server.{accept,poll,recv,send}.eintr      EINTR storms (every(K>=2))
+//   server.worker.delay                       slow worker -> queue
+//                                             pressure (overload and
+//                                             degradation-ladder tests)
+//   engine.predict                            typed failure out of the
+//                                             inference engine
+//   engine.predict.stall                      delay *inside* the predict
+//                                             path while the worker is
+//                                             marked busy — the watchdog
+//                                             battery's stuck-worker
+//                                             trigger (serve/server.h)
+//
 // Cost model: the registry below always compiles (so the spec grammar,
 // "!fail", and tests of either work in every build), but the *sites*
 // are compiled only when GBX_FAILPOINTS_ENABLED is defined (CMake

@@ -197,7 +197,7 @@ int GbKnnClassifier::VoteOverNearest(
 }
 
 std::vector<std::pair<double, int>> GbKnnClassifier::ScoredTopK(
-    const std::vector<double>& q, int k) const {
+    const std::vector<double>& q, int k, double recall) const {
   const std::shared_ptr<const CenterIndex> index = center_index_;
   if (index != nullptr) {
     // KNearestSurface ranks balls by the flat scan's exact (score,
@@ -229,9 +229,9 @@ std::vector<std::pair<double, int>> GbKnnClassifier::ScoredTopK(
   // recall 1.0 the prefix is everything and the result is bit-identical
   // to the exact scan (same pair set, same total order).
   int scan = m;
-  if (resolved_ == IndexStrategy::kSampled && recall_target_ < 1.0) {
-    scan = std::min(
-        m, std::max(k, static_cast<int>(std::ceil(recall_target_ * m))));
+  if (resolved_ == IndexStrategy::kSampled && recall < 1.0) {
+    scan =
+        std::min(m, std::max(k, static_cast<int>(std::ceil(recall * m))));
   }
   std::vector<double> scores(scan);
   std::vector<std::pair<double, int>> dists(scan);
@@ -255,8 +255,14 @@ std::vector<std::pair<double, int>> GbKnnClassifier::ScoredTopK(
 }
 
 int GbKnnClassifier::Predict(const double* x) const {
+  return PredictWithRecall(x, recall_target_);
+}
+
+int GbKnnClassifier::PredictWithRecall(const double* x, double recall) const {
   GBX_CHECK_MSG(fitted(),
                 "GB-kNN: Predict called before Fit/Restore (empty ball set)");
+  GBX_CHECK_MSG(recall > 0.0 && recall <= 1.0,
+                "GB-kNN: per-call recall must be in (0, 1]");
   const int p = balls_.scaled_features().cols();
   // Ball score: a query inside a ball (pure, non-overlapping region) is
   // decided by it — score = dist - r < 0, unique by the non-overlap
@@ -264,7 +270,7 @@ int GbKnnClassifier::Predict(const double* x) const {
   // dist - r for far queries lets large-radius balls dominate under
   // high-dimensional distance concentration.)
   const int k = std::min(k_, balls_.size());
-  return VoteOverNearest(ScoredTopK(ScaleQuery(scaler_, x, p), k), k);
+  return VoteOverNearest(ScoredTopK(ScaleQuery(scaler_, x, p), k, recall), k);
 }
 
 std::vector<std::pair<double, int>> GbKnnClassifier::TopScoredBalls(
@@ -272,17 +278,23 @@ std::vector<std::pair<double, int>> GbKnnClassifier::TopScoredBalls(
   GBX_CHECK_MSG(fitted(), "GB-kNN: TopScoredBalls before Fit/Restore");
   GBX_CHECK_GE(k, 1);
   const int p = balls_.scaled_features().cols();
-  return ScoredTopK(ScaleQuery(scaler_, x, p), std::min(k, balls_.size()));
+  return ScoredTopK(ScaleQuery(scaler_, x, p), std::min(k, balls_.size()),
+                    recall_target_);
 }
 
 std::vector<int> GbKnnClassifier::PredictBatch(const Matrix& x) const {
+  return PredictBatchWithRecall(x, recall_target_);
+}
+
+std::vector<int> GbKnnClassifier::PredictBatchWithRecall(const Matrix& x,
+                                                         double recall) const {
   static metrics::Histogram* predict_hist =
       PhaseHistogram("gbknn_predict_batch");
   metrics::ScopedTimerMs predict_timer(metrics::Enabled() ? predict_hist
                                                           : nullptr);
   std::vector<int> out(x.rows());
   ParallelFor(x.rows(), gbg_config_.num_threads,
-              [&](int i) { out[i] = Predict(x.Row(i)); });
+              [&](int i) { out[i] = PredictWithRecall(x.Row(i), recall); });
   return out;
 }
 

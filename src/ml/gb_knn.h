@@ -33,6 +33,26 @@ class GbKnnClassifier : public Classifier {
   std::vector<int> PredictBatch(const Matrix& x) const override;
   std::string name() const override { return "GB-kNN"; }
 
+  /// Per-call recall variants: predict as if set_recall_target(recall)
+  /// were in effect, WITHOUT touching the fitted-model knob — the
+  /// serving engine threads a per-request recall through these so a
+  /// degradation controller can lower quality for some requests while
+  /// concurrent full-quality requests are in flight (the member knob is
+  /// not safe to flip mid-prediction; these are, being pure reads).
+  /// `recall` must be in (0, 1]. Only the kSampled tier interprets it:
+  /// under every exact strategy the override is ignored and the result
+  /// is bit-identical to Predict/PredictBatch, as it is at recall 1.0
+  /// (the prefix is everything). Prefixes nest, so the same monotone
+  /// recall contract as set_recall_target applies per call.
+  int PredictWithRecall(const double* x, double recall) const;
+  std::vector<int> PredictBatchWithRecall(const Matrix& x,
+                                          double recall) const;
+  /// True when a per-call recall override below 1.0 would change the
+  /// scan (i.e. the sampled tier is the resolved backend).
+  bool SupportsRecallOverride() const {
+    return resolved_ == IndexStrategy::kSampled;
+  }
+
   /// Restores a fitted state without re-granulating (model
   /// deserialization; see serve/model_io.h). `balls` must be non-empty,
   /// `scaler` fitted over the same dimensionality, and `num_classes`
@@ -147,9 +167,11 @@ class GbKnnClassifier : public Classifier {
   void RebuildCenterIndex();
   /// The top-k (score, ball) pairs for a scaled query — the shared core
   /// of Predict and TopScoredBalls, dispatching on the resolved
-  /// backend.
+  /// backend. `recall` sizes the sampled tier's candidate prefix
+  /// (callers pass recall_target_ or a per-call override; ignored
+  /// outside kSampled).
   std::vector<std::pair<double, int>> ScoredTopK(const std::vector<double>& q,
-                                                 int k) const;
+                                                 int k, double recall) const;
   int VoteOverNearest(const std::vector<std::pair<double, int>>& dists,
                       int k) const;
 

@@ -1,0 +1,72 @@
+#include "serve/degrade.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gbx {
+
+DegradeController::DegradeController(DegradeOptions opts) : opts_(opts) {
+  GBX_CHECK_MSG(opts_.min_recall > 0.0 && opts_.min_recall <= 1.0,
+                "DegradeController: min_recall must be in (0, 1]");
+  GBX_CHECK_MSG(opts_.low_watermark >= 0.0 &&
+                    opts_.low_watermark < opts_.high_watermark,
+                "DegradeController: need 0 <= low_watermark < high_watermark");
+  GBX_CHECK_GE(opts_.down_ticks, 1);
+  GBX_CHECK_GE(opts_.up_ticks, 1);
+  GBX_CHECK_MSG(opts_.batch_delay_scale_floor > 0.0 &&
+                    opts_.batch_delay_scale_floor <= 1.0,
+                "DegradeController: batch_delay_scale_floor must be in (0, 1]");
+}
+
+double DegradeController::RecallAt(int level) const {
+  if (level <= 0) return 1.0;
+  if (level >= kRecallSteps) return opts_.min_recall;
+  // Evenly-spaced rungs from full quality down to the floor.
+  return 1.0 - (1.0 - opts_.min_recall) *
+                   (static_cast<double>(level) / kRecallSteps);
+}
+
+int DegradeController::Tick(double now_s, double depth_fraction,
+                            double mean_queue_wait_ms) {
+  if (last_tick_s_ >= 0.0 &&
+      (now_s - last_tick_s_) * 1e3 < opts_.tick_interval_ms) {
+    return 0;  // coalesce: the event loop ticks opportunistically
+  }
+  last_tick_s_ = now_s;
+
+  double pressure = std::max(0.0, depth_fraction);
+  if (opts_.queue_wait_ref_ms > 0.0 && mean_queue_wait_ms >= 0.0) {
+    pressure = std::max(pressure, mean_queue_wait_ms / opts_.queue_wait_ref_ms);
+  }
+
+  if (pressure >= opts_.high_watermark) {
+    ++high_streak_;
+    low_streak_ = 0;
+  } else if (pressure <= opts_.low_watermark) {
+    ++low_streak_;
+    high_streak_ = 0;
+  } else {
+    // Dead band: hold the level, and require the next excursion to be
+    // sustained from scratch.
+    high_streak_ = 0;
+    low_streak_ = 0;
+  }
+
+  const int level = level_.load(std::memory_order_relaxed);
+  if (high_streak_ >= opts_.down_ticks && level < kMaxLevel) {
+    level_.store(level + 1, std::memory_order_relaxed);
+    high_streak_ = 0;
+    low_streak_ = 0;
+    return +1;
+  }
+  if (low_streak_ >= opts_.up_ticks && level > 0) {
+    level_.store(level - 1, std::memory_order_relaxed);
+    high_streak_ = 0;
+    low_streak_ = 0;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace gbx

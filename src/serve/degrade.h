@@ -1,0 +1,105 @@
+// Overload-aware graceful degradation: the feedback controller behind
+// the serving front-end's quality ladder (ServerOptions::degrade_auto).
+//
+// The server serves full-quality answers right up until the bounded
+// worker queue hard-sheds — the worst possible degradation curve for a
+// production system. This controller closes the loop between the PR-8
+// pressure signals (queue depth, queue-wait) and the PR-9 quality knob
+// (the GB-kNN sampled tier's per-call recall): under sustained pressure
+// it steps down an explicit ladder, trading recall for scan time and
+// finally batching latency for throughput, so the server *degrades
+// before it denies*:
+//
+//   level 0                 full quality (recall 1.0, full batch window)
+//   level 1..kRecallSteps   per-request recall reduction, interpolated
+//                           from 1.0 down to DegradeOptions::min_recall
+//   level kMaxLevel         recall at the floor AND the micro-batch
+//                           coalescing window shrunk by
+//                           batch_delay_scale_floor — the last rung
+//                           before the bounded queue sheds
+//
+// Hysteresis: one Tick per tick_interval_ms; stepping DOWN requires
+// `down_ticks` consecutive ticks of pressure >= high_watermark,
+// stepping UP (recovery) requires `up_ticks` consecutive ticks of
+// pressure <= low_watermark, and each transition moves exactly one
+// level and resets both streaks — the ladder can never oscillate
+// per-tick, and recovery is gradual by construction. Pressure between
+// the watermarks holds the current level (the dead band).
+//
+// Thread contract: Tick() is called from one thread (the server's event
+// loop); level()/recall()/batch_delay_scale() are lock-free reads from
+// any thread (the predict workers).
+#ifndef GBX_SERVE_DEGRADE_H_
+#define GBX_SERVE_DEGRADE_H_
+
+#include <atomic>
+
+namespace gbx {
+
+struct DegradeOptions {
+  /// Ladder floor for per-request recall, in (0, 1]. 1.0 makes the
+  /// recall rungs no-ops (the ladder goes straight to window shrink).
+  double min_recall = 0.5;
+  /// Pressure at or above this for `down_ticks` consecutive ticks steps
+  /// the ladder down one level. Pressure is max(queue depth / shed
+  /// line, mean queue wait / queue_wait_ref_ms), so 1.0 = "at the shed
+  /// line".
+  double high_watermark = 0.5;
+  /// Pressure at or below this for `up_ticks` consecutive ticks steps
+  /// the ladder back up one level.
+  double low_watermark = 0.15;
+  int down_ticks = 3;
+  int up_ticks = 8;
+  /// Control-loop period; Tick() calls closer together than this are
+  /// coalesced (the event loop ticks opportunistically).
+  double tick_interval_ms = 20.0;
+  /// Mean queue wait (ms, over the last tick interval) that counts as
+  /// pressure 1.0. <= 0 disables the wait signal.
+  double queue_wait_ref_ms = 50.0;
+  /// Coalescing-window scale at the last rung, in (0, 1].
+  double batch_delay_scale_floor = 0.25;
+};
+
+class DegradeController {
+ public:
+  /// Recall rungs between full quality and the floor.
+  static constexpr int kRecallSteps = 3;
+  /// Last rung: recall floor + batch-window shrink.
+  static constexpr int kMaxLevel = kRecallSteps + 1;
+
+  explicit DegradeController(DegradeOptions opts);
+
+  /// One control-loop step. `depth_fraction` is worker-queue depth over
+  /// the shed line (>= 0, may exceed 1 transiently);
+  /// `mean_queue_wait_ms` is the mean queue wait observed since the
+  /// previous tick (< 0 = no samples). Returns +1 when this tick
+  /// stepped down (degraded further), -1 when it stepped up
+  /// (recovered), 0 otherwise.
+  int Tick(double now_s, double depth_fraction, double mean_queue_wait_ms);
+
+  /// Current ladder level in [0, kMaxLevel]. Lock-free.
+  int level() const { return level_.load(std::memory_order_relaxed); }
+  /// Per-request recall at the current level (1.0 at level 0, the floor
+  /// at kRecallSteps and above). Lock-free.
+  double recall() const { return RecallAt(level()); }
+  /// Micro-batch coalescing-window scale at the current level (1.0
+  /// everywhere except the last rung). Lock-free.
+  double batch_delay_scale() const {
+    return level() >= kMaxLevel ? opts_.batch_delay_scale_floor : 1.0;
+  }
+
+  double RecallAt(int level) const;
+  const DegradeOptions& options() const { return opts_; }
+
+ private:
+  DegradeOptions opts_;
+  std::atomic<int> level_{0};
+  // Tick-thread-only state (no concurrent access).
+  double last_tick_s_ = -1.0;
+  int high_streak_ = 0;
+  int low_streak_ = 0;
+};
+
+}  // namespace gbx
+
+#endif  // GBX_SERVE_DEGRADE_H_

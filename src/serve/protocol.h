@@ -34,6 +34,21 @@
 //                                       request span trees (common/
 //                                       trace.h) -> "ok traces N" then
 //                                       one formatted tree per trace
+//             "!health"                 readiness probe for load
+//                                       balancers -> "ok health
+//                                       ready|unready [reasons R1,R2]
+//                                       models N workers A stalled S
+//                                       queue D/CAP degrade off|L
+//                                       recall F". Ready iff the
+//                                       registry serves >= 1 model,
+//                                       every worker is alive, and the
+//                                       queue is below the shed line;
+//                                       unready lists machine-readable
+//                                       reasons (no-models,
+//                                       workers-stalled, no-workers,
+//                                       queue-full). Always "ok", so a
+//                                       probe distinguishes "unready"
+//                                       from "down".
 //
 // Response payloads are one frame per request, in request order per
 // connection:
@@ -43,6 +58,14 @@
 //                                       client can pin which model
 //                                       version answered (hot-swap
 //                                       consistency; tests/hot_swap_test)
+//                                       Under --degrade auto a reply
+//                                       served at reduced quality
+//                                       appends " degraded recall=F"
+//                                       (F in (0,1), %.2f) AFTER the
+//                                       checksum, so fixed-field
+//                                       parsers keep working and
+//                                       quality-aware clients can count
+//                                       what they got (serve/degrade.h)
 //   "ok ..."                            admin success
 //   "error CODE: message"               structured error; the connection
 //                                       stays open for payload-level

@@ -76,6 +76,9 @@ class ModelRegistry {
 
   int size() const;
   bool empty() const { return size() == 0; }
+  /// Readiness predicate for the serving health probe ("!health"): a
+  /// registry with no published model cannot answer predict traffic.
+  bool ready() const { return size() > 0; }
 
   const InferenceEngineOptions& engine_options() const {
     return engine_options_;

@@ -226,6 +226,40 @@ int AcceptFp(int fd) {
 
 }  // namespace
 
+Status ValidateRecall(double recall, const char* what) {
+  // NaN must fail too, so express the valid range positively.
+  if (!(recall > 0.0 && recall <= 1.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be in (0, 1], got " +
+                                   std::to_string(recall));
+  }
+  return Status::Ok();
+}
+
+Status ValidateServerOptions(const ServerOptions& options) {
+  GBX_RETURN_IF_ERROR(ValidateRecall(options.degrade.min_recall,
+                                     "--min-recall (degrade.min_recall)"));
+  const DegradeOptions& d = options.degrade;
+  if (!(d.low_watermark >= 0.0 && d.low_watermark < d.high_watermark)) {
+    return Status::InvalidArgument(
+        "degrade watermarks need 0 <= low < high");
+  }
+  if (d.down_ticks < 1 || d.up_ticks < 1) {
+    return Status::InvalidArgument("degrade tick counts must be >= 1");
+  }
+  if (!(d.tick_interval_ms > 0.0)) {
+    return Status::InvalidArgument("degrade tick interval must be > 0 ms");
+  }
+  if (!(d.batch_delay_scale_floor > 0.0 && d.batch_delay_scale_floor <= 1.0)) {
+    return Status::InvalidArgument(
+        "degrade batch_delay_scale_floor must be in (0, 1]");
+  }
+  if (options.worker_stall_ms < 0.0) {
+    return Status::InvalidArgument("worker_stall_ms must be >= 0");
+  }
+  return Status::Ok();
+}
+
 struct Server::Impl {
   struct Request {
     std::uint64_t conn_id = 0;
@@ -276,6 +310,29 @@ struct Server::Impl {
   std::thread loop;
   std::vector<std::thread> workers;
 
+  // --- worker watchdog -------------------------------------------------
+  //
+  // One slot per worker thread (including watchdog-spawned
+  // replacements). `busy_since_s` is the whole protocol:
+  //   -1            idle (waiting on the queue)
+  //   t >= 0        busy on one request since clock time t
+  //   kStalledSlot  flagged by the watchdog; the worker must exit after
+  //                 finishing its current request
+  // The watchdog flags with a CAS from the observed busy timestamp, and
+  // the worker finishes with an exchange(-1) — whichever side wins the
+  // race, the bookkeeping (workers_stalled_/workers_alive_) stays
+  // exact. Slots are created on the Start()/event-loop thread only and
+  // outlive their worker (unique_ptr in a grow-only vector).
+  static constexpr double kStalledSlot = -2.0;
+  struct WorkerSlot {
+    std::atomic<double> busy_since_s{-1.0};
+  };
+  std::vector<std::unique_ptr<WorkerSlot>> worker_slots;
+  std::atomic<int> workers_alive{0};
+  std::atomic<int> workers_stalled{0};
+
+  std::unique_ptr<DegradeController> degrade;  // null when degrade_auto off
+
   std::mutex queue_mu;
   std::condition_variable queue_cv;
   std::deque<Request> queue;
@@ -309,9 +366,17 @@ struct Server::Impl {
   metrics::Counter* m_deadline;
   metrics::Counter* m_req_ok;
   metrics::Counter* m_req_error;
+  metrics::Counter* m_degraded;
+  metrics::Counter* m_degrade_down;
+  metrics::Counter* m_degrade_up;
+  metrics::Counter* m_worker_stalls;
+  metrics::Counter* m_workers_replaced;
   metrics::Gauge* g_queue_depth;
   metrics::Gauge* g_queue_peak;
   metrics::Gauge* g_conns_open;
+  metrics::Gauge* g_degrade_level;
+  metrics::Gauge* g_workers_alive;
+  metrics::Gauge* g_workers_stalled;
   metrics::Histogram* h_queue_wait;
   metrics::Histogram* h_decode;
   metrics::Histogram* h_batch_assembly;
@@ -321,6 +386,11 @@ struct Server::Impl {
   ServerStats baseline;  // registry counter values at Start()
   std::atomic<std::int64_t> queue_peak_local{0};
   std::atomic<std::uint64_t> next_trace_id{1};
+  // Controller-tick state (event-loop thread only): the queue-wait
+  // histogram's count/sum at the previous tick, for the delta mean.
+  std::int64_t tick_wait_count = 0;
+  double tick_wait_sum = 0.0;
+  double last_ctl_tick_s = -1.0;
 
   Impl() {
     auto& reg = metrics::MetricsRegistry::Default();
@@ -343,12 +413,35 @@ struct Server::Impl {
     m_req_error = reg.GetCounter("gbx_server_requests_total",
                                  {{"result", "error"}},
                                  "Predict requests handled");
+    m_degraded = reg.GetCounter(
+        "gbx_server_requests_degraded_total", {},
+        "Predict responses served at reduced recall (degradation ladder)");
+    m_degrade_down = reg.GetCounter(
+        "gbx_server_degrade_transitions_total", {{"direction", "down"}},
+        "Degradation-ladder transitions");
+    m_degrade_up = reg.GetCounter(
+        "gbx_server_degrade_transitions_total", {{"direction", "up"}},
+        "Degradation-ladder transitions");
+    m_worker_stalls = reg.GetCounter(
+        "gbx_server_worker_stalls_total", {},
+        "Predict workers declared stalled by the watchdog");
+    m_workers_replaced = reg.GetCounter(
+        "gbx_server_workers_replaced_total", {},
+        "Replacement workers spawned by the watchdog");
     g_queue_depth = reg.GetGauge("gbx_server_queue_depth", {},
                                  "Worker queue depth");
     g_queue_peak = reg.GetGauge("gbx_server_queue_peak", {},
                                 "Worker queue high-water mark");
     g_conns_open = reg.GetGauge("gbx_server_connections_open", {},
                                 "Currently open connections");
+    g_degrade_level = reg.GetGauge(
+        "gbx_server_degrade_level", {},
+        "Current degradation-ladder level (0 = full quality)");
+    g_workers_alive = reg.GetGauge("gbx_server_workers_alive", {},
+                                   "Healthy predict workers");
+    g_workers_stalled = reg.GetGauge(
+        "gbx_server_workers_stalled", {},
+        "Workers currently stuck past the watchdog deadline");
     const std::string stage_help =
         "Per-stage serving latency (ms); stages: queue_wait, decode, "
         "batch_assembly, compute, encode";
@@ -371,6 +464,7 @@ struct Server::Impl {
 
   Status Start() {
     GBX_CHECK_MSG(!running.load(), "Server::Start called twice");
+    GBX_RETURN_IF_ERROR(ValidateServerOptions(opts));
     listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0) return ErrnoStatus("socket");
     const int one = 1;
@@ -432,26 +526,51 @@ struct Server::Impl {
     baseline.protocol_errors = m_proto_err->Value();
     baseline.requests_shed = m_shed->Value();
     baseline.deadlines_expired = m_deadline->Value();
+    baseline.requests_degraded = m_degraded->Value();
+    baseline.degrade_transitions = m_degrade_down->Value() + m_degrade_up->Value();
+    baseline.worker_stalls = m_worker_stalls->Value();
     queue_peak_local.store(0);
     trace::TraceRing::Default().set_slow_threshold_ms(opts.slow_trace_ms);
+
+    if (opts.degrade_auto) {
+      degrade = std::make_unique<DegradeController>(opts.degrade);
+      g_degrade_level->Set(0);
+    }
+    tick_wait_count = h_queue_wait->Count();
+    tick_wait_sum = h_queue_wait->Sum();
 
     const int n_workers =
         std::max(1, std::min(ResolveNumThreads(opts.num_workers), 64));
     stop_requested.store(false);
     queue_closed = false;
     running.store(true);
+    worker_slots.clear();
+    workers_alive.store(0);
+    workers_stalled.store(0);
     workers.reserve(n_workers);
-    for (int i = 0; i < n_workers; ++i) {
-      workers.emplace_back([this] { WorkerLoop(); });
-    }
+    for (int i = 0; i < n_workers; ++i) SpawnWorker();
     loop = std::thread([this] { LoopMain(); });
     GBX_SLOG(kInfo, "server.start")
         .Kv("host", opts.host)
         .Kv("port", bound_port)
         .Kv("workers", n_workers)
         .Kv("max_queue_depth", static_cast<std::int64_t>(opts.max_queue_depth))
-        .Kv("slow_trace_ms", opts.slow_trace_ms);
+        .Kv("slow_trace_ms", opts.slow_trace_ms)
+        .Kv("degrade", opts.degrade_auto ? "auto" : "off")
+        .Kv("min_recall", opts.degrade.min_recall)
+        .Kv("worker_stall_ms", opts.worker_stall_ms);
     return Status::Ok();
+  }
+
+  /// Spawns one worker thread with its own watchdog slot. Called from
+  /// Start() and from the watchdog (event-loop thread) when replacing a
+  /// stalled worker.
+  void SpawnWorker() {
+    worker_slots.push_back(std::make_unique<WorkerSlot>());
+    WorkerSlot* slot = worker_slots.back().get();
+    workers_alive.fetch_add(1, std::memory_order_relaxed);
+    g_workers_alive->Add(1);
+    workers.emplace_back([this, slot] { WorkerLoop(slot); });
   }
 
   void Stop() {
@@ -467,6 +586,8 @@ struct Server::Impl {
     queue_cv.notify_all();
     for (std::thread& w : workers) w.join();
     workers.clear();
+    worker_slots.clear();
+    degrade.reset();
     // Completions pushed after the loop exited belong to closed
     // connections; drop them.
     {
@@ -519,6 +640,7 @@ struct Server::Impl {
         }
       }
       DeliverCompletions(now_s);
+      TickControl(now_s);
       if (opts.idle_timeout_ms > 0) SweepIdle(now_s);
       if (stop_requested.load()) {
         if (drain_deadline_s < 0) {
@@ -542,10 +664,106 @@ struct Server::Impl {
 
   int WaitTimeoutMs(bool draining) const {
     if (draining) return 10;
+    // Bounded so Stop() is never waiting on a quiet socket.
+    int t = 200;
     if (opts.idle_timeout_ms > 0) {
-      return std::max(1, static_cast<int>(opts.idle_timeout_ms / 2));
+      t = std::max(1, static_cast<int>(opts.idle_timeout_ms / 2));
     }
-    return 200;  // bounded so Stop() is never waiting on a quiet socket
+    // The control loop must keep ticking on a quiet socket too: the
+    // ladder recovers and the watchdog fires from these timeouts.
+    if (degrade != nullptr) {
+      t = std::min(t,
+                   std::max(1, static_cast<int>(opts.degrade.tick_interval_ms)));
+    }
+    if (opts.worker_stall_ms > 0) {
+      t = std::min(t, std::max(1, static_cast<int>(opts.worker_stall_ms / 2)));
+    }
+    return t;
+  }
+
+  /// Degradation-controller tick + watchdog sweep, from the event loop.
+  void TickControl(double now_s) {
+    if (degrade != nullptr &&
+        (last_ctl_tick_s < 0.0 ||
+         (now_s - last_ctl_tick_s) * 1e3 >= opts.degrade.tick_interval_ms)) {
+      last_ctl_tick_s = now_s;
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        depth = queue.size();
+      }
+      const double shed_line = opts.max_queue_depth > 0
+                                   ? static_cast<double>(opts.max_queue_depth)
+                                   : 1024.0;
+      // Mean queue wait since the previous tick, from the PR-8 stage
+      // histogram (exact count/sum deltas, no quantile estimation).
+      const std::int64_t wait_count = h_queue_wait->Count();
+      const double wait_sum = h_queue_wait->Sum();
+      double mean_wait_ms = -1.0;
+      if (wait_count > tick_wait_count) {
+        mean_wait_ms = (wait_sum - tick_wait_sum) /
+                       static_cast<double>(wait_count - tick_wait_count);
+      }
+      tick_wait_count = wait_count;
+      tick_wait_sum = wait_sum;
+      const int step = degrade->Tick(
+          now_s, static_cast<double>(depth) / shed_line, mean_wait_ms);
+      if (step != 0) {
+        (step > 0 ? m_degrade_down : m_degrade_up)->Inc();
+        g_degrade_level->Set(degrade->level());
+        if (step > 0) {
+          GBX_SLOG(kWarn, "server.degrade.step")
+              .Kv("level", degrade->level())
+              .Kv("recall", degrade->recall())
+              .Kv("batch_delay_scale", degrade->batch_delay_scale())
+              .Kv("queue_depth", static_cast<std::int64_t>(depth))
+              .Kv("mean_queue_wait_ms", mean_wait_ms);
+        } else {
+          GBX_SLOG(kInfo, "server.degrade.recover")
+              .Kv("level", degrade->level())
+              .Kv("recall", degrade->recall())
+              .Kv("queue_depth", static_cast<std::int64_t>(depth));
+        }
+      }
+    }
+    if (opts.worker_stall_ms > 0) SweepWorkers(now_s);
+  }
+
+  /// Flags workers stuck on one request past the deadline and replaces
+  /// them. Event-loop thread only.
+  void SweepWorkers(double now_s) {
+    const double limit_s = opts.worker_stall_ms / 1e3;
+    int replacements = 0;
+    const std::size_t n = worker_slots.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkerSlot* slot = worker_slots[i].get();
+      double busy = slot->busy_since_s.load(std::memory_order_relaxed);
+      if (busy < 0.0 || now_s - busy <= limit_s) continue;
+      // CAS from the observed timestamp: if the worker finished (or
+      // started a new request) in between, the flag must not land.
+      if (!slot->busy_since_s.compare_exchange_strong(
+              busy, kStalledSlot, std::memory_order_relaxed)) {
+        continue;
+      }
+      workers_alive.fetch_sub(1, std::memory_order_relaxed);
+      g_workers_alive->Sub(1);
+      workers_stalled.fetch_add(1, std::memory_order_relaxed);
+      g_workers_stalled->Add(1);
+      m_worker_stalls->Inc();
+      GBX_SLOG(kError, "server.worker.stalled")
+          .Kv("slot", static_cast<std::int64_t>(i))
+          .Kv("busy_ms", (now_s - busy) * 1e3)
+          .Kv("deadline_ms", opts.worker_stall_ms);
+      ++replacements;
+    }
+    for (int i = 0; i < replacements; ++i) {
+      SpawnWorker();
+      m_workers_replaced->Inc();
+      GBX_SLOG(kWarn, "server.worker.replaced")
+          .Kv("workers_alive",
+              static_cast<std::int64_t>(
+                  workers_alive.load(std::memory_order_relaxed)));
+    }
   }
 
   bool AllFlushed() const {
@@ -795,19 +1013,25 @@ struct Server::Impl {
 
   // --- workers ---------------------------------------------------------
 
-  void WorkerLoop() {
+  void WorkerLoop(WorkerSlot* slot) {
     for (;;) {
       Request req;
       std::size_t depth = 0;
       {
         std::unique_lock<std::mutex> lock(queue_mu);
         queue_cv.wait(lock, [this] { return queue_closed || !queue.empty(); });
-        if (queue.empty()) return;  // closed and drained
+        if (queue.empty()) break;  // closed and drained
         req = std::move(queue.front());
         queue.pop_front();
         depth = queue.size();
       }
       g_queue_depth->Set(static_cast<std::int64_t>(depth));
+      // Heartbeat: busy from here until the completion is pushed. The
+      // watchdog's stall clock starts now, so both chaos sites below
+      // ("server.worker.delay" and the engine's "engine.predict.stall")
+      // count as worker occupancy.
+      slot->busy_since_s.store(clock.ElapsedSeconds(),
+                               std::memory_order_relaxed);
       // Chaos site: delay(ms) here stretches worker occupancy without
       // touching the engine — how the overload battery fills the queue.
       GBX_FAILPOINT("server.worker.delay");
@@ -817,7 +1041,23 @@ struct Server::Impl {
         completions.push_back(std::move(comp));
       }
       Wake();
+      const double prev =
+          slot->busy_since_s.exchange(-1.0, std::memory_order_relaxed);
+      if (prev == kStalledSlot) {
+        // The watchdog flagged this worker mid-request and already
+        // spawned a replacement: undo the stalled mark (the late
+        // response WAS delivered) and exit — capacity lives in the
+        // replacement now.
+        workers_stalled.fetch_sub(1, std::memory_order_relaxed);
+        g_workers_stalled->Sub(1);
+        GBX_SLOG(kInfo, "server.worker.stall_recovered")
+            .Kv("conn", static_cast<std::int64_t>(req.conn_id))
+            .Kv("seq", static_cast<std::int64_t>(req.seq));
+        return;
+      }
     }
+    workers_alive.fetch_sub(1, std::memory_order_relaxed);
+    g_workers_alive->Sub(1);
   }
 
   std::string HandleRequest(const Request& req) {
@@ -885,8 +1125,17 @@ struct Server::Impl {
           false);
     }
     PredictTiming timing;
+    // Degradation: the controller's current rung rides into the engine
+    // as per-call overrides; with the controller off the pointer stays
+    // null and the engine path is bit-identical to pre-ladder behavior.
+    PredictOverrides overrides;
+    if (degrade != nullptr) {
+      overrides.recall = degrade->recall();
+      overrides.batch_delay_scale = degrade->batch_delay_scale();
+    }
     const StatusOr<int> label = snapshot->engine->Predict(
-        query.data(), static_cast<int>(query.size()), &timing);
+        query.data(), static_cast<int>(query.size()), &timing,
+        degrade != nullptr ? &overrides : nullptr);
     h_batch_assembly->Observe(timing.batch_assembly_ms);
     h_compute->Observe(timing.compute_ms);
     tr.AddSpan("batch_assembly", cursor_ms, timing.batch_assembly_ms, 0,
@@ -899,6 +1148,16 @@ struct Server::Impl {
     Stopwatch encode_watch;
     std::string reply = "ok " + std::to_string(*label) + " fnv1a " +
                         ChecksumHex(snapshot->checksum);
+    if (timing.applied_recall > 0.0 && timing.applied_recall < 1.0) {
+      // Quality loss is visible on the wire: the tag appends after the
+      // existing fields so label/checksum parsers keep working.
+      char tag[48];
+      std::snprintf(tag, sizeof(tag), " degraded recall=%.2f",
+                    timing.applied_recall);
+      reply += tag;
+      m_degraded->Inc();
+      tr.Annotate(0, "degraded");
+    }
     const double encode_ms = encode_watch.ElapsedMillis();
     h_encode->Observe(encode_ms);
     tr.AddSpan("encode", cursor_ms, encode_ms);
@@ -910,6 +1169,48 @@ struct Server::Impl {
     std::string cmd;
     in >> cmd;
     if (cmd == "!ping") return "ok pong";
+    if (cmd == "!health") {
+      // Liveness/readiness probe for load balancers. Answering at all
+      // is liveness (admin frames bypass the shed caps, and watchdog
+      // replacements keep a worker available to serve this even while
+      // another is stuck). Readiness means the server can take predict
+      // traffic NOW: a routable model, no stalled worker, at least one
+      // healthy worker, and the queue below the shed line. Format:
+      //   ok health ready|unready [reasons R1,R2] models N workers A
+      //   stalled S queue D/LINE degrade off|LEVEL recall F
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        depth = queue.size();
+      }
+      const int alive = workers_alive.load(std::memory_order_relaxed);
+      const int stalled = workers_stalled.load(std::memory_order_relaxed);
+      const int models = registry->size();
+      std::vector<const char*> reasons;
+      if (!registry->ready()) reasons.push_back("no-models");
+      if (stalled > 0) reasons.push_back("workers-stalled");
+      if (alive < 1) reasons.push_back("no-workers");
+      if (opts.max_queue_depth > 0 && depth >= opts.max_queue_depth) {
+        reasons.push_back("queue-full");
+      }
+      std::ostringstream out;
+      out << "ok health " << (reasons.empty() ? "ready" : "unready");
+      if (!reasons.empty()) {
+        out << " reasons ";
+        for (std::size_t i = 0; i < reasons.size(); ++i) {
+          out << (i > 0 ? "," : "") << reasons[i];
+        }
+      }
+      out << " models " << models << " workers " << alive << " stalled "
+          << stalled << " queue " << depth << "/" << opts.max_queue_depth;
+      if (degrade != nullptr) {
+        out << " degrade " << degrade->level() << " recall "
+            << degrade->recall();
+      } else {
+        out << " degrade off";
+      }
+      return out.str();
+    }
     if (cmd == "!list") {
       std::ostringstream out;
       const auto models = registry->List();
@@ -944,7 +1245,12 @@ struct Server::Impl {
           << s.mean_batch_size << " p50_ms " << s.p50_ms << " p99_ms "
           << s.p99_ms << " qps " << s.qps << " shed " << ss.requests_shed
           << " deadline_expired " << ss.deadlines_expired << " queue_depth "
-          << depth << " queue_peak " << ss.queue_peak;
+          << depth << " queue_peak " << ss.queue_peak << " degraded "
+          << ss.requests_degraded << " worker_stalls " << ss.worker_stalls;
+      if (degrade != nullptr) {
+        out << " degrade_level " << degrade->level() << " degrade_recall "
+            << degrade->recall();
+      }
       // Scan configuration: the SIMD dispatch level is process-global;
       // strategy/recall are per-model runtime knobs (GB-kNN only —
       // other classifiers have no center scan and report nothing).
@@ -1086,6 +1392,10 @@ struct Server::Impl {
     s.requests_shed = m_shed->Value() - baseline.requests_shed;
     s.deadlines_expired = m_deadline->Value() - baseline.deadlines_expired;
     s.queue_peak = queue_peak_local.load(std::memory_order_relaxed);
+    s.requests_degraded = m_degraded->Value() - baseline.requests_degraded;
+    s.degrade_transitions = m_degrade_down->Value() + m_degrade_up->Value() -
+                            baseline.degrade_transitions;
+    s.worker_stalls = m_worker_stalls->Value() - baseline.worker_stalls;
     return s;
   }
 };

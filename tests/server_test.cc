@@ -253,6 +253,66 @@ TEST_F(ServerTest, AdminProtocolAnswersPingListAndStat) {
   EXPECT_EQ(payload->rfind("error INVALID_ARGUMENT", 0), 0) << *payload;
 }
 
+TEST_F(ServerTest, HealthProbeReportsReadyAndUnready) {
+  // A server with a published model and healthy workers is ready, and
+  // reports the controller off (the default).
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const std::unique_ptr<Server> server =
+      StartServer(OneModelRegistry(bundle));
+  TestClient client(server->port());
+  StatusOr<std::string> payload = client.Call("!health");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok health ready", 0), 0) << *payload;
+  EXPECT_NE(payload->find(" models 1 "), std::string::npos) << *payload;
+  EXPECT_NE(payload->find(" stalled 0 "), std::string::npos) << *payload;
+  EXPECT_NE(payload->find(" degrade off"), std::string::npos) << *payload;
+
+  // An empty registry is unready ("no-models") — the load balancer must
+  // not route predict traffic at a server that cannot answer it — but
+  // the probe itself still answers.
+  const std::unique_ptr<Server> empty =
+      StartServer(std::make_shared<ModelRegistry>(SmallBatchOptions()));
+  TestClient probe(empty->port());
+  payload = probe.Call("!health");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok health unready", 0), 0) << *payload;
+  EXPECT_NE(payload->find("no-models"), std::string::npos) << *payload;
+
+  // With the ladder armed, the probe reports level and recall.
+  ServerOptions opts;
+  opts.degrade_auto = true;
+  const std::unique_ptr<Server> armed =
+      StartServer(OneModelRegistry(bundle), opts);
+  TestClient armed_client(armed->port());
+  payload = armed_client.Call("!health");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rfind("ok health ready", 0), 0) << *payload;
+  EXPECT_NE(payload->find(" degrade 0 recall 1"), std::string::npos)
+      << *payload;
+}
+
+TEST_F(ServerTest, StartRejectsBadDegradeConfigTyped) {
+  const ModelBundle bundle = MakeGbKnnBundle("S5");
+  const auto expect_rejected = [&](ServerOptions opts, const char* what) {
+    Server server(OneModelRegistry(bundle), opts);
+    const Status started = server.Start();
+    EXPECT_EQ(started.code(), StatusCode::kInvalidArgument) << what;
+    EXPECT_FALSE(server.running()) << what;
+  };
+  ServerOptions opts;
+  opts.degrade.min_recall = 1.5;
+  expect_rejected(opts, "min_recall above 1");
+  opts = ServerOptions{};
+  opts.degrade.min_recall = 0.0;
+  expect_rejected(opts, "min_recall zero");
+  opts = ServerOptions{};
+  opts.degrade.low_watermark = 0.9;  // >= high_watermark
+  expect_rejected(opts, "inverted watermarks");
+  opts = ServerOptions{};
+  opts.worker_stall_ms = -1.0;
+  expect_rejected(opts, "negative stall deadline");
+}
+
 // ---------------------------------------------------------------------------
 // Observability battery: "!metrics" and "!trace" over the wire.
 
